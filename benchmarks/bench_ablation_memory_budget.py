@@ -1,0 +1,64 @@
+"""Ablation: analyzer memory budgets — why OLS exists.
+
+The paper observes that k-means and DBSCAN "reach memory limitations for
+larger workloads such as RetinaNet and ResNet", while OLS — holding only
+two steps of state — never does. This ablation sweeps an explicit memory
+budget over the analyzer and records the point at which each algorithm
+stops being feasible.
+"""
+
+import pytest
+
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.analyzer.analyzer import AnalyzerMemoryError
+
+from _harness import cached_profiled, emit, once
+
+_BUDGETS_MB = (0.05, 0.5, 2.0, 8.0, None)
+
+
+def _feasible(analyzer, method):
+    try:
+        if method == "kmeans":
+            analyzer.kmeans_phases(k=5)
+        elif method == "dbscan":
+            analyzer.dbscan_phases(min_samples=30)
+        else:
+            analyzer.ols_phases(0.70)
+        return True
+    except AnalyzerMemoryError:
+        return False
+
+
+def test_ablation_memory_budget(benchmark):
+    _, _, base = cached_profiled("resnet-imagenet")
+    records = base.records
+    once(benchmark, lambda: TPUPointAnalyzer(records).ols_phases(0.70))
+
+    lines = [f"{'budget':>10s} {'kmeans':>7s} {'dbscan':>7s} {'ols':>5s}"]
+    feasibility = {}
+    for budget_mb in _BUDGETS_MB:
+        budget = None if budget_mb is None else budget_mb * 1024 * 1024
+        analyzer = TPUPointAnalyzer(records, memory_budget_bytes=budget)
+        row = {m: _feasible(analyzer, m) for m in ("kmeans", "dbscan", "ols")}
+        feasibility[budget_mb] = row
+        label = "unlimited" if budget_mb is None else f"{budget_mb:g} MB"
+        lines.append(
+            f"{label:>10s} {str(row['kmeans']):>7s} {str(row['dbscan']):>7s} "
+            f"{str(row['ols']):>5s}"
+        )
+    lines.append("paper: clustering hits memory limits on large workloads; OLS never does")
+    emit("ablation_memory", "Ablation: analyzer memory budgets (resnet-imagenet)", lines)
+
+    # OLS is feasible at every budget; clustering fails under tight ones.
+    assert all(row["ols"] for row in feasibility.values())
+    assert not feasibility[0.05]["kmeans"]
+    assert not feasibility[0.05]["dbscan"]
+    assert feasibility[None]["kmeans"] and feasibility[None]["dbscan"]
+    # DBSCAN (quadratic distance matrix) fails before k-means does.
+    dbscan_only_fail = [
+        mb
+        for mb, row in feasibility.items()
+        if mb is not None and row["kmeans"] and not row["dbscan"]
+    ]
+    assert dbscan_only_fail, feasibility

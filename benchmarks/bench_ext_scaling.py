@@ -1,0 +1,63 @@
+"""Extension: why the paper stayed on single-TPU instances.
+
+Section V quotes Google's docs: scaling to multiple TPUs "requires
+significant tuning and optimization". This bench runs ResNet-ImageNet on
+v2 slices of 1-8 chips, twice — once with the zoo-default input pipeline
+and once with an aggressively tuned one — and measures scaling
+efficiency. Untuned, the shared host pipeline caps throughput around 2-4
+chips (idle explodes); tuned, the same slice keeps scaling. That *is*
+the required "significant tuning", quantified.
+"""
+
+from repro.host.pipeline import PipelineConfig
+from repro.models.resnet import ResNetModel
+from repro.datasets.registry import IMAGENET
+from repro.tpu.slice import scaling_efficiency, tpu_slice
+
+from _harness import emit, once
+
+_CHIP_COUNTS = (1, 2, 4, 8)
+_TUNED = PipelineConfig(
+    num_parallel_reads=16, num_parallel_calls=64, prefetch_depth=8, infeed_threads=8
+)
+
+
+def _run(chips, config):
+    estimator = ResNetModel().build_estimator(
+        IMAGENET, generation=tpu_slice("v2", chips), pipeline_config=config
+    )
+    return estimator.train()
+
+
+def test_ext_slice_scaling(benchmark):
+    once(benchmark, lambda: _run(2, None))
+
+    lines = [
+        f"{'chips':>5s} {'config':>8s} {'wall':>9s} {'idle':>7s} {'MXU':>7s} "
+        f"{'speedup':>8s} {'efficiency':>11s}"
+    ]
+    walls = {}
+    for label, config in (("default", None), ("tuned", _TUNED)):
+        base_wall = None
+        for chips in _CHIP_COUNTS:
+            summary = _run(chips, config)
+            walls[(label, chips)] = summary.wall_us
+            if base_wall is None:
+                base_wall = summary.wall_us
+            speedup = base_wall / summary.wall_us
+            efficiency = scaling_efficiency(base_wall, summary.wall_us, chips)
+            lines.append(
+                f"{chips:>5d} {label:>8s} {summary.wall_us / 1e6:>8.1f}s "
+                f"{summary.tpu_idle_fraction:>7.1%} {summary.mxu_utilization:>7.1%} "
+                f"{speedup:>7.2f}x {efficiency:>11.1%}"
+            )
+    lines.append("untuned pipelines stop scaling at the host wall; tuning restores it")
+    emit("ext_scaling", "Extension: slice scaling, default vs tuned pipeline", lines)
+
+    # Default pipeline: 8 chips barely beat 4 (host-bound).
+    default_gain_4_to_8 = walls[("default", 4)] / walls[("default", 8)]
+    assert default_gain_4_to_8 < 1.25
+    # Tuned pipeline: scaling at 8 chips is materially better than default.
+    eff_default = scaling_efficiency(walls[("default", 1)], walls[("default", 8)], 8)
+    eff_tuned = scaling_efficiency(walls[("tuned", 1)], walls[("tuned", 8)], 8)
+    assert eff_tuned > eff_default + 0.10

@@ -1,0 +1,41 @@
+"""Figure 5: DBSCAN — noise ratio for min_samples 5..180 in steps of 25.
+
+The paper finds 30-80 minimum samples optimal (elbow on the noise
+curve), producing 3-13 clusters; noise grows with the required sample
+count.
+"""
+
+from repro.core.analyzer.elbow import find_elbow
+
+from _harness import FIGURE_ORDER, cached_profiled, emit, once
+
+_SWEEP = range(5, 181, 25)
+_BENCH_KEY = "bert-mrpc"
+
+
+def test_fig05_dbscan_noise_series(benchmark):
+    _, _, bench_analyzer = cached_profiled(_BENCH_KEY)
+    once(benchmark, lambda: bench_analyzer.dbscan_sweep(_SWEEP))
+
+    lines = [f"{'workload':18s} " + " ".join(f"ms={m:<3d}" for m in _SWEEP) + "  elbow  clusters@30"]
+    elbow_values = {}
+    for key in FIGURE_ORDER:
+        _, _, analyzer = cached_profiled(key)
+        sweep = analyzer.dbscan_sweep(_SWEEP)
+        ms_values = sorted(sweep)
+        ratios = [sweep[m] for m in ms_values]
+        elbow_ms = ms_values[find_elbow([float(m) for m in ms_values], ratios)]
+        elbow_values[key] = elbow_ms
+        clusters = analyzer.dbscan_phases(min_samples=30).num_phases
+        lines.append(
+            f"{key:18s} "
+            + " ".join(f"{r:6.2f}" for r in ratios)
+            + f"  ms*={elbow_ms:<4d} {clusters}"
+        )
+        # Shape: noise ratio weakly increases with min_samples.
+        assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    lines.append("paper: optimum at 30-80 minimum samples, yielding 3-13 clusters")
+    emit("fig05", "Figure 5: DBSCAN noise ratio vs minimum samples", lines)
+
+    in_range = sum(1 for ms in elbow_values.values() if 30 <= ms <= 105)
+    assert in_range >= 6, elbow_values

@@ -1,0 +1,39 @@
+"""Figure 6: OLS — number of phases vs similarity threshold 0%..100%.
+
+The paper's shape: ~3 phases at the 70% default for most workloads, with
+the count growing sharply toward 100%; RetinaNet-COCO and
+ResNet-ImageNet exceed 15 phases at the extreme threshold while the rest
+stay below.
+"""
+
+from _harness import FIGURE_ORDER, cached_profiled, emit, once
+
+_THRESHOLDS = [round(0.1 * i, 1) for i in range(11)]
+_BENCH_KEY = "bert-mrpc"
+
+
+def test_fig06_ols_threshold_series(benchmark):
+    _, _, bench_analyzer = cached_profiled(_BENCH_KEY)
+    once(benchmark, lambda: bench_analyzer.ols_sweep(_THRESHOLDS))
+
+    lines = [f"{'workload':18s} " + " ".join(f"{int(t*100):>4d}%" for t in _THRESHOLDS)]
+    at_100 = {}
+    for key in FIGURE_ORDER:
+        _, _, analyzer = cached_profiled(key)
+        sweep = analyzer.ols_sweep(_THRESHOLDS)
+        counts = [sweep[t] for t in _THRESHOLDS]
+        at_100[key] = counts[-1]
+        lines.append(f"{key:18s} " + " ".join(f"{c:>5d}" for c in counts))
+        # Shape: monotone non-decreasing; one phase at threshold zero.
+        assert counts[0] == 1
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        # Observation 1: few phases at the 70% default.
+        assert sweep[0.7] <= 6
+    lines.append("paper: ~3 phases at 70%; RetinaNet/ResNet exceed 15 at 100%")
+    emit("fig06", "Figure 6: OLS phase count vs similarity threshold", lines)
+
+    # The paper's exception clause at the 100% threshold.
+    assert at_100["retinanet-coco"] > 15
+    assert at_100["resnet-imagenet"] > 15
+    small = [k for k in FIGURE_ORDER if k not in ("retinanet-coco", "resnet-imagenet")]
+    assert sum(1 for k in small if at_100[k] <= 15) >= 5, at_100

@@ -1,0 +1,27 @@
+"""Figure 9: coverage of execution time by the top three k-means phases.
+
+Even with k fixed at 5 (more clusters than the elbow suggests), the top
+three phases dominate execution time.
+"""
+
+from _harness import FIGURE_ORDER, cached_profiled, emit, once
+
+_BENCH_KEY = "bert-mrpc"
+
+
+def test_fig09_top3_coverage_kmeans(benchmark):
+    _, _, bench_analyzer = cached_profiled(_BENCH_KEY)
+    once(benchmark, lambda: bench_analyzer.kmeans_phases(k=5).coverage())
+
+    lines = [f"{'workload':18s} {'phase1':>8s} {'phase2':>8s} {'phase3':>8s} {'top-3':>8s}"]
+    for key in FIGURE_ORDER:
+        _, _, analyzer = cached_profiled(key)
+        report = analyzer.kmeans_phases(k=5).coverage()
+        fractions = list(report.fractions) + [0.0, 0.0, 0.0]
+        lines.append(
+            f"{key:18s} {fractions[0]:>8.1%} {fractions[1]:>8.1%} "
+            f"{fractions[2]:>8.1%} {report.top(3):>8.1%}"
+        )
+        assert report.top(3) >= 0.90
+    lines.append("paper: with k=5, execution is still dominated by the top 3 clusters")
+    emit("fig09", "Figure 9: top-3 phase coverage, k-means k=5", lines)

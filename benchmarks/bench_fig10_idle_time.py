@@ -1,0 +1,33 @@
+"""Figure 10: TPU idle time for TPUv2 and TPUv3 across workloads.
+
+Paper averages: 38.90% idle on TPUv2 and 43.53% on TPUv3 — idle time
+*increases* on the faster generation (Observation 5).
+"""
+
+from _harness import FIGURE_ORDER, cached_run, emit, once
+
+
+def test_fig10_idle_time(benchmark):
+    once(benchmark, lambda: cached_run("bert-mrpc", "v2"))
+
+    lines = [f"{'workload':18s} {'TPUv2':>8s} {'TPUv3':>8s}"]
+    totals = {"v2": 0.0, "v3": 0.0}
+    for key in FIGURE_ORDER:
+        row = {}
+        for generation in ("v2", "v3"):
+            run = cached_run(key, generation)
+            row[generation] = run.idle_fraction
+            totals[generation] += run.idle_fraction
+        lines.append(f"{key:18s} {row['v2']:>8.1%} {row['v3']:>8.1%}")
+        # Per-workload shape: v3 idles at least as much as v2.
+        assert row["v3"] > row["v2"] - 0.01, key
+    mean_v2 = totals["v2"] / len(FIGURE_ORDER)
+    mean_v3 = totals["v3"] / len(FIGURE_ORDER)
+    lines.append(f"{'average':18s} {mean_v2:>8.1%} {mean_v3:>8.1%}")
+    lines.append("paper averages:     38.9%    43.5%")
+    emit("fig10", "Figure 10: TPU idle time, TPUv2 vs TPUv3", lines)
+
+    # Averages land in the paper's neighbourhood with the v2 < v3 ordering.
+    assert 0.25 <= mean_v2 <= 0.50
+    assert 0.30 <= mean_v3 <= 0.55
+    assert mean_v3 > mean_v2

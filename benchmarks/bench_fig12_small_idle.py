@@ -1,0 +1,41 @@
+"""Figure 12: TPU idle time with reduced datasets.
+
+QANet and RetinaNet run on half of SQuAD/COCO; ResNet runs on CIFAR-10
+instead of ImageNet. All models idle more than with their full datasets,
+ResNet most dramatically (Observation 6).
+"""
+
+from _harness import cached_run, emit, once
+
+_PAIRS = (
+    ("qanet-squad", "qanet-squad-half"),
+    ("retinanet-coco", "retinanet-coco-half"),
+    ("resnet-imagenet", "resnet-cifar10"),
+)
+
+
+def test_fig12_idle_time_small_datasets(benchmark):
+    once(benchmark, lambda: cached_run("resnet-cifar10", "v2"))
+
+    lines = [
+        f"{'workload':22s} {'v2 full':>8s} {'v2 small':>9s} {'v3 full':>8s} {'v3 small':>9s}"
+    ]
+    deltas = {}
+    for full_key, small_key in _PAIRS:
+        row = {}
+        for generation in ("v2", "v3"):
+            row[f"{generation}-full"] = cached_run(full_key, generation).idle_fraction
+            row[f"{generation}-small"] = cached_run(small_key, generation).idle_fraction
+        deltas[small_key] = row["v2-small"] - row["v2-full"]
+        lines.append(
+            f"{small_key:22s} {row['v2-full']:>8.1%} {row['v2-small']:>9.1%} "
+            f"{row['v3-full']:>8.1%} {row['v3-small']:>9.1%}"
+        )
+        # Shape: reduced datasets increase idle time on both generations.
+        assert row["v2-small"] > row["v2-full"], small_key
+        assert row["v3-small"] > row["v3-full"], small_key
+    lines.append("paper: all models idle more on reduced datasets; ResNet changes most")
+    emit("fig12", "Figure 12: idle time with smaller datasets", lines)
+
+    # ResNet-CIFAR10 shows the greatest change.
+    assert deltas["resnet-cifar10"] == max(deltas.values())

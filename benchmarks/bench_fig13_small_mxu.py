@@ -1,0 +1,39 @@
+"""Figure 13: MXU utilization with reduced datasets.
+
+The counterpart of Figure 12: every model loses matrix-unit utilization
+when fed the smaller dataset, ResNet-on-CIFAR10 most of all.
+"""
+
+from _harness import cached_run, emit, once
+
+_PAIRS = (
+    ("qanet-squad", "qanet-squad-half"),
+    ("retinanet-coco", "retinanet-coco-half"),
+    ("resnet-imagenet", "resnet-cifar10"),
+)
+
+
+def test_fig13_mxu_small_datasets(benchmark):
+    once(benchmark, lambda: cached_run("resnet-cifar10", "v2"))
+
+    lines = [
+        f"{'workload':22s} {'v2 full':>8s} {'v2 small':>9s} {'v3 full':>8s} {'v3 small':>9s}"
+    ]
+    drops = {}
+    for full_key, small_key in _PAIRS:
+        row = {}
+        for generation in ("v2", "v3"):
+            row[f"{generation}-full"] = cached_run(full_key, generation).mxu_utilization
+            row[f"{generation}-small"] = cached_run(small_key, generation).mxu_utilization
+        drops[small_key] = row["v2-full"] - row["v2-small"]
+        lines.append(
+            f"{small_key:22s} {row['v2-full']:>8.1%} {row['v2-small']:>9.1%} "
+            f"{row['v3-full']:>8.1%} {row['v3-small']:>9.1%}"
+        )
+        # Shape: reduced datasets reduce utilization on both generations.
+        assert row["v2-small"] < row["v2-full"], small_key
+        assert row["v3-small"] < row["v3-full"], small_key
+    lines.append("paper: every model loses MXU utilization; ResNet changes most")
+    emit("fig13", "Figure 13: MXU utilization with smaller datasets", lines)
+
+    assert drops["resnet-cifar10"] == max(drops.values())

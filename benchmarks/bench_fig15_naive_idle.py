@@ -1,0 +1,31 @@
+"""Figure 15: TPU idle time of the naive implementations, with and
+without TPUPoint-Optimizer, on TPUv2 and TPUv3.
+
+The naive implementations (untuned input pipelines) leave the TPU mostly
+idle; the optimizer recovers most of that idle time on both generations.
+"""
+
+from _harness import cached_optimized, cached_run, emit, once
+
+_NAIVE = ("naive-qanet-squad", "naive-retinanet-coco")
+
+
+def test_fig15_naive_idle_time(benchmark):
+    once(benchmark, lambda: cached_optimized("naive-qanet-squad", "v2"))
+
+    lines = [
+        f"{'workload':24s} {'gen':>4s} {'naive idle':>11s} {'optimized idle':>15s}"
+    ]
+    for key in _NAIVE:
+        for generation in ("v2", "v3"):
+            baseline = cached_run(key, generation)
+            optimized = cached_optimized(key, generation)
+            lines.append(
+                f"{key:24s} {generation:>4s} {baseline.idle_fraction:>11.1%} "
+                f"{optimized.summary.tpu_idle_fraction:>15.1%}"
+            )
+            # Shape: the optimizer removes most of the naive idle time.
+            assert baseline.idle_fraction > 0.5, key
+            assert optimized.summary.tpu_idle_fraction < baseline.idle_fraction - 0.15
+    lines.append("paper: optimizer sharply reduces naive-implementation idle time")
+    emit("fig15", "Figure 15: naive-implementation idle time +/- optimizer", lines)

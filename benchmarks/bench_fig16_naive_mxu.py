@@ -1,0 +1,36 @@
+"""Figure 16: MXU utilization of the naive implementations, with and
+without TPUPoint-Optimizer, on TPUv2 and TPUv3.
+
+The counterpart of Figure 15: optimization raises matrix-unit
+utilization, most pronouncedly on TPUv2.
+"""
+
+from _harness import cached_optimized, cached_run, emit, once
+
+_NAIVE = ("naive-qanet-squad", "naive-retinanet-coco")
+
+
+def test_fig16_naive_mxu_utilization(benchmark):
+    once(benchmark, lambda: cached_optimized("naive-qanet-squad", "v2"))
+
+    lines = [
+        f"{'workload':24s} {'gen':>4s} {'naive MXU':>10s} {'optimized MXU':>14s}"
+    ]
+    gains = {"v2": [], "v3": []}
+    for key in _NAIVE:
+        for generation in ("v2", "v3"):
+            baseline = cached_run(key, generation)
+            optimized = cached_optimized(key, generation)
+            gain = optimized.summary.mxu_utilization - baseline.mxu_utilization
+            gains[generation].append(gain)
+            lines.append(
+                f"{key:24s} {generation:>4s} {baseline.mxu_utilization:>10.1%} "
+                f"{optimized.summary.mxu_utilization:>14.1%}"
+            )
+            assert optimized.summary.mxu_utilization > baseline.mxu_utilization, key
+    lines.append("paper: optimizer raises MXU utilization, most pronounced on TPUv2")
+    emit("fig16", "Figure 16: naive-implementation MXU utilization +/- optimizer", lines)
+
+    # The absolute gain is larger on v2 than v3 (the paper's "pronounced
+    # change" on TPUv2).
+    assert sum(gains["v2"]) > sum(gains["v3"])

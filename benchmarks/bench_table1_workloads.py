@@ -1,0 +1,40 @@
+"""Table I: workload breakdown and specifications.
+
+Regenerates the workload inventory — model, type, dataset, dataset size,
+and default training parameters — and benchmarks estimator assembly.
+"""
+
+from repro import units
+from repro.models.registry import PAPER_WORKLOADS, workload
+from repro.workloads.runner import build_estimator
+from repro.workloads.spec import WorkloadSpec
+
+from _harness import emit, once
+
+
+def test_table1_workload_breakdown(benchmark):
+    def build_all():
+        return [build_estimator(WorkloadSpec(key)) for key in PAPER_WORKLOADS]
+
+    once(benchmark, build_all)
+
+    lines = [
+        f"{'Workload':12s} {'Type':22s} {'Dataset':10s} {'Size':>12s} "
+        f"{'Batch':>6s} {'PaperSteps':>10s} {'SimSteps':>9s}"
+    ]
+    for key in PAPER_WORKLOADS:
+        entry = workload(key)
+        defaults = entry.model.defaults(entry.dataset)
+        lines.append(
+            f"{entry.model.name:12s} {entry.model.workload_type:22s} "
+            f"{entry.dataset.name:10s} {units.format_bytes(entry.dataset.total_bytes):>12s} "
+            f"{defaults.batch_size:>6d} {defaults.paper_train_steps:>10d} "
+            f"{defaults.train_steps:>9d}"
+        )
+    emit("table1", "Table I: workload breakdown and specifications", lines)
+
+    # Paper-exact anchor values.
+    assert units.format_bytes(workload("bert-squad").dataset.total_bytes) == "422.27 MiB"
+    assert workload("resnet-imagenet").model.defaults(
+        workload("resnet-imagenet").dataset
+    ).paper_train_steps == 112_590

@@ -1,0 +1,76 @@
+"""Table II: the top-5 most time-consuming operators in the most
+time-consuming phase, per workload and per detection algorithm, for host
+and TPU, with appearance totals across configurations on both TPU
+generations.
+
+Headline checks from Section VI-B: ``fusion`` is the most frequent top
+TPU operator overall, ``Reshape`` ranks high despite not being
+algorithm-related, and the host side is dominated by the data-exchange
+operators ``OutfeedDequeueTuple`` / ``TransferBufferToInfeedLocked``.
+"""
+
+from repro.core.analyzer.operators import appearance_totals, top_operators_of_longest_phase
+from repro.runtime.events import DeviceKind
+
+from _harness import FIGURE_ORDER, cached_profiled, emit, once
+
+_ALGORITHMS = ("kmeans", "dbscan", "ols")
+
+
+def _cell(analyzer, algorithm):
+    if algorithm == "kmeans":
+        result = analyzer.kmeans_phases(k=5)
+    elif algorithm == "dbscan":
+        result = analyzer.dbscan_phases(min_samples=30)
+    else:
+        result = analyzer.ols_phases(0.70)
+    return top_operators_of_longest_phase(result.phases, k=5)
+
+
+def test_table2_top_operators(benchmark):
+    _, _, bench_analyzer = cached_profiled("bert-mrpc")
+    once(benchmark, lambda: _cell(bench_analyzer, "ols"))
+
+    lines = []
+    cells = {"v2": [], "v3": []}
+    for generation in ("v2", "v3"):
+        lines.append(f"--- TPU{generation} ---")
+        for key in FIGURE_ORDER:
+            _, _, analyzer = cached_profiled(key, generation)
+            for algorithm in _ALGORITHMS:
+                cell = _cell(analyzer, algorithm)
+                cells[generation].append(cell)
+                tpu_ops = ", ".join(cell[DeviceKind.TPU].operators)
+                host_ops = ", ".join(cell[DeviceKind.HOST].operators)
+                lines.append(f"{key:18s} {algorithm:7s} TPU : {tpu_ops}")
+                lines.append(f"{key:18s} {algorithm:7s} host: {host_ops}")
+
+    for generation in ("v2", "v3"):
+        totals = appearance_totals(cells[generation])
+        lines.append(f"--- appearance totals, TPU{generation} (paper's right columns) ---")
+        for device in (DeviceKind.HOST, DeviceKind.TPU):
+            ranked = totals[device].most_common(10)
+            lines.append(
+                f"{device.value:5s}: "
+                + ", ".join(f"{name}={count}" for name, count in ranked)
+            )
+    emit("table2", "Table II: top-5 operators in the most time-consuming phase", lines)
+
+    # Headline shape checks on the v2 totals.
+    totals_v2 = appearance_totals(cells["v2"])
+    tpu_counts = totals_v2[DeviceKind.TPU]
+    host_counts = totals_v2[DeviceKind.HOST]
+    top_tpu = [name for name, _ in tpu_counts.most_common(5)]
+    assert "fusion" in top_tpu[:2], top_tpu
+    assert "Reshape" in tpu_counts
+    top_host = [name for name, _ in host_counts.most_common(4)]
+    assert "OutfeedDequeueTuple" in top_host, top_host
+    assert "TransferBufferToInfeedLocked" in top_host, top_host
+
+    # The algorithms agree: for each workload, k-means and DBSCAN share
+    # most of their top TPU operators (the paper: "mostly identical").
+    for key in FIGURE_ORDER:
+        _, _, analyzer = cached_profiled(key, "v2")
+        km = set(_cell(analyzer, "kmeans")[DeviceKind.TPU].operators)
+        db = set(_cell(analyzer, "dbscan")[DeviceKind.TPU].operators)
+        assert len(km & db) >= 3, (key, km, db)

@@ -1,0 +1,66 @@
+"""Characterize the paper's workload suite across TPU generations.
+
+Reproduces the Section VI study in miniature: run every Table I workload
+on TPUv2 and TPUv3, report idle time and MXU utilization (Figures 10-11),
+and list the dominant phase's top operators per detection algorithm
+(Table II's cells) for one workload of your choice.
+
+Run:
+    python examples/characterize_workloads.py [workload-for-table2]
+"""
+
+import sys
+
+from repro import PAPER_WORKLOADS, TPUPoint, WorkloadSpec, build_estimator, run_workload
+from repro.core.analyzer import TPUPointAnalyzer, top_operators_of_longest_phase
+from repro.runtime.events import DeviceKind
+
+
+def characterize_suite() -> None:
+    print(f"{'workload':18s} {'v2 idle':>8s} {'v3 idle':>8s} {'v2 MXU':>8s} {'v3 MXU':>8s}")
+    sums = {"idle-v2": 0.0, "idle-v3": 0.0, "mxu-v2": 0.0, "mxu-v3": 0.0}
+    for key in PAPER_WORKLOADS:
+        row = {}
+        for generation in ("v2", "v3"):
+            run = run_workload(WorkloadSpec(key, generation=generation))
+            row[f"idle-{generation}"] = run.idle_fraction
+            row[f"mxu-{generation}"] = run.mxu_utilization
+            sums[f"idle-{generation}"] += run.idle_fraction
+            sums[f"mxu-{generation}"] += run.mxu_utilization
+        print(
+            f"{key:18s} {row['idle-v2']:>8.1%} {row['idle-v3']:>8.1%} "
+            f"{row['mxu-v2']:>8.1%} {row['mxu-v3']:>8.1%}"
+        )
+    n = len(PAPER_WORKLOADS)
+    print(
+        f"{'average':18s} {sums['idle-v2']/n:>8.1%} {sums['idle-v3']/n:>8.1%} "
+        f"{sums['mxu-v2']/n:>8.1%} {sums['mxu-v3']/n:>8.1%}"
+    )
+    print("paper averages:      38.9%    43.5%    22.7%    11.3%")
+
+
+def table2_cell(key: str) -> None:
+    print(f"\n=== top-5 operators of the dominant phase: {key} (TPUv2) ===")
+    estimator = build_estimator(WorkloadSpec(key))
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    estimator.train()
+    tpupoint.Stop()
+    analyzer = TPUPointAnalyzer(tpupoint.records)
+    for algorithm, result in (
+        ("k-means", analyzer.kmeans_phases(k=5)),
+        ("DBSCAN", analyzer.dbscan_phases(min_samples=30)),
+        ("OLS", analyzer.ols_phases(0.70)),
+    ):
+        cell = top_operators_of_longest_phase(result.phases)
+        print(f"{algorithm:8s} TPU : {', '.join(cell[DeviceKind.TPU].operators)}")
+        print(f"{algorithm:8s} host: {', '.join(cell[DeviceKind.HOST].operators)}")
+
+
+def main() -> None:
+    characterize_suite()
+    table2_cell(sys.argv[1] if len(sys.argv) > 1 else "bert-squad")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Compare a workload across TPU generations — performance, energy, money.
+
+The paper's Observation 5: the faster the accelerator, the bigger the
+share of time (and therefore billing) lost to non-computational
+overhead. This example profiles the same workload on TPUv2 and TPUv3,
+aligns the runs operator-by-operator, and prices the difference.
+
+Run:
+    python examples/compare_generations.py [workload]
+"""
+
+import sys
+
+from repro import TPUPoint, WorkloadSpec, build_estimator
+from repro.compare import compare_runs
+from repro.costs import run_cost
+
+
+def _profiled(key: str, generation: str):
+    estimator = build_estimator(WorkloadSpec(key, generation=generation))
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    summary = estimator.train()
+    tpupoint.Stop()
+    return estimator, summary, tpupoint.records
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "bert-squad"
+
+    est_v2, summary_v2, records_v2 = _profiled(key, "v2")
+    est_v3, summary_v3, records_v3 = _profiled(key, "v3")
+
+    comparison = compare_runs(
+        f"{key} on TPUv2", summary_v2, records_v2,
+        f"{key} on TPUv3", summary_v3, records_v3,
+    )
+    print("=== run comparison ===")
+    print(comparison.format(top=6))
+
+    cost_v2 = run_cost(summary_v2, "v2")
+    cost_v3 = run_cost(summary_v3, "v3")
+    print("\n=== TPUv2 economics ===")
+    print(cost_v2.format())
+    print("\n=== TPUv3 economics ===")
+    print(cost_v3.format())
+
+    print("\n=== the Observation 5 punchline ===")
+    print(
+        f"v3 finishes {comparison.speedup:.2f}x faster but pays "
+        f"{cost_v3.idle_dollar_fraction:.0%} of its TPU bill for idle time "
+        f"(v2: {cost_v2.idle_dollar_fraction:.0%})"
+    )
+    per_epoch_v2 = cost_v2.total_dollars
+    per_epoch_v3 = cost_v3.total_dollars
+    cheaper = "v2" if per_epoch_v2 < per_epoch_v3 else "v3"
+    print(
+        f"this run costs ${per_epoch_v2:.4f} on v2 vs ${per_epoch_v3:.4f} on v3 "
+        f"-> {cheaper} is the cheaper device for this workload"
+    )
+
+
+if __name__ == "__main__":
+    main()

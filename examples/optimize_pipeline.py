@@ -1,0 +1,58 @@
+"""Tune a badly written input pipeline with TPUPoint-Optimizer.
+
+Reproduces the Section VII study: a "naive" implementation (single-
+threaded decode, no prefetching, one storage stream) leaves the TPU
+mostly idle; TPUPoint-Optimizer detects the performance-critical phase
+online, hill-climbs the adjustable parameters while checking output
+quality, and finishes the run with the improved configuration.
+
+Run:
+    python examples/optimize_pipeline.py [workload] [generation]
+Defaults: naive-retinanet-coco on TPUv2.
+"""
+
+import sys
+
+from repro import TPUPoint, WorkloadSpec, build_estimator, run_workload
+from repro import units
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "naive-retinanet-coco"
+    generation = sys.argv[2] if len(sys.argv) > 2 else "v2"
+    spec = WorkloadSpec(key, generation=generation)
+
+    # Reference: the same workload left untouched.
+    baseline = run_workload(spec)
+    print(f"=== baseline: {spec.display_name} ===")
+    print(f"wall time : {units.format_duration(baseline.summary.wall_us)}")
+    print(f"TPU idle  : {baseline.idle_fraction:.1%}")
+    print(f"MXU util  : {baseline.mxu_utilization:.1%}")
+
+    # The optimizer owns the training loop: detection -> tuning -> remainder.
+    estimator = build_estimator(spec)
+    result = TPUPoint(estimator).optimize()
+    speedup = baseline.summary.wall_us / result.summary.wall_us
+
+    print("\n=== optimized run ===")
+    print(f"wall time : {units.format_duration(result.summary.wall_us)}")
+    print(f"TPU idle  : {result.summary.tpu_idle_fraction:.1%}")
+    print(f"MXU util  : {result.summary.mxu_utilization:.1%}")
+    print(f"speedup   : {speedup:.3f}x")
+    print(f"critical phase detected at step: {result.detector_triggered_at_step}")
+    print(f"adjustable parameters: {result.instrumentation.parameter_names}")
+
+    if result.tuning is not None:
+        print(f"\n=== tuning log ({result.tuning.steps_consumed} steps consumed) ===")
+        for trial in result.tuning.trials:
+            marker = "ACCEPT" if trial.accepted else "      "
+            print(
+                f"  {marker} {trial.parameter:24s} = {str(trial.value):6s} "
+                f"-> {trial.throughput:8.2f} steps/s"
+            )
+        print(f"\nbest configuration: {result.tuning.best_config}")
+        print(f"measured tuning improvement: {result.tuning.improvement:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

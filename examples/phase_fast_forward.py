@@ -1,0 +1,86 @@
+"""Fast-forward into a detected phase using checkpoint association.
+
+Section IV-C: TPUPoint records the closest checkpoint to each phase so
+an application can be restarted *at* the interesting phase instead of
+replaying from step zero. This example detects phases, picks the
+dominant one, and compares the cost of fast-forwarding (restore the
+associated checkpoint, then warm-start a session from it) against
+replaying the full prefix.
+
+Run:
+    python examples/phase_fast_forward.py
+"""
+
+from repro import (
+    SessionPlan,
+    TPUPoint,
+    WorkloadSpec,
+    build_estimator,
+    units,
+)
+from repro.core.analyzer import associate_checkpoints, fast_forward_cost_us
+from repro.models.registry import workload
+from repro.workloads.runner import build_estimator as build
+
+
+def main() -> None:
+    spec = WorkloadSpec("dcgan-cifar10")
+    estimator = build_estimator(spec)
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    estimator.train()
+    tpupoint.Stop()
+
+    analyzer = tpupoint.analyzer()
+    result = analyzer.ols_phases()
+    dominant = max(result.phases, key=lambda p: p.total_duration_us)
+    print(f"dominant phase: #{dominant.phase_id} "
+          f"({dominant.num_steps} steps, "
+          f"{units.format_duration(dominant.total_duration_us)})")
+
+    associations = associate_checkpoints(
+        result.phases, estimator.checkpoint_store, analyzer.steps
+    )
+    association = associations[dominant.phase_id]
+    checkpoint = association.checkpoint
+    print(f"associated checkpoint: model.ckpt-{checkpoint.step} "
+          f"(distance {association.distance_steps} steps)")
+
+    # Cost of fast-forwarding: restore the checkpoint...
+    restore_us = fast_forward_cost_us(association, estimator.checkpoint_store)
+    print(f"restore cost: {units.format_duration(restore_us)}")
+
+    # ...then run a *short* warm-started session inside the phase instead
+    # of replaying everything before it.
+    entry = workload(spec.key)
+    defaults = entry.model.defaults(entry.dataset)
+    replay_estimator = build(spec)
+    replay_estimator.checkpoint_store.save(checkpoint)
+    short_plan = SessionPlan(
+        train_steps=min(checkpoint.step + 25, defaults.train_steps),
+        batch_size=defaults.batch_size,
+        iterations_per_loop=defaults.iterations_per_loop,
+        warm_start=True,
+    )
+    warm = entry.model.build_estimator(
+        entry.dataset, plan=short_plan
+    )
+    warm.checkpoint_store.save(checkpoint)
+    warm_summary = warm.train()
+    print(f"warm-started 25-step probe of the phase: "
+          f"{units.format_duration(warm_summary.wall_us)}")
+
+    # Versus replaying the prefix from step zero.
+    full_prefix_us = sum(
+        phase.total_duration_us
+        for phase in result.phases
+        if phase.start_us < dominant.start_us
+    ) + dominant.total_duration_us * (25 / max(dominant.num_steps, 1))
+    print(f"replaying from step zero would cost about "
+          f"{units.format_duration(full_prefix_us + warm_summary.wall_us)}")
+    saved = full_prefix_us - restore_us
+    print(f"fast-forwarding saves roughly {units.format_duration(max(saved, 0.0))}")
+
+
+if __name__ == "__main__":
+    main()

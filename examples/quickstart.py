@@ -1,0 +1,70 @@
+"""Quickstart: profile a workload and detect its phases.
+
+This is the paper's Figure 2 flow end-to-end: build a TPUEstimator for a
+registered workload, attach TPUPoint, train, and run the post-execution
+analyzer. The chrome://tracing visualization is written next to this
+script (open chrome://tracing or https://ui.perfetto.dev and load it).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro import TPUPoint, WorkloadSpec, build_estimator
+from repro import units
+from repro.core.analyzer import associate_checkpoints
+from repro.runtime.events import DeviceKind
+
+
+def main() -> None:
+    # 1. Assemble the workload: BERT fine-tuning on MRPC, on a TPUv2.
+    estimator = build_estimator(WorkloadSpec("bert-mrpc", generation="v2"))
+
+    # 2. The Figure 2 interface: Start -> train -> Stop.
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    summary = estimator.train()
+    tpupoint.Stop()
+
+    print("=== run summary ===")
+    print(f"simulated wall time : {units.format_duration(summary.wall_us)}")
+    print(f"TPU idle time       : {summary.tpu_idle_fraction:.1%}")
+    print(f"MXU utilization     : {summary.mxu_utilization:.1%}")
+    print(f"profile records     : {len(tpupoint.records)}")
+
+    # 3. Post-execution analysis: OLS at the default 70% threshold.
+    analyzer = tpupoint.analyzer()
+    result = analyzer.ols_phases()
+    coverage = result.coverage()
+    print(f"\n=== phases (OLS @ 70%) ===")
+    print(f"phases detected     : {result.num_phases}")
+    print(f"top-3 coverage      : {coverage.top(3):.1%}")
+    for rank, phase in enumerate(result.phases):
+        tpu_ops = ", ".join(s.name for s in phase.top_operators(5, DeviceKind.TPU))
+        print(
+            f"  #{rank}: {phase.num_steps:4d} steps, "
+            f"{units.format_duration(phase.total_duration_us):>10s}  top TPU ops: {tpu_ops}"
+        )
+
+    # 4. Checkpoint association: where could each phase fast-forward from?
+    associations = associate_checkpoints(
+        result.phases, estimator.checkpoint_store, analyzer.steps
+    )
+    print("\n=== nearest checkpoints ===")
+    for phase_id, assoc in sorted(associations.items()):
+        print(
+            f"  phase {phase_id}: model.ckpt-{assoc.checkpoint.step} "
+            f"(distance {assoc.distance_steps} steps)"
+        )
+
+    # 5. Export the visualization + CSVs.
+    out_dir = Path(__file__).parent / "out"
+    paths = analyzer.export(out_dir, result)
+    print("\n=== exports ===")
+    for kind, path in paths.items():
+        print(f"  {kind}: {path}")
+
+
+if __name__ == "__main__":
+    main()

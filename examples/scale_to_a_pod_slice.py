@@ -1,0 +1,61 @@
+"""Scale a workload to a multi-chip slice — and let TPUPoint fix it.
+
+The paper stayed on single-TPU instances because multi-TPU execution
+"requires significant tuning and optimization". This example shows the
+extension in action: ResNet-ImageNet on a v2-8 slice (4 chips) runs into
+the shared host pipeline's wall — then TPUPoint-Optimizer tunes that
+pipeline online and recovers most of the lost scaling, automatically.
+
+Run:
+    python examples/scale_to_a_pod_slice.py [chips]
+"""
+
+import sys
+
+from repro import TPUPoint, units
+from repro.costs import run_cost
+from repro.datasets.registry import IMAGENET
+from repro.models.resnet import ResNetModel
+from repro.tpu.slice import scaling_efficiency, tpu_slice
+
+
+def main() -> None:
+    chips = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+    # Reference: one chip with the zoo-default pipeline.
+    single = ResNetModel().build_estimator(IMAGENET, generation="v2").train()
+    print(f"1 chip              : {units.format_duration(single.wall_us)} "
+          f"(idle {single.tpu_idle_fraction:.1%}, MXU {single.mxu_utilization:.1%})")
+
+    # The slice with the same (untouched) pipeline: the host wall.
+    board = tpu_slice("v2", chips)
+    untuned = ResNetModel().build_estimator(IMAGENET, generation=board).train()
+    eff = scaling_efficiency(single.wall_us, untuned.wall_us, chips)
+    print(f"{chips} chips, default   : {units.format_duration(untuned.wall_us)} "
+          f"(idle {untuned.tpu_idle_fraction:.1%}, MXU {untuned.mxu_utilization:.1%}, "
+          f"scaling efficiency {eff:.0%})")
+
+    # TPUPoint-Optimizer owns the run and tunes the pipeline online.
+    estimator = ResNetModel().build_estimator(IMAGENET, generation=board)
+    result = TPUPoint(estimator).optimize()
+    optimized = result.summary
+    eff_opt = scaling_efficiency(single.wall_us, optimized.wall_us, chips)
+    print(f"{chips} chips, optimized : {units.format_duration(optimized.wall_us)} "
+          f"(idle {optimized.tpu_idle_fraction:.1%}, MXU {optimized.mxu_utilization:.1%}, "
+          f"scaling efficiency {eff_opt:.0%})")
+    if result.tuning is not None:
+        print(f"tuned configuration : {result.tuning.best_config}")
+
+    # And the money: what the host wall costs at slice prices.
+    wasted = run_cost(untuned, board)
+    fixed = run_cost(optimized, board)
+    print(f"\nTPU bill, default   : ${wasted.tpu_dollars:.4f} "
+          f"({wasted.idle_dollar_fraction:.0%} paid for idle time)")
+    print(f"TPU bill, optimized : ${fixed.tpu_dollars:.4f} "
+          f"({fixed.idle_dollar_fraction:.0%} paid for idle time)")
+    print(f"saved by tuning     : ${wasted.tpu_dollars - fixed.tpu_dollars:.4f} "
+          f"on this run alone")
+
+
+if __name__ == "__main__":
+    main()

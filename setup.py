@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Allows `python setup.py develop` installs in offline environments where
+pip's PEP-517 editable path is unavailable (it needs the `wheel` package).
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""TPUPoint reproduction: automatic characterization of hardware-accelerated
+machine-learning behavior for cloud computing (ISPASS 2021).
+
+The package reproduces the TPUPoint toolchain — profiler, analyzer, and
+optimizer — on top of a from-scratch simulation of the Cloud TPU
+platform (TPU chips, host VM, storage, a TensorFlow-like graph runtime,
+and behavioural models of the paper's five workloads).
+
+Quickstart::
+
+    from repro import TPUPoint, WorkloadSpec, build_estimator
+
+    estimator = build_estimator(WorkloadSpec("bert-mrpc"))
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    estimator.train()
+    tpupoint.Stop()
+    phases = tpupoint.analyzer().ols_phases()
+"""
+
+from repro.compare import RunComparison, compare_runs
+from repro.core.analyzer import AnalysisResult, TPUPointAnalyzer
+from repro.costs import RunCost, run_cost
+from repro.core.api import TPUPoint
+from repro.core.optimizer import OptimizationResult, OptimizerOptions, TPUPointOptimizer
+from repro.core.profiler import ProfileRecord, ProfilerOptions, TPUPointProfiler
+from repro.host.data import Dataset
+from repro.host.pipeline import PipelineConfig
+from repro.models.registry import (
+    OPTIMIZER_WORKLOADS,
+    PAPER_WORKLOADS,
+    SMALL_DATASET_WORKLOADS,
+    all_workloads,
+    workload,
+)
+from repro.runtime.estimator import TPUEstimator
+from repro.sweeps import SweepCell, SweepResult, sweep
+from repro.runtime.session import SessionPlan, SessionSummary
+from repro.tpu.specs import TpuGeneration
+from repro.workloads.runner import WorkloadRun, build_estimator, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OPTIMIZER_WORKLOADS",
+    "PAPER_WORKLOADS",
+    "SMALL_DATASET_WORKLOADS",
+    "AnalysisResult",
+    "OptimizationResult",
+    "OptimizerOptions",
+    "Dataset",
+    "PipelineConfig",
+    "ProfileRecord",
+    "ProfilerOptions",
+    "RunComparison",
+    "RunCost",
+    "compare_runs",
+    "run_cost",
+    "SessionPlan",
+    "SessionSummary",
+    "TPUEstimator",
+    "TPUPoint",
+    "TPUPointAnalyzer",
+    "TPUPointOptimizer",
+    "TPUPointProfiler",
+    "TpuGeneration",
+    "SweepCell",
+    "SweepResult",
+    "WorkloadRun",
+    "WorkloadSpec",
+    "sweep",
+    "all_workloads",
+    "build_estimator",
+    "run_workload",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,326 @@
+"""Command-line front end.
+
+Subcommands mirror the toolchain:
+
+* ``tpupoint list`` — show the registered workloads (Table I).
+* ``tpupoint profile <workload>`` — run a workload under the profiler,
+  detect phases with a chosen algorithm, print the summary, and export
+  the chrome://tracing JSON + CSVs (optionally persisting raw records
+  with ``--save-records`` and stopping early with ``--breakpoint``).
+* ``tpupoint analyze <records-dir>`` — offline analysis of records
+  previously saved by ``profile --save-records``.
+* ``tpupoint report <workload>`` — profile and write a Markdown
+  characterization report.
+* ``tpupoint optimize <workload>`` — run the workload under
+  TPUPoint-Optimizer and report the speedup against an untouched run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import units
+from repro.core.analyzer import TPUPointAnalyzer, associate_checkpoints
+from repro.core.api import TPUPoint
+from repro.models.registry import PAPER_WORKLOADS, workload
+from repro.runtime.events import DeviceKind
+from repro.workloads.runner import build_estimator, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tpupoint",
+        description="TPUPoint reproduction: profile, analyze, and optimize "
+        "simulated Cloud TPU workloads.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered workloads")
+
+    profile = subparsers.add_parser("profile", help="profile a workload and detect phases")
+    profile.add_argument("workload", help="workload key, e.g. bert-mrpc")
+    profile.add_argument("--generation", default="v2", choices=["v2", "v3"])
+    profile.add_argument(
+        "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
+    )
+    profile.add_argument("--out", default=None, help="directory for trace/CSV exports")
+    profile.add_argument(
+        "--save-records", default=None, help="directory to persist raw profile records"
+    )
+    profile.add_argument(
+        "--breakpoint", type=int, default=None, help="stop profiling at this global step"
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze", help="analyze previously saved profile records"
+    )
+    analyze.add_argument("records", help="directory written by profile --save-records")
+    analyze.add_argument(
+        "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
+    )
+    analyze.add_argument("--out", default=None, help="directory for trace/CSV exports")
+
+    report = subparsers.add_parser(
+        "report", help="profile a workload and write a Markdown report"
+    )
+    report.add_argument("workload", help="workload key, e.g. bert-mrpc")
+    report.add_argument("--generation", default="v2", choices=["v2", "v3"])
+    report.add_argument("--out", default="tpupoint_report.md", help="report path")
+
+    optimize = subparsers.add_parser("optimize", help="run a workload under the optimizer")
+    optimize.add_argument("workload", help="workload key, e.g. naive-qanet-squad")
+    optimize.add_argument("--generation", default="v2", choices=["v2", "v3"])
+
+    compare = subparsers.add_parser(
+        "compare", help="profile a workload on both generations and diff the runs"
+    )
+    compare.add_argument("workload", help="workload key, e.g. bert-squad")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="reproduce the paper's evaluation in one run"
+    )
+    evaluate.add_argument("--out", default="evaluation", help="output directory")
+    evaluate.add_argument(
+        "--workloads", nargs="*", default=None, help="restrict the workload set"
+    )
+    evaluate.add_argument(
+        "--no-optimizer", action="store_true", help="skip the Figure 14 experiments"
+    )
+    evaluate.add_argument(
+        "--no-figures", action="store_true", help="skip SVG figure generation"
+    )
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's figures as SVG images"
+    )
+    figures.add_argument("--out", default="figures", help="output directory")
+    figures.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="restrict to these workload keys (default: all nine)",
+    )
+    figures.add_argument(
+        "--only", nargs="*", default=None, help="figure names, e.g. fig10 fig11"
+    )
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'key':22s} {'model':12s} {'dataset':10s} {'type':22s} {'size':>12s}")
+    for key in PAPER_WORKLOADS:
+        entry = workload(key)
+        print(
+            f"{key:22s} {entry.model.name:12s} {entry.dataset.name:10s} "
+            f"{entry.model.workload_type:22s} {units.format_bytes(entry.dataset.total_bytes):>12s}"
+        )
+    print("\nPrefix any key with 'naive-' for the untuned-pipeline variant;")
+    print("suffix the dataset with '-half' for the reduced-dataset variant.")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.profiler import ProfilerOptions
+
+    spec = WorkloadSpec(args.workload, generation=args.generation)
+    estimator = build_estimator(spec)
+    options = ProfilerOptions(breakpoint_step=args.breakpoint)
+    tpupoint = TPUPoint(estimator, profiler_options=options)
+    tpupoint.Start(analyzer=True)
+    summary = estimator.train()
+    tpupoint.Stop()
+    if args.save_records:
+        from repro.core.profiler.serialize import save_records
+
+        directory = save_records(tpupoint.records, args.save_records)
+        print(f"saved {len(tpupoint.records)} records to {directory}")
+
+    print(f"== {spec.display_name} ==")
+    print(f"simulated wall time : {units.format_duration(summary.wall_us)}")
+    print(f"TPU idle time       : {summary.tpu_idle_fraction:.1%}")
+    print(f"MXU utilization     : {summary.mxu_utilization:.1%}")
+    print(f"profile records     : {len(tpupoint.records)}")
+    from repro.costs import run_cost
+
+    cost = run_cost(summary, args.generation)
+    print(f"TPU bill            : ${cost.tpu_dollars:.4f} "
+          f"({cost.idle_dollar_fraction:.0%} paid for idle time)")
+
+    analyzer: TPUPointAnalyzer = tpupoint.analyzer()
+    result = analyzer.analyze(args.method)
+    report = result.coverage()
+    print(f"\nphases ({args.method}, params {result.params}): {result.num_phases}")
+    print(f"top-3 phase coverage: {report.top(3):.1%}")
+    for rank, phase in enumerate(result.phases[:3]):
+        tpu_top = ", ".join(s.name for s in phase.top_operators(5, DeviceKind.TPU))
+        host_top = ", ".join(s.name for s in phase.top_operators(5, DeviceKind.HOST))
+        print(f"  phase #{rank}: {phase.num_steps} steps, "
+              f"{units.format_duration(phase.total_duration_us)}")
+        print(f"    top TPU ops : {tpu_top}")
+        print(f"    top host ops: {host_top}")
+
+    associations = associate_checkpoints(result.phases, estimator.checkpoint_store, analyzer.steps)
+    nearest = {pid: assoc.checkpoint.step for pid, assoc in associations.items()}
+    print(f"nearest checkpoints : {nearest}")
+
+    if args.out:
+        paths = analyzer.export(args.out, result)
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(args.workload, generation=args.generation)
+    baseline = run_workload(spec)
+    estimator = build_estimator(spec)
+    result = TPUPoint(estimator).optimize()
+
+    speedup = baseline.summary.wall_us / result.summary.wall_us
+    print(f"== {spec.display_name} under TPUPoint-Optimizer ==")
+    print(f"baseline wall  : {units.format_duration(baseline.summary.wall_us)}")
+    print(f"optimized wall : {units.format_duration(result.summary.wall_us)}")
+    print(f"speedup        : {speedup:.3f}x")
+    print(f"idle           : {baseline.idle_fraction:.1%} -> {result.summary.tpu_idle_fraction:.1%}")
+    print(f"MXU util       : {baseline.mxu_utilization:.1%} -> {result.summary.mxu_utilization:.1%}")
+    if result.tuning is not None:
+        print(f"tuning trials  : {len(result.tuning.trials)} "
+              f"({result.tuning.steps_consumed} steps)")
+        print(f"best config    : {result.tuning.best_config}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.profiler.serialize import load_records
+
+    records = load_records(args.records)
+    analyzer = TPUPointAnalyzer(records)
+    result = analyzer.analyze(args.method)
+    report = result.coverage()
+    print(f"records  : {len(records)} ({len(analyzer.steps)} steps)")
+    print(f"phases ({args.method}, params {result.params}): {result.num_phases}")
+    print(f"top-3 phase coverage: {report.top(3):.1%}")
+    for rank, phase in enumerate(result.phases[:5]):
+        tpu_top = ", ".join(s.name for s in phase.top_operators(5, DeviceKind.TPU))
+        print(f"  phase #{rank}: {phase.num_steps} steps, "
+              f"{units.format_duration(phase.total_duration_us)}  [{tpu_top}]")
+    if args.out:
+        paths = analyzer.export(args.out, result)
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import build_report, write_report
+
+    spec = WorkloadSpec(args.workload, generation=args.generation)
+    estimator = build_estimator(spec)
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    summary = estimator.train()
+    tpupoint.Stop()
+    report = build_report(
+        spec.display_name,
+        summary,
+        tpupoint.analyzer(),
+        methods=("ols", "kmeans"),
+        checkpoint_store=estimator.checkpoint_store,
+        generation=args.generation,
+    )
+    path = write_report(args.out, report)
+    print(f"wrote report: {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.compare import compare_runs
+    from repro.costs import run_cost
+
+    summaries = {}
+    records = {}
+    for generation in ("v2", "v3"):
+        spec = WorkloadSpec(args.workload, generation=generation)
+        estimator = build_estimator(spec)
+        tpupoint = TPUPoint(estimator)
+        tpupoint.Start(analyzer=True)
+        summaries[generation] = estimator.train()
+        tpupoint.Stop()
+        records[generation] = tpupoint.records
+    comparison = compare_runs(
+        f"{args.workload} on TPUv2", summaries["v2"], records["v2"],
+        f"{args.workload} on TPUv3", summaries["v3"], records["v3"],
+    )
+    print(comparison.format())
+    for generation in ("v2", "v3"):
+        cost = run_cost(summaries[generation], generation)
+        print(f"TPU{generation} bill: ${cost.tpu_dollars:.4f} "
+              f"({cost.idle_dollar_fraction:.0%} paid for idle time)")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluate import evaluate
+    from repro.viz.figures import DEFAULT_WORKLOADS
+
+    workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
+    result = evaluate(
+        args.out,
+        workloads=workloads,
+        run_optimizer=not args.no_optimizer,
+        figures=not args.no_figures,
+    )
+    print(f"mean idle      : v2 {result.mean_idle('v2'):.1%}, "
+          f"v3 {result.mean_idle('v3'):.1%} (paper 38.9% / 43.5%)")
+    print(f"mean MXU util  : v2 {result.mean_mxu('v2'):.1%}, "
+          f"v3 {result.mean_mxu('v3'):.1%} (paper 22.7% / 11.3%)")
+    if result.speedups:
+        for key, speedup in result.speedups.items():
+            print(f"optimizer      : {key} {speedup:.3f}x")
+    print(f"wrote {result.out_dir}/SUMMARY.md, metrics.csv"
+          + (f", {len(result.figures)} figures" if result.figures else ""))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.figures import DEFAULT_WORKLOADS, generate_figures
+
+    workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
+    names = tuple(args.only) if args.only else None
+    written = generate_figures(args.out, workloads=workloads, names=names)
+    for name, path in sorted(written.items()):
+        print(f"wrote {name}: {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Library errors (unknown workload, unreadable records, ...) print a
+    one-line message and exit 1 instead of dumping a traceback.
+    """
+    from repro.errors import ReproError
+
+    args = _build_parser().parse_args(argv)
+    dispatch = {
+        "list": lambda: _cmd_list(),
+        "profile": lambda: _cmd_profile(args),
+        "analyze": lambda: _cmd_analyze(args),
+        "report": lambda: _cmd_report(args),
+        "optimize": lambda: _cmd_optimize(args),
+        "compare": lambda: _cmd_compare(args),
+        "evaluate": lambda: _cmd_evaluate(args),
+        "figures": lambda: _cmd_figures(args),
+    }
+    try:
+        return dispatch[args.command]()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's contribution: TPUPoint profiler, analyzer, and optimizer."""
+
+from repro.core.analyzer import AnalysisResult, TPUPointAnalyzer
+from repro.core.api import TPUPoint
+from repro.core.optimizer import OptimizationResult, OptimizerOptions, TPUPointOptimizer
+from repro.core.profiler import ProfileRecord, ProfilerOptions, TPUPointProfiler
+
+__all__ = [
+    "AnalysisResult",
+    "OptimizationResult",
+    "OptimizerOptions",
+    "ProfileRecord",
+    "ProfilerOptions",
+    "TPUPoint",
+    "TPUPointAnalyzer",
+    "TPUPointOptimizer",
+    "TPUPointProfiler",
+]

@@ -1,0 +1,270 @@
+"""TPUPoint-Analyzer orchestration.
+
+Ties the pieces together: merge profile records into per-step statistics,
+build frequency vectors, detect phases with any of the three algorithms
+(k-means, DBSCAN, OLS), and export visualizations. The methods mirror the
+three-stage descriptions of Section IV-A, including the elbow-method
+selection of k (k-means) and of the minimum sample count (DBSCAN).
+
+k-means and DBSCAN post-process the whole run and hold the full feature
+matrix (DBSCAN additionally a pairwise-distance matrix); the optional
+``memory_budget_bytes`` enforces that footprint, reproducing the paper's
+note that both clustering methods hit memory limits on the largest
+workloads while OLS — which holds only two steps of state — never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analyzer import dbscan as dbscan_mod
+from repro.core.analyzer import kmeans as kmeans_mod
+from repro.core.analyzer import ols as ols_mod
+from repro.core.analyzer.coverage import CoverageReport, coverage
+from repro.core.analyzer.csvexport import write_operator_csv, write_phase_csv
+from repro.core.analyzer.elbow import find_elbow
+from repro.core.analyzer.features import FeatureMatrix, build_features, merge_records
+from repro.core.analyzer.pca import PCA
+from repro.core.analyzer.phases import Phase, build_phases
+from repro.core.analyzer.visualize import write_chrome_trace
+from repro.core.profiler.record import ProfileRecord, StepStats
+from repro.errors import AnalyzerError
+
+
+class AnalyzerMemoryError(AnalyzerError):
+    """A clustering method exceeded the analyzer's memory budget."""
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of one phase-detection run."""
+
+    method: str
+    params: dict
+    labels: np.ndarray
+    phases: list[Phase]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    def coverage(self) -> CoverageReport:
+        """Execution-time coverage of the detected phases."""
+        return coverage(self.phases)
+
+    def transition_matrix(self) -> tuple[list[int], np.ndarray]:
+        """Phase-to-phase step transition counts, in timeline order.
+
+        Returns ``(phase_ids, matrix)`` where ``matrix[i, j]`` counts
+        how often a step labeled ``phase_ids[i]`` was immediately
+        followed by one labeled ``phase_ids[j]``. For OLS the matrix is
+        band-diagonal (phases are contiguous); for k-means/DBSCAN,
+        off-diagonal mass shows recurring behaviour — the structure
+        SimPoint exploits when it simulates one point per cluster.
+        """
+        phase_ids = sorted({int(label) for label in self.labels.tolist()})
+        index = {phase: i for i, phase in enumerate(phase_ids)}
+        matrix = np.zeros((len(phase_ids), len(phase_ids)), dtype=int)
+        labels = self.labels.tolist()
+        for current, nxt in zip(labels, labels[1:]):
+            matrix[index[int(current)], index[int(nxt)]] += 1
+        return phase_ids, matrix
+
+    def recurrence_fraction(self) -> float:
+        """Fraction of transitions that *re-enter* a previously seen phase.
+
+        Zero for OLS (contiguous phases never recur); positive for
+        clustering methods when behaviour alternates, e.g. train/eval
+        interleaving.
+        """
+        labels = self.labels.tolist()
+        seen: set[int] = set()
+        reentries = 0
+        transitions = 0
+        previous: int | None = None
+        for label in labels:
+            label = int(label)
+            if previous is not None and label != previous:
+                transitions += 1
+                if label in seen:
+                    reentries += 1
+            seen.add(label)
+            previous = label
+        if transitions == 0:
+            return 0.0
+        return reentries / transitions
+
+
+@dataclass
+class TPUPointAnalyzer:
+    """Post-execution analysis over one run's profile records."""
+
+    records: list[ProfileRecord]
+    max_pca_dims: int = 100
+    memory_budget_bytes: float | None = None
+    seed: int = 0
+    _steps: list[StepStats] | None = field(default=None, repr=False)
+    _features: FeatureMatrix | None = field(default=None, repr=False)
+    _reduced: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise AnalyzerError("analyzer needs at least one profile record")
+
+    # --- shared stage 1: aggregation and features ---------------------------
+
+    @property
+    def steps(self) -> list[StepStats]:
+        """All profiled steps, merged across records, in step order."""
+        if self._steps is None:
+            self._steps = merge_records(self.records)
+            if not self._steps:
+                raise AnalyzerError("profile records contain no steps")
+        return self._steps
+
+    @property
+    def features(self) -> FeatureMatrix:
+        """Frequency-vector representation of the steps."""
+        if self._features is None:
+            self._features = build_features(self.steps)
+        return self._features
+
+    def reduced_matrix(self) -> np.ndarray:
+        """PCA-reduced step vectors (at most ``max_pca_dims`` dims)."""
+        if self._reduced is None:
+            combined = self.features.combined(standardize=True)
+            self._check_memory(combined.nbytes, "k-means feature matrix")
+            pca = PCA(max_components=self.max_pca_dims)
+            self._reduced = pca.fit_transform(combined)
+        return self._reduced
+
+    def _check_memory(self, required_bytes: float, what: str) -> None:
+        if self.memory_budget_bytes is not None and required_bytes > self.memory_budget_bytes:
+            raise AnalyzerMemoryError(
+                f"{what} needs {required_bytes:.0f} B, over the "
+                f"{self.memory_budget_bytes:.0f} B budget"
+            )
+
+    # --- k-means ------------------------------------------------------------
+
+    def kmeans_sweep(self, k_values: range | list[int] = range(1, 16)) -> dict[int, float]:
+        """SSD per k (Figure 4's series)."""
+        matrix = self.reduced_matrix()
+        rng = np.random.default_rng(self.seed)
+        results = kmeans_mod.sweep_k(matrix, k_values, rng)
+        return {k: result.inertia for k, result in results.items()}
+
+    def choose_k(
+        self, k_values: range | list[int] = range(1, 16), criterion: str = "elbow"
+    ) -> int:
+        """Select k by the elbow method (the paper) or SimPoint's BIC."""
+        if criterion == "elbow":
+            sweep = self.kmeans_sweep(k_values)
+            ks = sorted(sweep)
+            return ks[find_elbow([float(k) for k in ks], [sweep[k] for k in ks])]
+        if criterion == "bic":
+            from repro.core.analyzer.bic import choose_k_bic
+
+            matrix = self.reduced_matrix()
+            rng = np.random.default_rng(self.seed)
+            results = kmeans_mod.sweep_k(matrix, k_values, rng)
+            return choose_k_bic(matrix, results)
+        raise AnalyzerError(f"unknown k-selection criterion {criterion!r}")
+
+    def kmeans_phases(self, k: int | None = None) -> AnalysisResult:
+        """Detect phases with k-means (elbow-selected k by default)."""
+        if k is None:
+            k = self.choose_k()
+        matrix = self.reduced_matrix()
+        rng = np.random.default_rng(self.seed)
+        result = kmeans_mod.kmeans(matrix, k, rng)
+        return AnalysisResult(
+            method="kmeans",
+            params={"k": k, "inertia": result.inertia},
+            labels=result.labels,
+            phases=build_phases(self.steps, result.labels),
+        )
+
+    # --- DBSCAN ---------------------------------------------------------------
+
+    def dbscan_sweep(
+        self, min_samples_values: range | list[int] = range(5, 181, 25)
+    ) -> dict[int, float]:
+        """Noise ratio per min_samples (Figure 5's series)."""
+        matrix = self.reduced_matrix()
+        self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
+        results = dbscan_mod.sweep_min_samples(matrix, min_samples_values)
+        return {ms: result.noise_ratio for ms, result in results.items()}
+
+    def choose_min_samples(
+        self, min_samples_values: range | list[int] = range(5, 181, 25)
+    ) -> int:
+        """Elbow-selected minimum sample count."""
+        sweep = self.dbscan_sweep(min_samples_values)
+        values = sorted(sweep)
+        return values[
+            find_elbow([float(v) for v in values], [sweep[v] for v in values])
+        ]
+
+    def dbscan_phases(self, min_samples: int = 30) -> AnalysisResult:
+        """Detect phases with DBSCAN; noise forms its own phase."""
+        matrix = self.reduced_matrix()
+        self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
+        eps = dbscan_mod.default_eps(matrix)
+        result = dbscan_mod.dbscan(matrix, eps, min_samples)
+        return AnalysisResult(
+            method="dbscan",
+            params={
+                "min_samples": min_samples,
+                "eps": eps,
+                "noise_ratio": result.noise_ratio,
+            },
+            labels=result.labels,
+            phases=build_phases(self.steps, result.labels),
+        )
+
+    # --- OLS ---------------------------------------------------------------------
+
+    def ols_sweep(self, thresholds: list[float]) -> dict[float, int]:
+        """Phase count per similarity threshold (Figure 6's series)."""
+        return ols_mod.sweep_thresholds(self.steps, thresholds)
+
+    def ols_phases(
+        self, threshold: float = ols_mod.DEFAULT_SIMILARITY_THRESHOLD
+    ) -> AnalysisResult:
+        """Detect phases with the online linear scan."""
+        labels = ols_mod.ols_labels(self.steps, threshold)
+        return AnalysisResult(
+            method="ols",
+            params={"threshold": threshold},
+            labels=labels,
+            phases=build_phases(self.steps, labels),
+        )
+
+    # --- dispatch + export ----------------------------------------------------------
+
+    def analyze(self, method: str = "ols", **params) -> AnalysisResult:
+        """Run one of the three detection algorithms by name."""
+        if method == "ols":
+            return self.ols_phases(**params)
+        if method == "kmeans":
+            return self.kmeans_phases(**params)
+        if method == "dbscan":
+            return self.dbscan_phases(**params)
+        raise AnalyzerError(f"unknown method {method!r}; use ols/kmeans/dbscan")
+
+    def export(self, directory, result: AnalysisResult) -> dict[str, str]:
+        """Write the chrome trace and CSVs; returns {kind: path}."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        trace = write_chrome_trace(
+            directory / f"{result.method}_trace.json", self.records, result.phases
+        )
+        phase_csv = write_phase_csv(directory / f"{result.method}_phases.csv", result.phases)
+        op_csv = write_operator_csv(
+            directory / f"{result.method}_operators.csv", result.phases
+        )
+        return {"trace": str(trace), "phases": str(phase_csv), "operators": str(op_csv)}

@@ -1,0 +1,90 @@
+"""Bayesian information criterion for k selection.
+
+SimPoint — the direct inspiration for TPUPoint-Analyzer — scores k-means
+clusterings with the BIC (Pelleg & Moore's X-means formulation) instead
+of the elbow heuristic the paper adopts. This module implements that
+alternative so the two criteria can be compared on the same sweeps (see
+``bench_ablation_bic.py``): the BIC of a clustering under an identical
+spherical-Gaussian model, penalized by the free-parameter count.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.analyzer.kmeans import KMeansResult
+from repro.errors import AnalyzerError
+
+# Relative variance floor: profiled steps contain near-duplicate points
+# (consecutive training steps), so the maximum-likelihood variance
+# collapses toward zero as k grows and the unfloored likelihood diverges.
+# Flooring at a fraction of the data's global variance keeps the BIC's
+# complexity penalty meaningful — the standard X-means guard for
+# degenerate data.
+_RELATIVE_VARIANCE_FLOOR = 1e-2
+
+
+def bic_score(matrix: np.ndarray, result: KMeansResult) -> float:
+    """BIC of one k-means clustering (larger is better).
+
+    Uses the X-means log-likelihood under a spherical Gaussian per
+    cluster with a shared maximum-likelihood variance, penalized by
+    ``p/2 * log(n)`` where ``p`` counts mixture weights, centroid
+    coordinates, and the shared variance.
+    """
+    n, dims = matrix.shape
+    k = result.k
+    if n == 0:
+        raise AnalyzerError("BIC needs at least one sample")
+    if k >= n:
+        # A centroid per point: likelihood degenerates; score it -inf so
+        # the selection never picks it.
+        return float("-inf")
+
+    global_variance = float(matrix.var(axis=0).mean())
+    floor = max(global_variance * _RELATIVE_VARIANCE_FLOOR, 1e-12)
+    variance = max(result.inertia / (dims * (n - k)), floor)
+    log_likelihood = 0.0
+    for cluster in range(k):
+        size = int((result.labels == cluster).sum())
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * math.log(size / n)
+            - size * dims / 2.0 * math.log(2.0 * math.pi * variance)
+            - (size - 1) * dims / 2.0
+        )
+    free_parameters = (k - 1) + dims * k + 1
+    return log_likelihood - free_parameters / 2.0 * math.log(n)
+
+
+def choose_k_bic(
+    matrix: np.ndarray,
+    results: dict[int, KMeansResult],
+    threshold: float = 0.9,
+) -> int:
+    """SimPoint's k-selection rule over BIC scores.
+
+    SimPoint does not take the arg-max: it picks the *smallest* k whose
+    score reaches ``threshold`` of the best score after min-max
+    normalization, trading a little likelihood for fewer simulation
+    points. ``threshold=1.0`` degenerates to the arg-max.
+    """
+    if not results:
+        raise AnalyzerError("choose_k_bic needs at least one clustering")
+    if not 0.0 < threshold <= 1.0:
+        raise AnalyzerError("threshold must be in (0, 1]")
+    scores = {k: bic_score(matrix, result) for k, result in results.items()}
+    finite = {k: s for k, s in scores.items() if s != float("-inf")}
+    if not finite:
+        return min(scores)
+    low = min(finite.values())
+    high = max(finite.values())
+    if high == low:
+        return min(finite)
+    for k in sorted(finite):
+        if (finite[k] - low) / (high - low) >= threshold:
+            return k
+    return max(sorted(finite), key=lambda k: finite[k])  # pragma: no cover

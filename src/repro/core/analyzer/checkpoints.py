@@ -1,0 +1,78 @@
+"""Phase-to-checkpoint association.
+
+Along with phases, TPUPoint records the closest checkpoint to each phase
+(Section IV-C): for every phase it finds the stored checkpoint whose
+global step is nearest the phase's steps, so an application can be
+restarted from that checkpoint and fast-forwarded into the phase rather
+than replaying from step zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer.features import global_step_numbers
+from repro.core.analyzer.phases import Phase
+from repro.core.profiler.record import StepStats
+from repro.errors import CheckpointError
+from repro.storage.checkpoints import Checkpoint, CheckpointStore
+
+
+@dataclass(frozen=True)
+class PhaseCheckpoint:
+    """The nearest checkpoint for one phase."""
+
+    phase_id: int
+    checkpoint: Checkpoint
+    distance_steps: int  # |checkpoint step - nearest phase step|
+
+    @property
+    def exact(self) -> bool:
+        """Whether the checkpoint lands inside the phase's step range."""
+        return self.distance_steps == 0
+
+
+def associate_checkpoints(
+    phases: list[Phase],
+    store: CheckpointStore,
+    all_steps: list[StepStats],
+) -> dict[int, PhaseCheckpoint]:
+    """Find the closest checkpoint for every phase.
+
+    ``all_steps`` must cover the whole profiled run so profile-step
+    indices can be translated to TensorFlow global steps (checkpoints are
+    tagged with global steps).
+    """
+    if not len(store):
+        raise CheckpointError("no checkpoints were saved during the run")
+    to_global = global_step_numbers(all_steps)
+    associations: dict[int, PhaseCheckpoint] = {}
+    for phase in phases:
+        best: PhaseCheckpoint | None = None
+        for step in phase.steps:
+            global_step = to_global.get(step.step)
+            if global_step is None:
+                continue
+            checkpoint = store.nearest(global_step)
+            distance = abs(checkpoint.step - global_step)
+            if best is None or distance < best.distance_steps:
+                best = PhaseCheckpoint(
+                    phase_id=phase.phase_id, checkpoint=checkpoint, distance_steps=distance
+                )
+        if best is None:
+            raise CheckpointError(
+                f"phase {phase.phase_id} has no steps with known global steps"
+            )
+        associations[phase.phase_id] = best
+    return associations
+
+
+def fast_forward_cost_us(
+    association: PhaseCheckpoint, store: CheckpointStore
+) -> float:
+    """Simulated cost of restoring the phase's checkpoint.
+
+    This is the price of fast-forwarding to the phase, to be compared
+    with replaying all steps from zero.
+    """
+    return store.restore_time_us(association.checkpoint)

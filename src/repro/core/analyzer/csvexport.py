@@ -1,0 +1,81 @@
+"""CSV export of analysis results.
+
+The analyzer writes, alongside the chrome://tracing JSON, a CSV file
+with a formatted description of each phase and of the TPU and host CPU
+operations executed during training steps (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.analyzer.phases import Phase
+from repro.runtime.events import DeviceKind
+
+_PHASE_COLUMNS = [
+    "phase_id",
+    "rank_by_duration",
+    "num_steps",
+    "start_us",
+    "end_us",
+    "total_duration_us",
+    "idle_fraction",
+    "top_tpu_operators",
+    "top_host_operators",
+]
+
+_OPERATOR_COLUMNS = [
+    "phase_id",
+    "device",
+    "operator",
+    "invocations",
+    "total_duration_us",
+]
+
+
+def write_phase_csv(path: str | Path, phases: list[Phase]) -> Path:
+    """One row per phase with its headline statistics."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_PHASE_COLUMNS)
+        for rank, phase in enumerate(phases):
+            tpu_top = [s.name for s in phase.top_operators(5, DeviceKind.TPU)]
+            host_top = [s.name for s in phase.top_operators(5, DeviceKind.HOST)]
+            writer.writerow(
+                [
+                    phase.phase_id,
+                    rank,
+                    phase.num_steps,
+                    f"{phase.start_us:.1f}",
+                    f"{phase.end_us:.1f}",
+                    f"{phase.total_duration_us:.1f}",
+                    f"{phase.idle_fraction:.4f}",
+                    ";".join(tpu_top),
+                    ";".join(host_top),
+                ]
+            )
+    return path
+
+
+def write_operator_csv(path: str | Path, phases: list[Phase]) -> Path:
+    """One row per (phase, operator) with counts and durations."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_OPERATOR_COLUMNS)
+        for phase in phases:
+            for stats in phase.operator_totals():
+                writer.writerow(
+                    [
+                        phase.phase_id,
+                        stats.device.value,
+                        stats.name,
+                        stats.count,
+                        f"{stats.total_duration_us:.1f}",
+                    ]
+                )
+    return path

@@ -1,0 +1,103 @@
+"""DBSCAN clustering, implemented from scratch.
+
+TPUPoint-Analyzer's alternative to k-means (Section IV-A): density-based
+clustering over the same frequency vectors, sweeping the minimum number
+of samples required to form a cluster from 5 to 200 in steps of 25 and
+applying the elbow method to the noise ratio (unlabeled points / total).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+NOISE = -1
+
+
+@dataclass(frozen=True)
+class DbscanResult:
+    """Outcome of one DBSCAN run."""
+
+    eps: float
+    min_samples: int
+    labels: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return len({label for label in self.labels.tolist() if label != NOISE})
+
+    @property
+    def noise_ratio(self) -> float:
+        """Unlabeled points over total points (the paper's Figure 5 metric)."""
+        if len(self.labels) == 0:
+            return 0.0
+        return float((self.labels == NOISE).sum()) / len(self.labels)
+
+
+def default_eps(matrix: np.ndarray, neighbor: int = 10, percentile: float = 75.0) -> float:
+    """A data-driven eps from the k-distance curve.
+
+    The paper sweeps min_samples with eps held fixed; this heuristic
+    picks that fixed eps as a high percentile of the distance to the
+    ``neighbor``-th nearest point — wide enough that the dominant dense
+    region (the training steps) forms a cluster at moderate minimum
+    sample counts, the standard k-distance recipe.
+    """
+    if matrix.shape[0] <= 1:
+        return 1.0
+    distances = np.sqrt(((matrix[:, None, :] - matrix[None, :, :]) ** 2).sum(axis=2))
+    distances.sort(axis=1)
+    column = min(neighbor, distances.shape[1] - 1)
+    eps = float(np.percentile(distances[:, column], percentile))
+    return eps if eps > 0.0 else 1.0
+
+
+def dbscan(matrix: np.ndarray, eps: float, min_samples: int) -> DbscanResult:
+    """Density-based clustering of the rows of ``matrix``."""
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ClusteringError("DBSCAN needs a non-empty 2-D matrix")
+    if eps <= 0.0:
+        raise ClusteringError("eps must be positive")
+    if min_samples <= 0:
+        raise ClusteringError("min_samples must be positive")
+    n = matrix.shape[0]
+    distances = np.sqrt(((matrix[:, None, :] - matrix[None, :, :]) ** 2).sum(axis=2))
+    neighbors = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    core = np.array([len(nbrs) >= min_samples for nbrs in neighbors])
+
+    labels = np.full(n, NOISE, dtype=int)
+    cluster = 0
+    for seed in range(n):
+        if labels[seed] != NOISE or not core[seed]:
+            continue
+        # Grow a new cluster from this unvisited core point.
+        labels[seed] = cluster
+        frontier = deque(neighbors[seed].tolist())
+        while frontier:
+            point = frontier.popleft()
+            if labels[point] == NOISE:
+                labels[point] = cluster
+                if core[point]:
+                    frontier.extend(neighbors[point].tolist())
+        cluster += 1
+    return DbscanResult(eps=eps, min_samples=min_samples, labels=labels)
+
+
+def sweep_min_samples(
+    matrix: np.ndarray,
+    min_samples_values: list[int] | range = range(5, 201, 25),
+    eps: float | None = None,
+) -> dict[int, DbscanResult]:
+    """Run DBSCAN for each min_samples value (the analyzer's stage 2)."""
+    if eps is None:
+        eps = default_eps(matrix)
+    results: dict[int, DbscanResult] = {}
+    for min_samples in min_samples_values:
+        results[min_samples] = dbscan(matrix, eps, min_samples)
+    if not results:
+        raise ClusteringError("empty min_samples sweep")
+    return results

@@ -1,0 +1,53 @@
+"""Elbow-method knee detection.
+
+The analyzer cuts off clustering "when improvement stops increasing
+significantly" (Section IV-A): for k-means it minimizes the sum of
+squared distances while maximizing k; for DBSCAN it minimizes the noise
+ratio while maximizing the minimum sample count. Both are knee-finding
+problems on a monotone-ish curve; the implementation uses the standard
+maximum-distance-to-chord rule, which needs no tuning parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalyzerError
+
+
+def find_elbow(xs: list[float], ys: list[float]) -> int:
+    """Index of the elbow of the curve ``(xs, ys)``.
+
+    Draws the chord from the first to the last point and returns the
+    index with the maximum perpendicular distance to it. For flat or
+    two-point curves the first index is the (degenerate) elbow.
+    """
+    if len(xs) != len(ys):
+        raise AnalyzerError("xs and ys must have equal length")
+    if not xs:
+        raise AnalyzerError("cannot find the elbow of an empty curve")
+    if len(xs) <= 2:
+        return 0
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    # Normalize both axes so the chord distance is scale-free.
+    x_span = x[-1] - x[0]
+    y_span = y.max() - y.min()
+    if x_span == 0.0:
+        raise AnalyzerError("xs must not be constant")
+    xn = (x - x[0]) / x_span
+    yn = (y - y.min()) / y_span if y_span else np.zeros_like(y)
+    # Distance from each point to the chord between endpoints.
+    x0, y0 = xn[0], yn[0]
+    x1, y1 = xn[-1], yn[-1]
+    numerator = np.abs((y1 - y0) * xn - (x1 - x0) * yn + x1 * y0 - y1 * x0)
+    denominator = float(np.hypot(y1 - y0, x1 - x0))
+    if denominator == 0.0:
+        return 0
+    distances = numerator / denominator
+    return int(distances.argmax())
+
+
+def elbow_value(xs: list[float], ys: list[float]) -> float:
+    """The x value at the elbow (convenience wrapper)."""
+    return xs[find_elbow(xs, ys)]

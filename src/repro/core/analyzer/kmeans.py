@@ -1,0 +1,131 @@
+"""k-means clustering, implemented from scratch (Lloyd + k-means++).
+
+TPUPoint-Analyzer runs k-means for k = 1..15 on the PCA-reduced step
+vectors and picks k with the elbow method on the sum of squared distances
+to centroids (Section IV-A), mirroring SimPoint's methodology with the
+elbow heuristic replacing the BIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run."""
+
+    k: int
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float  # sum of squared distances of samples to their centers
+    iterations: int
+
+
+def _kmeanspp_init(
+    matrix: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared distance."""
+    n = matrix.shape[0]
+    centers = np.empty((k, matrix.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = matrix[first]
+    closest_sq = ((matrix - centers[0]) ** 2).sum(axis=1)
+    for index in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centers; reuse any point.
+            centers[index:] = matrix[first]
+            break
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n, p=probabilities))
+        centers[index] = matrix[choice]
+        distance_sq = ((matrix - centers[index]) ** 2).sum(axis=1)
+        closest_sq = np.minimum(closest_sq, distance_sq)
+    return centers
+
+
+def kmeans(
+    matrix: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iterations: int = 300,
+    tolerance: float = 1e-6,
+    n_init: int = 4,
+) -> KMeansResult:
+    """Cluster rows of ``matrix`` into ``k`` groups.
+
+    Runs ``n_init`` independent k-means++ seedings and keeps the lowest
+    inertia, so the SSD-vs-k curve stays monotone enough for the elbow
+    method.
+    """
+    if n_init <= 0:
+        raise ClusteringError("n_init must be positive")
+    rng = rng or np.random.default_rng(0)
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        candidate = _kmeans_once(matrix, k, rng, max_iterations, tolerance)
+        if best is None or candidate.inertia < best.inertia:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def _kmeans_once(
+    matrix: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int,
+    tolerance: float,
+) -> KMeansResult:
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ClusteringError("k-means needs a non-empty 2-D matrix")
+    n = matrix.shape[0]
+    if k <= 0:
+        raise ClusteringError("k must be positive")
+    if k > n:
+        raise ClusteringError(f"k={k} exceeds the number of samples ({n})")
+    if max_iterations <= 0:
+        raise ClusteringError("max_iterations must be positive")
+
+    centers = _kmeanspp_init(matrix, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        # Assignment step.
+        distances = ((matrix[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        # Update step.
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = matrix[labels == cluster]
+            if len(members):
+                new_centers[cluster] = members.mean(axis=0)
+        shift = float(((new_centers - centers) ** 2).sum())
+        centers = new_centers
+        if shift <= tolerance:
+            break
+    distances = ((matrix[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(k=k, labels=labels, centers=centers, inertia=inertia, iterations=iteration)
+
+
+def sweep_k(
+    matrix: np.ndarray,
+    k_values: range | list[int] = range(1, 16),
+    rng: np.random.Generator | None = None,
+) -> dict[int, KMeansResult]:
+    """Run k-means for every k, as the analyzer's stage 2 prescribes."""
+    rng = rng or np.random.default_rng(0)
+    results: dict[int, KMeansResult] = {}
+    for k in k_values:
+        if k > matrix.shape[0]:
+            break
+        results[k] = kmeans(matrix, k, rng)
+    if not results:
+        raise ClusteringError("no feasible k values for the sample count")
+    return results

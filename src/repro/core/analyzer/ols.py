@@ -1,0 +1,85 @@
+"""Online linear scan (OLS) phase detection.
+
+TPUPoint's lower-overhead alternative to clustering (Section IV-A): as
+records stream in, compare each step's event set with its predecessor's
+using Equation 1 —
+
+    StepSimilarity(S_{i-1}, S_{i-2}) = |S_{i-1} ∩ S_{i-2}|
+                                       / min(|S_{i-1}|, |S_{i-2}|)
+
+— and merge the step into the current phase when the similarity meets
+the threshold (default 70%), otherwise open a new phase. Only the two
+most recent steps are held, so memory stays constant regardless of run
+length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.profiler.record import StepStats
+from repro.errors import AnalyzerError
+
+DEFAULT_SIMILARITY_THRESHOLD = 0.70
+
+
+def step_similarity(a: frozenset, b: frozenset) -> float:
+    """Equation 1: intersection over the smaller event set."""
+    smaller = min(len(a), len(b))
+    if smaller == 0:
+        return 1.0 if len(a) == len(b) else 0.0
+    return len(a & b) / smaller
+
+
+@dataclass
+class OnlineLinearScan:
+    """Streaming phase detector with O(1) state.
+
+    Feed steps in order with :meth:`observe`; read phase labels back
+    either incrementally (the return value) or via :attr:`labels`.
+    """
+
+    threshold: float = DEFAULT_SIMILARITY_THRESHOLD
+    labels: list[int] = field(default_factory=list)
+    _previous_events: frozenset | None = None
+    _current_phase: int = -1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise AnalyzerError("similarity threshold must be in [0, 1]")
+
+    @property
+    def num_phases(self) -> int:
+        return self._current_phase + 1
+
+    def observe(self, step: StepStats) -> int:
+        """Assign the next step to a phase; returns the phase label."""
+        events = step.event_set
+        if self._previous_events is None:
+            self._current_phase = 0
+        elif step_similarity(events, self._previous_events) < self.threshold:
+            self._current_phase += 1
+        self._previous_events = events
+        self.labels.append(self._current_phase)
+        return self._current_phase
+
+
+def ols_labels(steps: list[StepStats], threshold: float = DEFAULT_SIMILARITY_THRESHOLD) -> np.ndarray:
+    """Phase labels for a full list of steps (offline convenience)."""
+    if not steps:
+        raise AnalyzerError("OLS needs at least one step")
+    scanner = OnlineLinearScan(threshold=threshold)
+    for step in steps:
+        scanner.observe(step)
+    return np.asarray(scanner.labels, dtype=int)
+
+
+def sweep_thresholds(
+    steps: list[StepStats], thresholds: list[float]
+) -> dict[float, int]:
+    """Number of phases per similarity threshold (Figure 6's series)."""
+    return {
+        threshold: int(ols_labels(steps, threshold).max()) + 1 for threshold in thresholds
+    }

@@ -1,0 +1,60 @@
+"""Per-phase top-operator tables.
+
+Table II of the paper lists, for each workload and each detection
+algorithm, the five most time-consuming operators of the most
+time-consuming phase, separately for the host and the TPU, plus totals of
+how often each operator appears across configurations. These helpers
+compute those rows from analysis results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.analyzer.phases import Phase, longest_phase
+from repro.runtime.events import DeviceKind
+
+
+@dataclass(frozen=True)
+class TopOperatorRow:
+    """Top-k operators of one phase on one device."""
+
+    device: DeviceKind
+    operators: tuple[str, ...]
+    durations_us: tuple[float, ...]
+
+
+def top_operators_of_longest_phase(
+    phases: list[Phase], k: int = 5
+) -> dict[DeviceKind, TopOperatorRow]:
+    """The paper's Table II cell: top-k host and TPU ops, longest phase."""
+    phase = longest_phase(phases)
+    rows: dict[DeviceKind, TopOperatorRow] = {}
+    for device in (DeviceKind.HOST, DeviceKind.TPU):
+        top = phase.top_operators(k=k, device=device)
+        rows[device] = TopOperatorRow(
+            device=device,
+            operators=tuple(stats.name for stats in top),
+            durations_us=tuple(stats.total_duration_us for stats in top),
+        )
+    return rows
+
+
+def appearance_totals(
+    cells: list[dict[DeviceKind, TopOperatorRow]]
+) -> dict[DeviceKind, Counter]:
+    """Count operator appearances across many Table II cells.
+
+    This produces the paper's "Total TPUv2"/"Total TPUv3" columns: how
+    many (workload, algorithm) configurations put each operator in the
+    top five.
+    """
+    totals: dict[DeviceKind, Counter] = {
+        DeviceKind.HOST: Counter(),
+        DeviceKind.TPU: Counter(),
+    }
+    for cell in cells:
+        for device, row in cell.items():
+            totals[device].update(row.operators)
+    return totals

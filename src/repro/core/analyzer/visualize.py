@@ -1,0 +1,135 @@
+"""chrome://tracing visualization export.
+
+TPUPoint-Analyzer writes a JSON file compatible with Chrome's event
+profiling tool (Section IV-B, Figure 3): one track shows the profile
+records ("Profile Breakdown") and a second shows the detected phases
+("Phase Breakdown"), each phase expanding over the profile records it
+summarizes. Complete events (``ph: "X"``) with microsecond timestamps
+follow the Trace Event Format, so the file loads directly in
+chrome://tracing or Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.analyzer.phases import Phase
+from repro.core.profiler.record import ProfileRecord
+
+_PID = 1
+_PROFILE_TID = 1
+_PHASE_TID = 2
+
+
+def _metadata_events() -> list[dict]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": "TPUPoint-Analyzer"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _PROFILE_TID,
+            "args": {"name": "Profile Breakdown"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _PHASE_TID,
+            "args": {"name": "Phase Breakdown"},
+        },
+    ]
+
+
+def _counter_events(phases: list[Phase]) -> list[dict]:
+    """Per-step counter tracks: TPU idle fraction and MXU FLOPs.
+
+    Rendered as counter events (``ph: "C"``) so chrome://tracing draws
+    them as area charts under the phase track.
+    """
+    events: list[dict] = []
+    steps = sorted(
+        (step for phase in phases for step in phase.steps), key=lambda s: s.start_us
+    )
+    for step in steps:
+        elapsed = step.elapsed_us
+        if elapsed <= 0:
+            continue
+        events.append(
+            {
+                "name": "TPU idle %",
+                "ph": "C",
+                "pid": _PID,
+                "ts": step.start_us,
+                "args": {"idle": round(100.0 * step.tpu_idle_us / elapsed, 2)},
+            }
+        )
+        events.append(
+            {
+                "name": "MXU GFLOP/s",
+                "ph": "C",
+                "pid": _PID,
+                "ts": step.start_us,
+                "args": {"gflops": round(step.mxu_flops / elapsed / 1e3, 2)},
+            }
+        )
+    return events
+
+
+def chrome_trace(records: list[ProfileRecord], phases: list[Phase]) -> dict:
+    """Build the trace dictionary for records plus detected phases."""
+    events = _metadata_events()
+    for record in records:
+        duration = max(record.window_end_us - record.window_start_us, 1.0)
+        events.append(
+            {
+                "name": f"profile {record.index}",
+                "ph": "X",
+                "pid": _PID,
+                "tid": _PROFILE_TID,
+                "ts": record.window_start_us,
+                "dur": duration,
+                "args": {
+                    "steps": record.num_steps,
+                    "truncated": record.truncated,
+                },
+            }
+        )
+    for rank, phase in enumerate(phases):
+        top = phase.top_operators(k=5)
+        events.append(
+            {
+                "name": f"phase {phase.phase_id}",
+                "ph": "X",
+                "pid": _PID,
+                "tid": _PHASE_TID,
+                "ts": phase.start_us,
+                "dur": max(phase.end_us - phase.start_us, 1.0),
+                "args": {
+                    "rank_by_duration": rank,
+                    "steps": phase.num_steps,
+                    "duration_us": phase.total_duration_us,
+                    "idle_fraction": round(phase.idle_fraction, 4),
+                    "top_operators": [stats.name for stats in top],
+                },
+            }
+        )
+    events.extend(_counter_events(phases))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, records: list[ProfileRecord], phases: list[Phase]
+) -> Path:
+    """Write the chrome://tracing JSON file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(records, phases), handle, indent=2)
+    return path

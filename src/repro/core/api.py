@@ -1,0 +1,110 @@
+"""The TPUPoint programming interface (Figure 2 of the paper).
+
+The user-facing front end mirrors the paper's example code:
+
+>>> estimator = workload_model.build_estimator(dataset)   # TPUEstimator
+>>> tpprofiler = TPUPoint(estimator)
+>>> tpprofiler.Start(analyzer=True)
+>>> estimator.train()
+>>> tpprofiler.Stop()
+>>> analysis = tpprofiler.analyzer().ols_phases()
+
+``Start(analyzer=True)`` spawns the profiling and recording threads;
+``Start(analyzer=False)`` enables only TPUPoint-Optimizer, which then
+drives the run itself through :meth:`optimize`. After ``Stop()``, the
+collected statistical records feed :class:`TPUPointAnalyzer`.
+
+Pythonic aliases (:meth:`start`, :meth:`stop`) are provided alongside
+the paper's capitalized method names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.analyzer.analyzer import TPUPointAnalyzer
+from repro.core.optimizer.optimizer import (
+    OptimizationResult,
+    OptimizerOptions,
+    TPUPointOptimizer,
+)
+from repro.core.profiler.options import ProfilerOptions
+from repro.core.profiler.profiler import TPUPointProfiler
+from repro.core.profiler.record import ProfileRecord
+from repro.errors import ProfilerError
+from repro.runtime.estimator import TPUEstimator
+
+
+@dataclass
+class TPUPoint:
+    """The complete TPUPoint toolchain bound to one estimator."""
+
+    estimator: TPUEstimator
+    profiler_options: ProfilerOptions = field(default_factory=ProfilerOptions)
+    optimizer_options: OptimizerOptions = field(default_factory=OptimizerOptions)
+
+    def __post_init__(self) -> None:
+        self._profiler: TPUPointProfiler | None = None
+        self._records: list[ProfileRecord] | None = None
+        self._analyzer_enabled = False
+
+    # --- the paper's interface -----------------------------------------------
+
+    def Start(self, analyzer: bool = True) -> None:  # noqa: N802 - paper API
+        """Begin profiling; ``analyzer`` enables record persistence."""
+        if self._profiler is not None:
+            raise ProfilerError("TPUPoint already started")
+        self._analyzer_enabled = analyzer
+        self._profiler = TPUPointProfiler(self.estimator, self.profiler_options)
+        self._profiler.start(analyzer=analyzer)
+
+    def Stop(self) -> list[ProfileRecord]:  # noqa: N802 - paper API
+        """Drain the final profile and stop all profiler threads."""
+        if self._profiler is None:
+            raise ProfilerError("TPUPoint was never started")
+        self._records = self._profiler.stop()
+        return self._records
+
+    # Pythonic aliases.
+    start = Start
+    stop = Stop
+
+    # --- post-execution analysis -----------------------------------------------
+
+    @property
+    def records(self) -> list[ProfileRecord]:
+        """The statistical records collected between Start() and Stop()."""
+        if self._records is None:
+            raise ProfilerError("records are available only after Stop()")
+        return self._records
+
+    def save_records(self, directory) -> "Path":
+        """Persist the collected records for offline analysis.
+
+        Returns the directory written; load them back with
+        :func:`repro.core.profiler.load_records`.
+        """
+        from repro.core.profiler.serialize import save_records
+
+        return save_records(self.records, directory)
+
+    def analyzer(self, **kwargs) -> TPUPointAnalyzer:
+        """A TPUPoint-Analyzer over this run's records."""
+        if not self._analyzer_enabled:
+            raise ProfilerError(
+                "Start(analyzer=True) is required for post-execution analysis"
+            )
+        return TPUPointAnalyzer(self.records, **kwargs)
+
+    # --- online optimization -------------------------------------------------------
+
+    def optimize(self) -> OptimizationResult:
+        """Run the workload under TPUPoint-Optimizer's control.
+
+        Unlike profiling (where the user drives ``estimator.train()``),
+        optimization owns the training loop: it interleaves detection,
+        online tuning, and the remainder of the run.
+        """
+        optimizer = TPUPointOptimizer(self.estimator, self.optimizer_options)
+        return optimizer.run()

@@ -1,0 +1,28 @@
+"""TPUPoint-Optimizer: automatic online workload tuning."""
+
+from repro.core.optimizer.detector import CRITICAL_PATTERN, CriticalPhaseDetector
+from repro.core.optimizer.instrument import InstrumentationReport, ProgramInstrumenter
+from repro.core.optimizer.optimizer import (
+    OptimizationResult,
+    OptimizerOptions,
+    TPUPointOptimizer,
+)
+from repro.core.optimizer.parameters import AdjustableParameter, discover_parameters
+from repro.core.optimizer.quality import OutputSignature, QualityController
+from repro.core.optimizer.tuner import HillClimbTuner, TuningReport, TuningTrial
+
+__all__ = [
+    "CRITICAL_PATTERN",
+    "AdjustableParameter",
+    "CriticalPhaseDetector",
+    "HillClimbTuner",
+    "InstrumentationReport",
+    "OptimizationResult",
+    "OptimizerOptions",
+    "OutputSignature",
+    "ProgramInstrumenter",
+    "QualityController",
+    "TPUPointOptimizer",
+    "TuningReport",
+    "TuningTrial",
+]

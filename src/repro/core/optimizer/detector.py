@@ -1,0 +1,97 @@
+"""Critical-phase detection.
+
+TPUPoint-Optimizer only tunes once execution has entered the
+performance-critical phase. It declares that entry when either condition
+of Section VII-B holds:
+
+1. the common bottleneck pattern of operators (reshape, infeed, fusion,
+   outfeed) dominates the current phase, or
+2. the current phase accounts for more than half of the accumulated
+   execution time.
+
+The detector consumes per-step operator statistics (the profiler's
+records) online, tracking phases with the same OLS scan the analyzer
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD, OnlineLinearScan
+from repro.core.profiler.record import StepStats
+
+# The common operator pattern of Section VI: data exchange and layout.
+CRITICAL_PATTERN: frozenset[str] = frozenset(
+    {
+        "Reshape",
+        "fusion",
+        "InfeedDequeueTuple",
+        "Infeed",
+        "OutfeedEnqueueTuple",
+        "TransferBufferToInfeedLocked",
+        "OutfeedDequeueTuple",
+    }
+)
+
+
+@dataclass
+class CriticalPhaseDetector:
+    """Streaming detector over per-step statistics."""
+
+    similarity_threshold: float = DEFAULT_SIMILARITY_THRESHOLD
+    pattern_top_k: int = 5
+    pattern_hits_required: int = 2
+    time_fraction: float = 0.5
+    _scanner: OnlineLinearScan = field(default_factory=OnlineLinearScan, repr=False)
+    _phase_durations: dict[int, float] = field(default_factory=dict, repr=False)
+    _phase_steps: dict[int, list[StepStats]] = field(default_factory=dict, repr=False)
+    _critical_since_step: int | None = None
+
+    def __post_init__(self) -> None:
+        self._scanner = OnlineLinearScan(threshold=self.similarity_threshold)
+
+    @property
+    def critical(self) -> bool:
+        """Whether execution is currently inside the critical phase."""
+        return self._critical_since_step is not None
+
+    @property
+    def critical_since_step(self) -> int | None:
+        """Step number at which the critical phase was first detected."""
+        return self._critical_since_step
+
+    def observe(self, step: StepStats) -> bool:
+        """Feed one step; returns True when inside the critical phase."""
+        phase = self._scanner.observe(step)
+        self._phase_durations[phase] = (
+            self._phase_durations.get(phase, 0.0) + step.elapsed_us
+        )
+        self._phase_steps.setdefault(phase, []).append(step)
+
+        if self._matches_pattern(phase) or self._dominates_time(phase):
+            if self._critical_since_step is None:
+                self._critical_since_step = step.step
+        else:
+            self._critical_since_step = None
+        return self.critical
+
+    # --- the two entry conditions -----------------------------------------
+
+    def _matches_pattern(self, phase: int) -> bool:
+        """Condition 1: common bottleneck operators among the phase's top."""
+        steps = self._phase_steps[phase]
+        totals: dict[str, float] = {}
+        for step in steps:
+            for stats in step.operators.values():
+                totals[stats.name] = totals.get(stats.name, 0.0) + stats.total_duration_us
+        top = sorted(totals, key=lambda name: -totals[name])[: self.pattern_top_k]
+        hits = sum(1 for name in top if name in CRITICAL_PATTERN)
+        return hits >= self.pattern_hits_required
+
+    def _dominates_time(self, phase: int) -> bool:
+        """Condition 2: phase holds over half the accumulated time."""
+        total = sum(self._phase_durations.values())
+        if total <= 0:
+            return False
+        return self._phase_durations[phase] / total > self.time_fraction

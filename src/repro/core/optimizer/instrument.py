@@ -1,0 +1,55 @@
+"""Program analysis and instrumentation.
+
+Before tuning, TPUPoint-Optimizer analyzes the program between the
+profiler's Start()/Stop() calls: it identifies the user-defined
+adjustable parameters, captures the input/output contract, and
+instruments the code to produce checkpoints ahead of the segments it
+will tune so a bad adjustment can always be rolled back (Section VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optimizer.parameters import AdjustableParameter, discover_parameters
+from repro.core.optimizer.quality import OutputSignature, QualityController
+from repro.runtime.estimator import TPUEstimator
+
+
+@dataclass
+class InstrumentationReport:
+    """What program analysis found and what instrumentation did."""
+
+    parameters: list[AdjustableParameter]
+    signature: OutputSignature
+    checkpoint_steps: list[int] = field(default_factory=list)
+
+    @property
+    def parameter_names(self) -> list[str]:
+        return [parameter.name for parameter in self.parameters]
+
+
+class ProgramInstrumenter:
+    """Analyzes and instruments one estimator's program."""
+
+    def __init__(self, estimator: TPUEstimator):
+        self._estimator = estimator
+        self._report: InstrumentationReport | None = None
+        self.quality = QualityController(estimator)
+
+    def analyze(self) -> InstrumentationReport:
+        """Discover adjustable parameters and capture the output contract."""
+        if self._report is None:
+            parameters = discover_parameters(self._estimator.current_pipeline_config())
+            self._report = InstrumentationReport(
+                parameters=parameters,
+                signature=self.quality.reference,
+            )
+        return self._report
+
+    def checkpoint_before_segment(self) -> None:
+        """Write a checkpoint ahead of a segment about to be tuned."""
+        report = self.analyze()
+        session = self._estimator.session
+        session.checkpoint_now()
+        report.checkpoint_steps.append(session.global_step)

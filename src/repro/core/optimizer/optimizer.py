@@ -1,0 +1,154 @@
+"""TPUPoint-Optimizer orchestration.
+
+The automatic tuning workflow of Section VII: run the workload with the
+user's defaults while the profiler's statistics stream through the
+critical-phase detector; on entry into the performance-critical phase,
+instrument a checkpoint, hill-climb the adjustable parameters online
+(verifying output quality after every move), then finish the run with
+the improved configuration. Everything happens in one execution — no
+complete baseline run is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optimizer.detector import CriticalPhaseDetector
+from repro.core.optimizer.instrument import InstrumentationReport, ProgramInstrumenter
+from repro.core.optimizer.tuner import HillClimbTuner, TuningReport
+from repro.core.profiler.options import ProfilerOptions
+from repro.core.profiler.profiler import TPUPointProfiler
+from repro.core.profiler.streaming import StepStream
+from repro.errors import OptimizerError
+from repro.runtime.estimator import TPUEstimator
+from repro.runtime.session import SessionSummary
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Configuration of one TPUPoint-Optimizer run.
+
+    Attributes:
+        detection_chunk_steps: steps to run between detector checks.
+        trial_steps: steps measured per tuning trial.
+        max_tuning_fraction: cap on the fraction of the plan's steps the
+            tuner may consume.
+        overhead_us_per_trial: simulated post-processing cost per trial.
+        profile_interval_ms: profiler request cadence feeding detection.
+    """
+
+    detection_chunk_steps: int = 10
+    trial_steps: int = 10
+    max_tuning_fraction: float = 0.5
+    overhead_us_per_trial: float = 40_000.0
+    profile_interval_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.detection_chunk_steps <= 0 or self.trial_steps <= 0:
+            raise OptimizerError("step counts must be positive")
+        if not 0.0 < self.max_tuning_fraction <= 1.0:
+            raise OptimizerError("max_tuning_fraction must be in (0, 1]")
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimized run."""
+
+    summary: SessionSummary
+    instrumentation: InstrumentationReport
+    tuning: TuningReport | None
+    detector_triggered_at_step: int | None
+    steps_before_tuning: int = 0
+
+    @property
+    def tuned(self) -> bool:
+        """Whether the tuner ran and changed anything."""
+        return self.tuning is not None and self.tuning.best_config != self.tuning.initial_config
+
+    @property
+    def improvement(self) -> float:
+        """Measured throughput improvement during tuning (1.0 = none)."""
+        return self.tuning.improvement if self.tuning else 1.0
+
+
+class TPUPointOptimizer:
+    """Automatic online workload tuning for one estimator."""
+
+    def __init__(self, estimator: TPUEstimator, options: OptimizerOptions | None = None):
+        self.estimator = estimator
+        self.options = options or OptimizerOptions()
+        self.instrumenter = ProgramInstrumenter(estimator)
+        self.detector = CriticalPhaseDetector()
+        self._stream = StepStream()
+        self._records_consumed = 0
+
+    # --- detection plumbing -------------------------------------------------
+
+    def _feed_detector(self, profiler: TPUPointProfiler) -> None:
+        """Push newly completed steps from the profiler into the detector.
+
+        The latest step may still be spread across future profile
+        windows; :class:`StepStream` withholds it until a later step
+        appears.
+        """
+        records = profiler.records
+        for record in records[self._records_consumed :]:
+            for step in self._stream.submit(record):
+                self.detector.observe(step)
+        self._records_consumed = len(records)
+
+    # --- the optimized run -------------------------------------------------------
+
+    def run(self) -> OptimizationResult:
+        """Execute the full workload with online tuning."""
+        instrumentation = self.instrumenter.analyze()
+        profiler = TPUPointProfiler(
+            self.estimator,
+            ProfilerOptions(
+                request_interval_ms=self.options.profile_interval_ms,
+                record_to_storage=False,
+            ),
+        )
+        profiler.start(analyzer=False)
+
+        plan_steps = self.estimator.plan.train_steps
+        steps_before_tuning = 0
+        # Phase 1: run with defaults until the critical phase is entered.
+        while self.estimator.session.global_step < plan_steps:
+            executed = self.estimator.train_steps(self.options.detection_chunk_steps)
+            steps_before_tuning += executed
+            if executed == 0:
+                break
+            self._feed_detector(profiler)
+            if self.detector.critical:
+                break
+
+        tuning: TuningReport | None = None
+        remaining = plan_steps - self.estimator.session.global_step
+        if self.detector.critical and remaining > self.options.trial_steps * 2:
+            # Phase 2: checkpoint, then tune online.
+            self.instrumenter.checkpoint_before_segment()
+            budget = int(remaining * self.options.max_tuning_fraction)
+            tuner = HillClimbTuner(
+                estimator=self.estimator,
+                parameters=instrumentation.parameters,
+                quality=self.instrumenter.quality,
+                trial_steps=self.options.trial_steps,
+                overhead_us_per_trial=self.options.overhead_us_per_trial,
+                step_budget=budget,
+            )
+            tuning = tuner.tune()
+
+        # Phase 3: finish the run under the best configuration found.
+        remaining = plan_steps - self.estimator.session.global_step
+        if remaining > 0:
+            self.estimator.train_steps(remaining)
+        summary = self.estimator.finalize()
+        profiler.stop()
+        return OptimizationResult(
+            summary=summary,
+            instrumentation=instrumentation,
+            tuning=tuning,
+            detector_triggered_at_step=self.detector.critical_since_step,
+            steps_before_tuning=steps_before_tuning,
+        )

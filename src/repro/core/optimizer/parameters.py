@@ -1,0 +1,97 @@
+"""Adjustable-parameter discovery.
+
+TPUPoint-Optimizer's program-analysis phase identifies the *adjustable
+parameters* a user's input pipeline defines — buffer sizes, thread
+counts, and operation orderings that can change without affecting program
+output (Section VII-A). A candidate that raises an error when probed is
+dropped from the adjustable set, exactly as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import OptimizerError, ReproError
+from repro.host.pipeline import PipelineConfig
+
+
+@dataclass(frozen=True)
+class AdjustableParameter:
+    """One tunable knob on the input pipeline.
+
+    Attributes:
+        name: the PipelineConfig field this parameter controls.
+        minimum / maximum: legal value range.
+        neighbors: given the current value, candidate values to try next
+            (the hill-climber explores these in both directions).
+    """
+
+    name: str
+    minimum: int
+    maximum: int
+    neighbors: Callable[[int], list[int]]
+
+    def clamp(self, value: int) -> int:
+        return max(self.minimum, min(self.maximum, value))
+
+    def candidate_values(self, current: int) -> list[int]:
+        """In-range neighbor values, deduplicated, current excluded."""
+        seen: list[int] = []
+        for value in self.neighbors(current):
+            clamped = self.clamp(value)
+            if clamped != current and clamped not in seen:
+                seen.append(clamped)
+        return seen
+
+
+def _doubling(value: int) -> list[int]:
+    return [max(1, value // 2), value * 2]
+
+
+def _stepping(value: int) -> list[int]:
+    return [value - 1, value + 1, value + 2]
+
+
+def _shuffle_neighbors(value: int) -> list[int]:
+    return [value // 4, value * 4] if value else [256]
+
+
+def _boolean(value: int) -> list[int]:
+    return [0 if value else 1]
+
+
+_CANDIDATES: tuple[AdjustableParameter, ...] = (
+    AdjustableParameter("num_parallel_calls", 1, 64, _doubling),
+    AdjustableParameter("num_parallel_reads", 1, 32, _doubling),
+    AdjustableParameter("prefetch_depth", 0, 16, _stepping),
+    AdjustableParameter("infeed_threads", 1, 16, _doubling),
+    AdjustableParameter("shuffle_buffer", 0, 1 << 20, _shuffle_neighbors),
+    AdjustableParameter("vectorized_preprocess", 0, 1, _boolean),
+)
+
+
+def discover_parameters(config: PipelineConfig) -> list[AdjustableParameter]:
+    """Probe each candidate against the live config; keep the safe ones.
+
+    A candidate is adjustable only if setting it to each of its neighbor
+    values produces a valid configuration. Candidates whose probes raise
+    are excluded (the paper: "If any of these adjustable parameters cause
+    errors when altered, TPUPoint-Optimizer will not treat them as
+    adjustable").
+    """
+    adjustable: list[AdjustableParameter] = []
+    for candidate in _CANDIDATES:
+        current = getattr(config, candidate.name, None)
+        if current is None:
+            continue
+        try:
+            for value in candidate.candidate_values(int(current)):
+                probe = value if not isinstance(current, bool) else bool(value)
+                config.with_updates(**{candidate.name: probe})
+        except ReproError:
+            continue
+        adjustable.append(candidate)
+    if not adjustable:
+        raise OptimizerError("no adjustable parameters discovered")
+    return adjustable

@@ -1,0 +1,56 @@
+"""Output-quality control.
+
+TPUPoint-Optimizer "controls the output quality": a tuning move is only
+kept if program output is unchanged (Section VII). In the simulation a
+run's output is fully determined by its *output signature* — the model
+graph, the batch size, and the number of training steps. Pipeline knobs
+never enter the signature, so tuning them is always safe; anything that
+would perturb the signature (a changed batch size, a truncated plan) is
+a quality violation and must be rolled back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QualityViolationError
+from repro.runtime.estimator import TPUEstimator
+
+
+@dataclass(frozen=True)
+class OutputSignature:
+    """Everything that determines a training run's numerical output."""
+
+    graph_name: str
+    batch_size: int
+    train_steps: int
+    seed_dependent: bool = True
+
+    @classmethod
+    def of(cls, estimator: TPUEstimator) -> "OutputSignature":
+        return cls(
+            graph_name=estimator.train_graph.name,
+            batch_size=estimator.plan.batch_size,
+            train_steps=estimator.plan.train_steps,
+        )
+
+
+class QualityController:
+    """Verifies tuning moves never change program output."""
+
+    def __init__(self, estimator: TPUEstimator):
+        self._estimator = estimator
+        self._reference = OutputSignature.of(estimator)
+
+    @property
+    def reference(self) -> OutputSignature:
+        return self._reference
+
+    def verify(self) -> None:
+        """Raise QualityViolationError if the output signature drifted."""
+        current = OutputSignature.of(self._estimator)
+        if current != self._reference:
+            raise QualityViolationError(
+                f"output signature changed from {self._reference} to {current}; "
+                "the offending adjustment must be rolled back"
+            )

@@ -1,0 +1,197 @@
+"""Online hill-climbing tuner.
+
+The tuning loop of Section VII-B: starting from the user's defaults,
+adjust one parameter at a time; if performance improves and output is
+unchanged, keep moving the value in the same direction until no neighbor
+is better; if no neighbor beats the default, keep the default. Trials
+run *online* — they consume real training steps, so no separate warmup
+execution is wasted — and every trial pays a post-processing overhead
+that the paper observes as the tool's cost on fast devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optimizer.parameters import AdjustableParameter
+from repro.core.optimizer.quality import QualityController
+from repro.errors import OptimizerError, QualityViolationError
+from repro.host.pipeline import PipelineConfig
+from repro.runtime.estimator import TPUEstimator
+
+# Accept a move only when it clears this relative improvement, so jitter
+# does not walk the configuration randomly.
+_MIN_IMPROVEMENT = 1.02
+
+
+@dataclass(frozen=True)
+class TuningTrial:
+    """One measured configuration trial."""
+
+    parameter: str
+    value: object
+    steps: int
+    elapsed_us: float
+    accepted: bool
+
+    @property
+    def throughput(self) -> float:
+        """Training steps per second during the trial."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.steps / (self.elapsed_us / 1e6)
+
+
+@dataclass
+class TuningReport:
+    """Outcome of one tuning pass."""
+
+    initial_config: PipelineConfig
+    best_config: PipelineConfig
+    baseline_throughput: float
+    tuned_throughput: float
+    trials: list[TuningTrial] = field(default_factory=list)
+    steps_consumed: int = 0
+
+    @property
+    def improvement(self) -> float:
+        """Tuned over baseline throughput (>1 means faster)."""
+        if self.baseline_throughput <= 0:
+            return 1.0
+        return self.tuned_throughput / self.baseline_throughput
+
+
+class HillClimbTuner:
+    """Tunes the live pipeline of a running estimator."""
+
+    def __init__(
+        self,
+        estimator: TPUEstimator,
+        parameters: list[AdjustableParameter],
+        quality: QualityController,
+        trial_steps: int = 10,
+        overhead_us_per_trial: float = 40_000.0,
+        step_budget: int | None = None,
+    ):
+        if trial_steps <= 0:
+            raise OptimizerError("trial_steps must be positive")
+        self.estimator = estimator
+        self.parameters = parameters
+        self.quality = quality
+        self.trial_steps = trial_steps
+        self.overhead_us_per_trial = overhead_us_per_trial
+        self.step_budget = step_budget
+
+    # --- measurement ------------------------------------------------------
+
+    def _charge_overhead(self) -> None:
+        """Post-processing cost of analyzing one trial's profile."""
+        session = self.estimator.session
+        last_step = session.log.steps[-1].step if session.log.steps else 0
+        session.host_worker.emit_op(
+            "TPUPointOptimizerPostProcess",
+            last_step,
+            session.clock.now_us,
+            self.overhead_us_per_trial,
+        )
+        session.clock.advance(self.overhead_us_per_trial)
+
+    def _measure(self, parameter_name: str, value: object, consumed: int) -> TuningTrial | None:
+        """Run one trial window under the current config; None when out of steps."""
+        if self.step_budget is not None and consumed + self.trial_steps > self.step_budget:
+            return None
+        session = self.estimator.session
+        start = session.clock.now_us
+        executed = self.estimator.train_steps(self.trial_steps)
+        if executed == 0:
+            return None
+        elapsed = session.clock.now_us - start
+        self._charge_overhead()
+        return TuningTrial(
+            parameter=parameter_name,
+            value=value,
+            steps=executed,
+            elapsed_us=elapsed,
+            accepted=False,
+        )
+
+    # --- hill climbing ---------------------------------------------------------
+
+    def tune(self) -> TuningReport:
+        """Run the full one-parameter-at-a-time hill climb."""
+        initial = self.estimator.current_pipeline_config()
+        best = initial
+        report = TuningReport(
+            initial_config=initial,
+            best_config=initial,
+            baseline_throughput=0.0,
+            tuned_throughput=0.0,
+        )
+
+        baseline = self._measure("baseline", None, report.steps_consumed)
+        if baseline is None:
+            return report
+        report.trials.append(baseline)
+        report.steps_consumed += baseline.steps
+        report.baseline_throughput = baseline.throughput
+        best_throughput = baseline.throughput
+
+        for parameter in self.parameters:
+            start_value = int(getattr(best, parameter.name))
+            is_bool = isinstance(getattr(best, parameter.name), bool)
+            for first_value in parameter.candidate_values(start_value):
+                value = first_value
+                anchor = start_value
+                # Keep moving in this direction while it helps.
+                while True:
+                    candidate_value = bool(value) if is_bool else value
+                    candidate = best.with_updates(**{parameter.name: candidate_value})
+                    self.estimator.update_pipeline_config(candidate)
+                    trial = self._measure(parameter.name, candidate_value, report.steps_consumed)
+                    if trial is None:
+                        self.estimator.update_pipeline_config(best)
+                        report.best_config = best
+                        report.tuned_throughput = best_throughput
+                        return report
+                    try:
+                        self.quality.verify()
+                    except QualityViolationError:
+                        self.estimator.update_pipeline_config(best)
+                        report.trials.append(trial)
+                        report.steps_consumed += trial.steps
+                        break
+                    report.steps_consumed += trial.steps
+                    if trial.throughput >= best_throughput * _MIN_IMPROVEMENT:
+                        report.trials.append(
+                            TuningTrial(
+                                parameter=trial.parameter,
+                                value=trial.value,
+                                steps=trial.steps,
+                                elapsed_us=trial.elapsed_us,
+                                accepted=True,
+                            )
+                        )
+                        best = candidate
+                        best_throughput = trial.throughput
+                        if is_bool:
+                            break
+                        # Next neighbor in the same direction, if any.
+                        direction = 1 if value > anchor else -1
+                        onward = [
+                            v
+                            for v in parameter.candidate_values(value)
+                            if (v - value) * direction > 0
+                        ]
+                        if not onward:
+                            break
+                        anchor = value
+                        value = onward[0]
+                    else:
+                        report.trials.append(trial)
+                        self.estimator.update_pipeline_config(best)
+                        break
+
+        self.estimator.update_pipeline_config(best)
+        report.best_config = best
+        report.tuned_throughput = best_throughput
+        return report

@@ -1,0 +1,28 @@
+"""TPUPoint-Profiler: periodic statistical profiling of TPU training."""
+
+from repro.core.profiler.options import ProfilerOptions
+from repro.core.profiler.profiler import ProfilerStats, TPUPointProfiler
+from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
+from repro.core.profiler.recorder import RecordingThread
+from repro.core.profiler.streaming import StepStream
+from repro.core.profiler.serialize import (
+    load_records,
+    record_from_dict,
+    record_to_dict,
+    save_records,
+)
+
+__all__ = [
+    "OperatorStats",
+    "ProfileRecord",
+    "ProfilerOptions",
+    "ProfilerStats",
+    "RecordingThread",
+    "StepStats",
+    "StepStream",
+    "TPUPointProfiler",
+    "load_records",
+    "record_from_dict",
+    "record_to_dict",
+    "save_records",
+]

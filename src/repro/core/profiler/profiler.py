@@ -1,0 +1,222 @@
+"""TPUPoint-Profiler.
+
+The profiler attaches to a running estimator, and — independently of the
+training loop — periodically requests profiles from the TPU through the
+gRPC-style profile service, reduces each response to a statistical
+record, and (when the analyzer is enabled) hands records to a recording
+thread that persists them to cloud storage (Section III-A).
+
+Real TPUPoint uses OS threads; the simulation replaces preemption with a
+step hook that fires the profiling thread whenever the requested
+interval of *simulated* time has elapsed, which preserves the observable
+contract (periodic bounded profile windows covering the entire run,
+ending with a final drain at Stop()) while keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.profiler.options import ProfilerOptions
+from repro.core.profiler.record import ProfileRecord
+from repro.core.profiler.recorder import RecordingThread
+
+
+@dataclass(frozen=True)
+class ProfilerStats:
+    """Work the profiler itself performed over one run.
+
+    The paper's claim that statistical reduction keeps the tool cheap is
+    checkable from these numbers: ``events_reduced`` raw events were
+    folded into ``operator_entries`` per-step statistics — the
+    compression that lets the recording thread keep up.
+    """
+
+    requests_served: int
+    records_kept: int
+    events_reduced: int
+    operator_entries: int
+    bytes_persisted: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw events per persisted statistic entry."""
+        if self.operator_entries == 0:
+            return 0.0
+        return self.events_reduced / self.operator_entries
+from repro.errors import ProfilerError
+from repro.runtime.estimator import TPUEstimator
+from repro.runtime.events import StepMetadata
+from repro.runtime.rpc import ProfileStub
+from repro.runtime.session import TrainingSession
+
+
+@dataclass
+class TPUPointProfiler:
+    """Profiles one estimator's training run."""
+
+    estimator: TPUEstimator
+    options: ProfilerOptions = field(default_factory=ProfilerOptions)
+
+    def __post_init__(self) -> None:
+        self._stub: ProfileStub | None = None
+        self._recorder: RecordingThread | None = None
+        self._records: list[ProfileRecord] = []
+        self._started = False
+        self._stopped = False
+        self._breakpoint_hit = False
+        self._next_request_us = 0.0
+        self._record_index = 0
+        self._online_scanner = None
+        self._online_stream = None
+        self._online_steps: list[int] = []
+
+    # --- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def start(self, analyzer: bool = True) -> None:
+        """Spawn the profiling (and, with ``analyzer``, recording) thread."""
+        if self._started:
+            raise ProfilerError("profiler already started")
+        self._started = True
+        self._stub = self.estimator.profile_stub()
+        if analyzer and self.options.record_to_storage:
+            self._recorder = RecordingThread(bucket=self.estimator.bucket)
+        elif analyzer:
+            self._recorder = RecordingThread(bucket=None)
+        if self.options.online_phases:
+            from repro.core.analyzer.ols import OnlineLinearScan
+            from repro.core.profiler.streaming import StepStream
+
+            self._online_scanner = OnlineLinearScan(
+                threshold=self.options.online_phase_threshold
+            )
+            self._online_stream = StepStream()
+        self._next_request_us = self.options.request_interval_ms * 1000.0
+        self.estimator.add_step_hook(self._on_step)
+
+    @property
+    def breakpoint_hit(self) -> bool:
+        """Whether a user-specified breakpoint ended profiling early."""
+        return self._breakpoint_hit
+
+    def stop(self) -> list[ProfileRecord]:
+        """Send the final request(s), drain the log, stop all threads.
+
+        When a breakpoint already ended profiling, stop() simply returns
+        what was collected up to that point.
+        """
+        if not self._started:
+            raise ProfilerError("profiler was never started")
+        if self._stopped:
+            raise ProfilerError("profiler already stopped")
+        self._stopped = True
+        if self._breakpoint_hit:
+            return list(self._records)
+        self._drain_and_close()
+        if self._recorder is not None:
+            return list(self._recorder.records)
+        return list(self._records)
+
+    def _drain_and_close(self) -> None:
+        # Final drain: keep requesting until the service marks the
+        # response final (the session may have produced more than one
+        # window's worth of events since the last periodic request).
+        while True:
+            response = self._request(finished=True)
+            if response.final:
+                break
+        if self._online_stream is not None:
+            for step in self._online_stream.flush():
+                self._online_scanner.observe(step)
+                self._online_steps.append(step.step)
+        if self._recorder is not None:
+            self._recorder.close()
+
+    # --- the profiling thread ------------------------------------------------
+
+    def _on_step(self, session: TrainingSession, metadata: StepMetadata) -> None:
+        """Step hook standing in for the periodic profiling thread."""
+        del metadata
+        if self._stopped or self._breakpoint_hit:
+            return
+        while session.clock.now_us >= self._next_request_us:
+            self._request(finished=False)
+            self._next_request_us += self.options.request_interval_ms * 1000.0
+        breakpoint_step = self.options.breakpoint_step
+        if breakpoint_step is not None and session.global_step >= breakpoint_step:
+            self._breakpoint_hit = True
+            self._drain_and_close()
+
+    def _request(self, finished: bool):
+        if self._stub is None:
+            raise ProfilerError("profiler not started")
+        response = self._stub.request_profile(
+            max_events=self.options.max_events_per_profile,
+            max_duration_ms=self.options.max_profile_duration_ms,
+            finished=finished,
+        )
+        record = ProfileRecord.from_response(self._record_index, response)
+        self._record_index += 1
+        if record.num_steps or record.truncated or record.final:
+            self._records.append(record)
+            if self._recorder is not None:
+                self._recorder.submit(record)
+            if self._online_stream is not None and record.num_steps:
+                for step in self._online_stream.submit(record):
+                    self._online_scanner.observe(step)
+                    self._online_steps.append(step.step)
+        return response
+
+    # --- results ---------------------------------------------------------------
+
+    @property
+    def records(self) -> list[ProfileRecord]:
+        """All statistical records collected so far."""
+        return list(self._records)
+
+    @property
+    def recorder(self) -> RecordingThread | None:
+        """The recording thread, when the analyzer flag enabled one."""
+        return self._recorder
+
+    def stats(self) -> ProfilerStats:
+        """Aggregate work counters for this profiler."""
+        events = 0
+        entries = 0
+        for record in self._records:
+            for step in record.steps.values():
+                entries += len(step.operators)
+                events += sum(s.count for s in step.operators.values())
+        return ProfilerStats(
+            requests_served=self._record_index,
+            records_kept=len(self._records),
+            events_reduced=events,
+            operator_entries=entries,
+            bytes_persisted=self._recorder.bytes_written if self._recorder else 0.0,
+        )
+
+    @property
+    def online_phase_labels(self) -> dict[int, int]:
+        """Step number -> phase label from the *online* linear scan.
+
+        Only populated when ``options.online_phases`` is set; available
+        immediately after stop() with no post-processing.
+        """
+        if self._online_scanner is None:
+            raise ProfilerError("online phase tracking was not enabled")
+        return dict(zip(self._online_steps, self._online_scanner.labels))
+
+    @property
+    def online_phase_count(self) -> int:
+        """Number of phases the online scan has identified so far."""
+        if self._online_scanner is None:
+            raise ProfilerError("online phase tracking was not enabled")
+        return self._online_scanner.num_phases

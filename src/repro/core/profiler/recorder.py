@@ -1,0 +1,70 @@
+"""The recording thread.
+
+When the analyzer flag is set, TPUPoint-Profiler spawns a recording
+thread that stores each statistical record in Cloud Storage while the
+profiling thread keeps requesting the next profile (Section III-A). In
+the simulation the thread is an object with the same contract: it
+receives records, persists them (bucket writes cost simulated time,
+charged asynchronously), and hands the collected list back at the end.
+Without the analyzer flag, records stay buffered in host memory only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.profiler.record import ProfileRecord
+from repro.errors import ProfilerError
+from repro.storage.bucket import Bucket
+from repro.storage.objects import StorageObject
+
+
+@dataclass
+class RecordingThread:
+    """Persists profile records into a bucket as they arrive."""
+
+    bucket: Bucket | None = None
+    prefix: str = "tpupoint/profiles/"
+    records: list[ProfileRecord] = field(default_factory=list)
+    bytes_written: float = 0.0
+    _closed: bool = False
+
+    def submit(self, record: ProfileRecord) -> None:
+        """Accept one record from the profiling thread."""
+        if self._closed:
+            raise ProfilerError("recording thread already stopped")
+        self.records.append(record)
+        if self.bucket is not None:
+            size = record.estimated_bytes()
+            self.bucket.put(
+                StorageObject(f"{self.prefix}record-{record.index:06d}.pb", size)
+            )
+            self.bytes_written += size
+
+    def close(self) -> list[ProfileRecord]:
+        """Stop the thread and return everything recorded."""
+        self._closed = True
+        return list(self.records)
+
+    def manifest(self) -> dict:
+        """A JSON-serializable summary of what was recorded."""
+        return {
+            "num_records": len(self.records),
+            "bytes_written": self.bytes_written,
+            "records": [
+                {
+                    "index": record.index,
+                    "window_start_us": record.window_start_us,
+                    "window_end_us": record.window_end_us,
+                    "num_steps": record.num_steps,
+                    "truncated": record.truncated,
+                    "final": record.final,
+                }
+                for record in self.records
+            ],
+        }
+
+    def dump_manifest(self) -> str:
+        """The manifest as a JSON string."""
+        return json.dumps(self.manifest(), indent=2)

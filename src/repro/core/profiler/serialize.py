@@ -1,0 +1,123 @@
+"""Profile-record serialization.
+
+The real TPUPoint persists statistical records into Cloud Storage so the
+analyzer can run long after training finished, possibly on another
+machine. This module provides the equivalent offline path: records
+round-trip through a stable JSON schema, one file per record plus a
+manifest, so ``TPUPointAnalyzer`` can be fed from disk (the CLI's
+``analyze`` subcommand does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
+from repro.errors import ProfilerError
+from repro.runtime.events import DeviceKind, StepKind
+
+SCHEMA_VERSION = 1
+
+
+def record_to_dict(record: ProfileRecord) -> dict:
+    """A JSON-serializable view of one record."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "index": record.index,
+        "window_start_us": record.window_start_us,
+        "window_end_us": record.window_end_us,
+        "truncated": record.truncated,
+        "final": record.final,
+        "steps": [
+            {
+                "step": step.step,
+                "kind": step.kind.value if step.kind is not None else None,
+                "start_us": step.start_us,
+                "end_us": step.end_us,
+                "tpu_idle_us": step.tpu_idle_us,
+                "mxu_flops": step.mxu_flops,
+                "operators": [
+                    {
+                        "name": stats.name,
+                        "device": stats.device.value,
+                        "count": stats.count,
+                        "total_duration_us": stats.total_duration_us,
+                    }
+                    for stats in step.operators.values()
+                ],
+            }
+            for step in record.steps.values()
+        ],
+    }
+
+
+def record_from_dict(payload: dict) -> ProfileRecord:
+    """Rebuild a record from its JSON view."""
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ProfilerError(f"unsupported record schema {schema!r}")
+    record = ProfileRecord(
+        index=int(payload["index"]),
+        window_start_us=float(payload["window_start_us"]),
+        window_end_us=float(payload["window_end_us"]),
+        truncated=bool(payload.get("truncated", False)),
+        final=bool(payload.get("final", False)),
+    )
+    for step_payload in payload["steps"]:
+        step = StepStats(
+            step=int(step_payload["step"]),
+            kind=StepKind(step_payload["kind"]) if step_payload.get("kind") else None,
+            start_us=float(step_payload.get("start_us", 0.0)),
+            end_us=float(step_payload.get("end_us", 0.0)),
+            tpu_idle_us=float(step_payload.get("tpu_idle_us", 0.0)),
+            mxu_flops=float(step_payload.get("mxu_flops", 0.0)),
+        )
+        for op_payload in step_payload["operators"]:
+            device = DeviceKind(op_payload["device"])
+            step.operators[(op_payload["name"], device.value)] = OperatorStats(
+                name=op_payload["name"],
+                device=device,
+                count=int(op_payload["count"]),
+                total_duration_us=float(op_payload["total_duration_us"]),
+            )
+        record.steps[step.step] = step
+    return record
+
+
+def save_records(records: list[ProfileRecord], directory: str | Path) -> Path:
+    """Write records plus a manifest under ``directory``; returns it."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = []
+    for record in records:
+        name = f"record-{record.index:06d}.json"
+        with open(directory / name, "w", encoding="utf-8") as handle:
+            json.dump(record_to_dict(record), handle)
+        names.append(name)
+    manifest = {
+        "schema": SCHEMA_VERSION,
+        "num_records": len(records),
+        "records": names,
+    }
+    with open(directory / "manifest.json", "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return directory
+
+
+def load_records(directory: str | Path) -> list[ProfileRecord]:
+    """Load records previously written by :func:`save_records`."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise ProfilerError(f"no manifest.json under {directory}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("schema") != SCHEMA_VERSION:
+        raise ProfilerError(f"unsupported manifest schema {manifest.get('schema')!r}")
+    records = []
+    for name in manifest["records"]:
+        with open(directory / name, encoding="utf-8") as handle:
+            records.append(record_from_dict(json.load(handle)))
+    records.sort(key=lambda record: record.index)
+    return records

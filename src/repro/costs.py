@@ -1,0 +1,150 @@
+"""Energy and dollar-cost accounting.
+
+The paper's motivation is that underutilized accelerators "waste energy
+and money". This module turns a run summary into those terms: chip
+energy from the TDP with an idle-power floor, host energy, and Google
+Cloud billing (TPUs bill per second whether busy or idle), including the
+headline number — dollars burned while the TPU sat idle.
+
+Prices are the public on-demand US rates of the paper's era; both the
+prices and power model are parameters, not constants baked into logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.session import SessionSummary
+from repro.tpu.slice import TpuSliceSpec
+from repro.tpu.specs import TpuChipSpec, TpuGeneration, chip_spec
+
+#: On-demand hourly price per Cloud TPU device (USD, circa 2020).
+TPU_HOURLY_USD = {
+    TpuGeneration.V2: 4.50,
+    TpuGeneration.V3: 8.00,
+}
+
+#: On-demand hourly price of the n1-standard-16 host VM (USD).
+HOST_HOURLY_USD = 0.76
+
+#: Fraction of TDP a TPU draws while idle (clock gating is imperfect).
+IDLE_POWER_FRACTION = 0.35
+
+#: Host VM average power draw in watts (16-core Skylake server share).
+HOST_POWER_WATTS = 250.0
+
+
+@dataclass(frozen=True)
+class RunCost:
+    """Energy and billing breakdown of one run."""
+
+    generation: TpuGeneration
+    wall_seconds: float
+    busy_seconds: float
+    tpu_energy_joules: float
+    host_energy_joules: float
+    tpu_dollars: float
+    host_dollars: float
+    idle_dollars: float
+
+    @property
+    def idle_seconds(self) -> float:
+        return self.wall_seconds - self.busy_seconds
+
+    @property
+    def total_dollars(self) -> float:
+        return self.tpu_dollars + self.host_dollars
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self.tpu_energy_joules + self.host_energy_joules
+
+    @property
+    def idle_dollar_fraction(self) -> float:
+        """Share of the TPU bill paid for idle time."""
+        if self.tpu_dollars <= 0:
+            return 0.0
+        return self.idle_dollars / self.tpu_dollars
+
+    def format(self) -> str:
+        """A human-readable cost block."""
+        return "\n".join(
+            [
+                f"wall time        : {self.wall_seconds:.1f} s "
+                f"(busy {self.busy_seconds:.1f} s, idle {self.idle_seconds:.1f} s)",
+                f"TPU energy       : {self.tpu_energy_joules / 1e3:.2f} kJ",
+                f"host energy      : {self.host_energy_joules / 1e3:.2f} kJ",
+                f"TPU bill         : ${self.tpu_dollars:.4f} "
+                f"(${self.idle_dollars:.4f} paid for idle time, "
+                f"{self.idle_dollar_fraction:.0%})",
+                f"host bill        : ${self.host_dollars:.4f}",
+                f"total            : ${self.total_dollars:.4f}, "
+                f"{self.total_energy_joules / 1e3:.2f} kJ",
+            ]
+        )
+
+
+def run_cost(
+    summary: SessionSummary,
+    generation: "TpuGeneration | str | TpuChipSpec",
+    spec: TpuChipSpec | None = None,
+    idle_power_fraction: float = IDLE_POWER_FRACTION,
+    host_power_watts: float = HOST_POWER_WATTS,
+    hourly_usd: float | None = None,
+) -> RunCost:
+    """Energy and billing for a finished run.
+
+    For custom accelerator specs (portability mode) pass ``hourly_usd``
+    explicitly — there is no list price to look up.
+    """
+    if not 0.0 <= idle_power_fraction <= 1.0:
+        raise ConfigurationError("idle_power_fraction must be in [0, 1]")
+    if host_power_watts < 0:
+        raise ConfigurationError("host_power_watts must be non-negative")
+    num_devices = 1
+    if isinstance(generation, TpuSliceSpec):
+        num_devices = generation.num_chips
+        spec = spec or generation.aggregate_chip_spec()
+        generation = generation.generation
+    spec = spec or chip_spec(generation)
+    generation = spec.generation
+    if hourly_usd is None:
+        per_device = TPU_HOURLY_USD.get(generation)
+        if per_device is None:
+            raise ConfigurationError(
+                f"no list price for {generation!r}; pass hourly_usd explicitly"
+            )
+        hourly_usd = per_device * num_devices
+
+    wall_s = summary.wall_us / 1e6
+    busy_s = summary.tpu_busy_us / 1e6
+    idle_s = max(0.0, wall_s - busy_s)
+
+    tpu_energy = spec.tdp_watts * (busy_s + idle_power_fraction * idle_s)
+    host_energy = host_power_watts * wall_s
+
+    tpu_rate = hourly_usd / 3600.0
+    tpu_dollars = tpu_rate * wall_s
+    idle_dollars = tpu_rate * idle_s
+    host_dollars = HOST_HOURLY_USD / 3600.0 * wall_s
+
+    return RunCost(
+        generation=generation,
+        wall_seconds=wall_s,
+        busy_seconds=busy_s,
+        tpu_energy_joules=tpu_energy,
+        host_energy_joules=host_energy,
+        tpu_dollars=tpu_dollars,
+        host_dollars=host_dollars,
+        idle_dollars=idle_dollars,
+    )
+
+
+def savings(before: RunCost, after: RunCost) -> dict[str, float]:
+    """Dollar and energy savings of an optimized run over a baseline."""
+    return {
+        "dollars": before.total_dollars - after.total_dollars,
+        "joules": before.total_energy_joules - after.total_energy_joules,
+        "idle_dollars": before.idle_dollars - after.idle_dollars,
+    }

@@ -1,0 +1,30 @@
+"""Dataset substrate: Table I's datasets as synthetic descriptors."""
+
+from repro.datasets.base import DatasetKind, DatasetSpec
+from repro.datasets.registry import (
+    CIFAR10,
+    COCO,
+    COLA,
+    IMAGENET,
+    MNIST,
+    MNLI,
+    MRPC,
+    SQUAD,
+    all_datasets,
+    dataset,
+)
+
+__all__ = [
+    "CIFAR10",
+    "COCO",
+    "COLA",
+    "DatasetKind",
+    "DatasetSpec",
+    "IMAGENET",
+    "MNIST",
+    "MNLI",
+    "MRPC",
+    "SQUAD",
+    "all_datasets",
+    "dataset",
+]

@@ -1,0 +1,82 @@
+"""Dataset descriptors.
+
+The simulator never holds real data; a dataset is a descriptor carrying
+exactly the properties that influence observed behaviour: total size and
+example count (storage-read pressure), per-example decode/preprocess CPU
+cost (host pressure), and the staged example size the infeed must move.
+Sizes come from Table I of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.storage.objects import DatasetShard, shard_dataset
+
+
+class DatasetKind(enum.Enum):
+    """Broad input modality (drives which preprocessing ops appear)."""
+
+    TEXT = "text"
+    IMAGE = "image"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one training dataset.
+
+    Attributes:
+        name: dataset name as used in the paper ("SQuAD", "ImageNet", ...).
+        kind: input modality.
+        total_bytes: serialized size in cloud storage.
+        num_examples: number of training examples.
+        example_shape: per-example staged tensor shape (what infeed moves),
+            as a tuple of dims; dtype is implied float32/int32 by bytes.
+        device_bytes_per_example: bytes per example after preprocessing.
+        decode_cpu_us: serial host-CPU microseconds to decode one example.
+        preprocess_cpu_us: serial host-CPU microseconds to augment/reformat
+            one example.
+    """
+
+    name: str
+    kind: DatasetKind
+    total_bytes: float
+    num_examples: int
+    example_shape: tuple[int, ...]
+    device_bytes_per_example: float
+    decode_cpu_us: float
+    preprocess_cpu_us: float
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.num_examples <= 0:
+            raise ConfigurationError("dataset must have positive size and examples")
+        if self.device_bytes_per_example <= 0:
+            raise ConfigurationError("device example size must be positive")
+        if self.decode_cpu_us < 0 or self.preprocess_cpu_us < 0:
+            raise ConfigurationError("CPU costs must be non-negative")
+
+    @property
+    def storage_bytes_per_example(self) -> float:
+        """Average serialized example size in storage."""
+        return self.total_bytes / self.num_examples
+
+    def halved(self) -> "DatasetSpec":
+        """The reduced-dataset variant used in the paper's Figures 12/13."""
+        return replace(
+            self,
+            name=f"{self.name}-half",
+            total_bytes=self.total_bytes / 2,
+            num_examples=max(1, self.num_examples // 2),
+        )
+
+    def shards(self, num_shards: int = 0) -> list[DatasetShard]:
+        """Materialize shard objects for a storage bucket.
+
+        With ``num_shards=0`` a sensible default of roughly 100 MiB per
+        shard is chosen, mirroring common TFRecord layouts.
+        """
+        if num_shards <= 0:
+            num_shards = max(1, int(self.total_bytes / (100 * 1024 * 1024)))
+        return shard_dataset(self.name, self.total_bytes, self.num_examples, num_shards)

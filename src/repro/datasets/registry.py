@@ -1,0 +1,124 @@
+"""The datasets of Table I.
+
+Total sizes are the paper's exact figures. Example counts are the public
+dataset statistics; per-example CPU costs are calibrated so that the
+host/TPU balance of each workload lands where the paper's Figures 10-13
+put it (image decode is expensive, pre-tokenized text is cheap).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.datasets.base import DatasetKind, DatasetSpec
+from repro.errors import ConfigurationError
+
+SQUAD = DatasetSpec(
+    name="SQuAD",
+    kind=DatasetKind.TEXT,
+    total_bytes=units.mib(422.27),
+    num_examples=87_599,
+    example_shape=(128, 3),
+    device_bytes_per_example=128 * 3 * 4,
+    decode_cpu_us=18.0,
+    preprocess_cpu_us=40.0,
+)
+
+MRPC = DatasetSpec(
+    name="MRPC",
+    kind=DatasetKind.TEXT,
+    total_bytes=units.mib(2.85),
+    num_examples=3_668,
+    example_shape=(128, 3),
+    device_bytes_per_example=128 * 3 * 4,
+    decode_cpu_us=14.0,
+    preprocess_cpu_us=30.0,
+)
+
+MNLI = DatasetSpec(
+    name="MNLI",
+    kind=DatasetKind.TEXT,
+    total_bytes=units.mib(430.61),
+    num_examples=392_702,
+    example_shape=(128, 3),
+    device_bytes_per_example=128 * 3 * 4,
+    decode_cpu_us=16.0,
+    preprocess_cpu_us=36.0,
+)
+
+COLA = DatasetSpec(
+    name="CoLA",
+    kind=DatasetKind.TEXT,
+    total_bytes=units.mib(1.44),
+    num_examples=8_551,
+    example_shape=(128, 3),
+    device_bytes_per_example=128 * 3 * 4,
+    decode_cpu_us=12.0,
+    preprocess_cpu_us=26.0,
+)
+
+CIFAR10 = DatasetSpec(
+    name="CIFAR10",
+    kind=DatasetKind.IMAGE,
+    total_bytes=units.mib(178.87),
+    num_examples=60_000,
+    example_shape=(32, 32, 3),
+    device_bytes_per_example=32 * 32 * 3 * 4,
+    decode_cpu_us=22.0,
+    preprocess_cpu_us=35.0,
+)
+
+MNIST = DatasetSpec(
+    name="MNIST",
+    kind=DatasetKind.IMAGE,
+    total_bytes=units.mib(56.21),
+    num_examples=70_000,
+    example_shape=(28, 28, 1),
+    device_bytes_per_example=28 * 28 * 4,
+    decode_cpu_us=8.0,
+    preprocess_cpu_us=15.0,
+)
+
+COCO = DatasetSpec(
+    name="COCO",
+    kind=DatasetKind.IMAGE,
+    total_bytes=units.gib(48.49),
+    num_examples=118_287,
+    example_shape=(640, 640, 3),
+    device_bytes_per_example=640 * 640 * 3 * 4,
+    decode_cpu_us=12_000.0,
+    preprocess_cpu_us=11_000.0,
+)
+
+IMAGENET = DatasetSpec(
+    name="ImageNet",
+    kind=DatasetKind.IMAGE,
+    total_bytes=units.gib(143.38),
+    num_examples=1_281_167,
+    example_shape=(224, 224, 3),
+    device_bytes_per_example=224 * 224 * 3 * 4,
+    decode_cpu_us=1_350.0,
+    preprocess_cpu_us=650.0,
+)
+
+_ALL: dict[str, DatasetSpec] = {
+    spec.name.lower(): spec
+    for spec in (SQUAD, MRPC, MNLI, COLA, CIFAR10, MNIST, COCO, IMAGENET)
+}
+
+
+def dataset(name: str) -> DatasetSpec:
+    """Look up a dataset by (case-insensitive) name; '-half' suffixes work."""
+    key = name.lower()
+    if key.endswith("-half"):
+        return dataset(key.removesuffix("-half")).halved()
+    try:
+        return _ALL[key]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; known: {sorted(_ALL)}"
+        ) from exc
+
+
+def all_datasets() -> list[DatasetSpec]:
+    """Every registered full-size dataset."""
+    return list(_ALL.values())

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the TPUPoint reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole library with a single except clause while the
+subsystem-specific subclasses keep error handling precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent options."""
+
+
+class GraphError(ReproError):
+    """A computational graph is malformed or an op is used incorrectly."""
+
+
+class PartitionError(GraphError):
+    """The host/TPU partitioner could not place the graph."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class StorageError(ReproError):
+    """A cloud-storage bucket or object operation failed."""
+
+
+class CheckpointError(StorageError):
+    """A checkpoint could not be saved, found, or restored."""
+
+
+class ProfilerError(ReproError):
+    """TPUPoint-Profiler misuse (double start, stop before start, ...)."""
+
+
+class ProfileServiceError(ProfilerError):
+    """The gRPC-style profile service rejected or dropped a request."""
+
+
+class AnalyzerError(ReproError):
+    """TPUPoint-Analyzer received unusable profile data."""
+
+
+class ClusteringError(AnalyzerError):
+    """A clustering algorithm was invoked with invalid hyper-parameters."""
+
+
+class OptimizerError(ReproError):
+    """TPUPoint-Optimizer misuse or tuning failure."""
+
+
+class QualityViolationError(OptimizerError):
+    """A parameter adjustment changed program output and was rolled back."""

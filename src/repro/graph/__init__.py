@@ -1,0 +1,38 @@
+"""TensorFlow-like graph substrate: ops, graphs, and compiler passes."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.constant_folding import FoldingReport, fold_constants
+from repro.graph.fusion import FusionReport, fuse
+from repro.graph.graph import Graph
+from repro.graph.ops import CostKind, OpKind, Operation, Placement, op_kind, registered_kinds
+from repro.graph.partition import CrossDeviceEdge, PartitionResult, partition
+from repro.graph.shapes import (
+    TensorShape,
+    attention_flops,
+    conv2d_flops,
+    dtype_bytes,
+    matmul_flops,
+)
+
+__all__ = [
+    "CostKind",
+    "CrossDeviceEdge",
+    "FoldingReport",
+    "FusionReport",
+    "Graph",
+    "GraphBuilder",
+    "OpKind",
+    "Operation",
+    "PartitionResult",
+    "Placement",
+    "TensorShape",
+    "attention_flops",
+    "conv2d_flops",
+    "dtype_bytes",
+    "fold_constants",
+    "fuse",
+    "matmul_flops",
+    "op_kind",
+    "partition",
+    "registered_kinds",
+]

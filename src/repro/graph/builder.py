@@ -1,0 +1,133 @@
+"""Fluent helpers for building computational graphs.
+
+Workload models describe their per-step compute as graphs; the builder
+keeps their definitions short, generates unique names, and fills in FLOP
+estimates from shapes so model code stays declarative.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph import ops as opdefs
+from repro.graph.graph import Graph
+from repro.graph.ops import OpKind, Operation
+from repro.graph.shapes import TensorShape, conv2d_flops, matmul_flops
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` with automatic unique naming."""
+
+    def __init__(self, name: str = "graph"):
+        self.graph = Graph(name)
+        self._counters: dict[str, int] = {}
+
+    def _unique_name(self, base: str) -> str:
+        index = self._counters.get(base, 0)
+        self._counters[base] = index + 1
+        return base if index == 0 else f"{base}_{index}"
+
+    # --- generic -------------------------------------------------------------
+
+    def add(
+        self,
+        kind: OpKind,
+        inputs: tuple[str, ...] = (),
+        shape: TensorShape | None = None,
+        flops: float = 0.0,
+        name: str | None = None,
+        **attrs,
+    ) -> Operation:
+        """Add an op of any kind, auto-naming it after the kind."""
+        op = Operation(
+            name=self._unique_name(name or kind.name),
+            kind=kind,
+            inputs=inputs,
+            shape=shape,
+            flops=flops,
+            attrs=attrs,
+        )
+        return self.graph.add(op)
+
+    # --- common node kinds -----------------------------------------------------
+
+    def const(self, shape: TensorShape, name: str | None = None) -> Operation:
+        """A literal/constant input (weights, hyper-parameters)."""
+        return self.add(opdefs.CONST, shape=shape, name=name)
+
+    def infeed(self, shape: TensorShape, name: str | None = None) -> Operation:
+        """The TPU-side infeed dequeue producing this step's batch."""
+        return self.add(opdefs.INFEED_DEQUEUE, shape=shape, name=name)
+
+    def matmul(
+        self, a: Operation, b: Operation, m: int, k: int, n: int, batch: int = 1
+    ) -> Operation:
+        """A (possibly batched) dense matmul with derived FLOPs."""
+        shape = TensorShape((batch, m, n) if batch > 1 else (m, n))
+        return self.add(
+            opdefs.MATMUL,
+            inputs=(a.name, b.name),
+            shape=shape,
+            flops=matmul_flops(m, k, n, batch),
+            m=m,
+            k=k,
+            n=n,
+            batch=batch,
+        )
+
+    def conv2d(
+        self,
+        image: Operation,
+        kernel: Operation,
+        batch: int,
+        out_height: int,
+        out_width: int,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+    ) -> Operation:
+        """A 2-D convolution with derived FLOPs."""
+        shape = TensorShape((batch, out_height, out_width, out_channels))
+        return self.add(
+            opdefs.CONV2D,
+            inputs=(image.name, kernel.name),
+            shape=shape,
+            flops=conv2d_flops(
+                batch, out_height, out_width, in_channels, out_channels, kernel_size, kernel_size
+            ),
+        )
+
+    def elementwise(
+        self, kind: OpKind, source: Operation, flops_per_element: float = 1.0
+    ) -> Operation:
+        """An element-wise op inheriting its input's shape."""
+        if source.shape is None:
+            raise GraphError(f"elementwise source {source.name!r} has no shape")
+        return self.add(
+            kind,
+            inputs=(source.name,),
+            shape=source.shape,
+            flops=source.shape.num_elements * flops_per_element,
+        )
+
+    def reshape(self, source: Operation, shape: TensorShape) -> Operation:
+        """A layout change; costs memory traffic, not FLOPs."""
+        return self.add(opdefs.RESHAPE, inputs=(source.name,), shape=shape)
+
+    def transpose(self, source: Operation) -> Operation:
+        """A transpose; costs memory traffic."""
+        if source.shape is None:
+            raise GraphError(f"transpose source {source.name!r} has no shape")
+        return self.add(
+            opdefs.TRANSPOSE,
+            inputs=(source.name,),
+            shape=TensorShape(tuple(reversed(source.shape.dims)), source.shape.dtype),
+        )
+
+    def outfeed(self, source: Operation) -> Operation:
+        """The TPU-side outfeed enqueue returning results to the host."""
+        return self.add(opdefs.OUTFEED_ENQUEUE, inputs=(source.name,), shape=source.shape)
+
+    def build(self) -> Graph:
+        """Validate and return the built graph."""
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,59 @@
+"""Constant-folding pass.
+
+The TensorFlow master applies optimizations such as constant folding
+before handing subgraphs to workers (Section II-B). The pass replaces any
+op whose inputs are all constants — and whose cost does not depend on
+runtime data movement — with a constant of the same shape, iterating to a
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph import ops as opdefs
+from repro.graph.graph import Graph
+from repro.graph.ops import CostKind, Operation
+
+
+_FOLDABLE_COSTS = {CostKind.COMPUTE, CostKind.MEMORY, CostKind.CONTROL, CostKind.HOST_CPU}
+
+
+@dataclass(frozen=True)
+class FoldingReport:
+    """Summary of one constant-folding run."""
+
+    folded: int
+    iterations: int
+
+
+def _is_foldable(graph: Graph, op: Operation) -> bool:
+    if op.kind.cost not in _FOLDABLE_COSTS:
+        return False
+    if not op.inputs:
+        return False
+    return all(graph.op(name).kind is opdefs.CONST for name in op.inputs)
+
+
+def fold_constants(graph: Graph) -> FoldingReport:
+    """Fold constant subexpressions in place; returns what was folded."""
+    total_folded = 0
+    iterations = 0
+    while True:
+        iterations += 1
+        foldable = [op for op in graph.operations() if _is_foldable(graph, op)]
+        if not foldable:
+            break
+        for op in foldable:
+            folded = Operation(
+                name=op.name,
+                kind=opdefs.CONST,
+                inputs=(),
+                shape=op.shape,
+                attrs={"folded_from": op.kind.name},
+            )
+            # Replace in place: same name, so consumers keep their edges.
+            graph._ops[op.name] = folded  # noqa: SLF001 - pass owns the graph
+            total_folded += 1
+    graph.validate()
+    return FoldingReport(folded=total_folded, iterations=iterations)

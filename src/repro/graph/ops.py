@@ -1,0 +1,193 @@
+"""Operator vocabulary and graph node type.
+
+The vocabulary mirrors the operator names TPUPoint observes in real
+profiles (Table II of the paper): TPU-side compute ops (``MatMul``,
+``Conv2D...``, later fused into ``fusion`` by the XLA pass), data-layout
+ops (``Reshape``, ``Transpose``), infeed/outfeed, and host-side pipeline
+ops (``DecodeAndCropJpeg``, ``TransferBufferToInfeedLocked``, ...).
+
+Each op kind declares where it may be placed and how its cost is modelled,
+which is all the partitioner and device models need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.shapes import TensorShape
+
+
+class Placement(enum.Enum):
+    """Where an operator may execute."""
+
+    HOST = "host"
+    TPU = "tpu"
+    EITHER = "either"
+
+
+class CostKind(enum.Enum):
+    """How an operator's runtime cost is derived."""
+
+    COMPUTE = "compute"  # FLOP-driven (MXU candidates)
+    MEMORY = "memory"  # byte-driven (layout/copy ops)
+    HOST_CPU = "host_cpu"  # host CPU time
+    TRANSFER = "transfer"  # crosses the host-TPU link
+    CONTROL = "control"  # negligible fixed cost
+    CONSTANT = "constant"  # foldable literal
+
+
+@dataclass(frozen=True)
+class OpKind:
+    """Static description of an operator type."""
+
+    name: str
+    placement: Placement
+    cost: CostKind
+    fusable: bool = False  # XLA may merge it into a fusion op
+    uses_mxu: bool = False  # FLOPs run on the matrix units
+
+
+_KINDS: dict[str, OpKind] = {}
+
+
+def _register(kind: OpKind) -> OpKind:
+    if kind.name in _KINDS:
+        raise GraphError(f"duplicate op kind {kind.name!r}")
+    _KINDS[kind.name] = kind
+    return kind
+
+
+def op_kind(name: str) -> OpKind:
+    """Look up a registered operator kind by name."""
+    try:
+        return _KINDS[name]
+    except KeyError as exc:
+        raise GraphError(f"unknown op kind {name!r}") from exc
+
+
+def registered_kinds() -> dict[str, OpKind]:
+    """All registered operator kinds, keyed by name."""
+    return dict(_KINDS)
+
+
+# --- TPU compute ops (MXU) ----------------------------------------------------
+
+MATMUL = _register(OpKind("MatMul", Placement.TPU, CostKind.COMPUTE, fusable=True, uses_mxu=True))
+CONV2D = _register(OpKind("Conv2D", Placement.TPU, CostKind.COMPUTE, fusable=True, uses_mxu=True))
+CONV2D_BACKPROP_FILTER = _register(
+    OpKind("Conv2DBackpropFilter", Placement.TPU, CostKind.COMPUTE, fusable=True, uses_mxu=True)
+)
+CONV2D_BACKPROP_INPUT = _register(
+    OpKind("Conv2DBackpropInput", Placement.TPU, CostKind.COMPUTE, fusable=True, uses_mxu=True)
+)
+FUSION = _register(OpKind("fusion", Placement.TPU, CostKind.COMPUTE, uses_mxu=True))
+
+# --- TPU vector/element-wise ops (fusable, not MXU) ---------------------------
+
+MUL = _register(OpKind("Mul", Placement.TPU, CostKind.COMPUTE, fusable=True))
+L2LOSS = _register(OpKind("L2Loss", Placement.TPU, CostKind.COMPUTE, fusable=True))
+BIAS_ADD_GRAD = _register(OpKind("BiasAddGrad", Placement.TPU, CostKind.COMPUTE, fusable=True))
+FUSED_BATCH_NORM = _register(
+    OpKind("FusedBatchNormV3", Placement.TPU, CostKind.COMPUTE, fusable=True)
+)
+FUSED_BATCH_NORM_GRAD = _register(
+    OpKind("FusedBatchNormGradV3", Placement.TPU, CostKind.COMPUTE, fusable=True)
+)
+RELU = _register(OpKind("Relu", Placement.TPU, CostKind.COMPUTE, fusable=True))
+SUM = _register(OpKind("Sum", Placement.TPU, CostKind.COMPUTE, fusable=True))
+SOFTMAX = _register(OpKind("Softmax", Placement.TPU, CostKind.COMPUTE, fusable=True))
+TANH = _register(OpKind("Tanh", Placement.TPU, CostKind.COMPUTE, fusable=True))
+
+# --- TPU memory/layout ops -----------------------------------------------------
+
+RESHAPE = _register(OpKind("Reshape", Placement.TPU, CostKind.MEMORY))
+TRANSPOSE = _register(OpKind("Transpose", Placement.TPU, CostKind.MEMORY))
+COPY = _register(OpKind("Copy", Placement.TPU, CostKind.MEMORY))
+
+# --- TPU communication/data-exchange ops ----------------------------------------
+
+INFEED = _register(OpKind("Infeed", Placement.TPU, CostKind.TRANSFER))
+INFEED_DEQUEUE = _register(OpKind("InfeedDequeueTuple", Placement.TPU, CostKind.TRANSFER))
+OUTFEED_ENQUEUE = _register(OpKind("OutfeedEnqueueTuple", Placement.TPU, CostKind.TRANSFER))
+ALL_REDUCE = _register(OpKind("all-reduce", Placement.TPU, CostKind.MEMORY))
+
+# --- host data-exchange ops -----------------------------------------------------
+
+TRANSFER_INFEED = _register(
+    OpKind("TransferBufferToInfeedLocked", Placement.HOST, CostKind.TRANSFER)
+)
+INFEED_ENQUEUE = _register(OpKind("InfeedEnqueueTuple", Placement.HOST, CostKind.TRANSFER))
+OUTFEED_DEQUEUE = _register(OpKind("OutfeedDequeueTuple", Placement.HOST, CostKind.TRANSFER))
+LINEARIZE = _register(OpKind("LinearizeX32", Placement.HOST, CostKind.HOST_CPU))
+LSRA = _register(OpKind("LSRAv2", Placement.HOST, CostKind.HOST_CPU))
+
+# --- host runtime/session ops -----------------------------------------------------
+
+RUN_GRAPH = _register(OpKind("RunGraph", Placement.HOST, CostKind.HOST_CPU))
+SEND = _register(OpKind("Send", Placement.HOST, CostKind.HOST_CPU))
+RECV = _register(OpKind("Recv", Placement.HOST, CostKind.HOST_CPU))
+START_PROGRAM = _register(OpKind("StartProgram", Placement.HOST, CostKind.HOST_CPU))
+BUILD_PADDED_OUTPUT = _register(OpKind("BuildPaddedOutput", Placement.HOST, CostKind.HOST_CPU))
+INITIALIZE_TPU = _register(
+    OpKind("InitializeHostForDistributedTpu", Placement.HOST, CostKind.HOST_CPU)
+)
+DISCONNECT_TPU = _register(
+    OpKind("DisconnectHostFromDistributedTPUSystem", Placement.HOST, CostKind.HOST_CPU)
+)
+RESTORE_V2 = _register(OpKind("RestoreV2", Placement.HOST, CostKind.HOST_CPU))
+SAVE_V2 = _register(OpKind("SaveV2", Placement.HOST, CostKind.HOST_CPU))
+
+# --- host preprocessing ops --------------------------------------------------------
+
+DECODE_AND_CROP_JPEG = _register(
+    OpKind("DecodeAndCropJpeg", Placement.HOST, CostKind.HOST_CPU)
+)
+RESIZE_BICUBIC = _register(OpKind("ResizeBicubic", Placement.HOST, CostKind.HOST_CPU))
+CAST = _register(OpKind("Cast", Placement.EITHER, CostKind.HOST_CPU, fusable=True))
+SUB = _register(OpKind("Sub", Placement.EITHER, CostKind.HOST_CPU, fusable=True))
+MAXIMUM = _register(OpKind("Maximum", Placement.EITHER, CostKind.HOST_CPU, fusable=True))
+MINIMUM = _register(OpKind("Minimum", Placement.EITHER, CostKind.HOST_CPU, fusable=True))
+
+# --- literals / control ---------------------------------------------------------------
+
+CONST = _register(OpKind("Const", Placement.EITHER, CostKind.CONSTANT))
+IDENTITY = _register(OpKind("Identity", Placement.EITHER, CostKind.CONTROL))
+NO_OP = _register(OpKind("NoOp", Placement.EITHER, CostKind.CONTROL))
+
+
+@dataclass
+class Operation:
+    """A node in a computational graph.
+
+    Attributes:
+        name: unique node name within its graph.
+        kind: registered operator kind.
+        inputs: names of producer nodes.
+        shape: output tensor shape.
+        flops: compute work for COMPUTE ops.
+        attrs: free-form attributes (e.g. matmul dims for MXU efficiency).
+    """
+
+    name: str
+    kind: OpKind
+    inputs: tuple[str, ...] = ()
+    shape: TensorShape | None = None
+    flops: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("operation name must be non-empty")
+        if self.flops < 0:
+            raise GraphError("flops must be non-negative")
+
+    @property
+    def output_bytes(self) -> float:
+        """Bytes of the op's output tensor (0 when shapeless)."""
+        return self.shape.num_bytes if self.shape is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Operation({self.name!r}, kind={self.kind.name})"

@@ -1,0 +1,113 @@
+"""Tensor shapes and work accounting.
+
+Shapes carry just enough information to cost operators: element counts,
+byte sizes for a dtype, and FLOP estimates for matrix multiplies and
+convolutions. The simulator never materializes tensor data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+_DTYPE_BYTES = {
+    "float32": 4,
+    "bfloat16": 2,
+    "float16": 2,
+    "int32": 4,
+    "int64": 8,
+    "uint8": 1,
+    "bool": 1,
+}
+
+
+def dtype_bytes(dtype: str) -> int:
+    """Bytes per element for a supported dtype name."""
+    try:
+        return _DTYPE_BYTES[dtype]
+    except KeyError as exc:
+        raise GraphError(f"unsupported dtype {dtype!r}") from exc
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A static tensor shape with a dtype.
+
+    Dimensions must be positive; scalars are represented by ``dims=()``.
+    """
+
+    dims: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if any(dim <= 0 for dim in self.dims):
+            raise GraphError(f"shape dimensions must be positive, got {self.dims}")
+        dtype_bytes(self.dtype)  # validate eagerly
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for dim in self.dims:
+            count *= dim
+        return count
+
+    @property
+    def num_bytes(self) -> float:
+        return float(self.num_elements * dtype_bytes(self.dtype))
+
+    def with_batch(self, batch: int) -> "TensorShape":
+        """Prepend a batch dimension."""
+        if batch <= 0:
+            raise GraphError("batch must be positive")
+        return TensorShape((batch, *self.dims), self.dtype)
+
+    def __str__(self) -> str:
+        return f"{self.dtype}[{','.join(map(str, self.dims))}]"
+
+
+def matmul_flops(m: int, k: int, n: int, batch: int = 1) -> float:
+    """FLOPs of a batched (m,k)x(k,n) matrix multiply."""
+    if min(m, k, n, batch) <= 0:
+        raise GraphError("matmul dimensions must be positive")
+    return 2.0 * batch * m * k * n
+
+
+def conv2d_flops(
+    batch: int,
+    out_height: int,
+    out_width: int,
+    in_channels: int,
+    out_channels: int,
+    kernel_height: int,
+    kernel_width: int,
+) -> float:
+    """FLOPs of a 2-D convolution (multiply-accumulate counted as 2)."""
+    dims = (batch, out_height, out_width, in_channels, out_channels, kernel_height, kernel_width)
+    if min(dims) <= 0:
+        raise GraphError("conv dimensions must be positive")
+    return (
+        2.0
+        * batch
+        * out_height
+        * out_width
+        * out_channels
+        * in_channels
+        * kernel_height
+        * kernel_width
+    )
+
+
+def attention_flops(batch: int, seq_len: int, hidden: int, num_heads: int) -> float:
+    """FLOPs of one multi-head self-attention block (QKV + scores + output)."""
+    if min(batch, seq_len, hidden, num_heads) <= 0:
+        raise GraphError("attention dimensions must be positive")
+    qkv = 3 * matmul_flops(seq_len, hidden, hidden, batch)
+    scores = matmul_flops(seq_len, hidden, seq_len, batch)
+    weighted = matmul_flops(seq_len, seq_len, hidden, batch)
+    output = matmul_flops(seq_len, hidden, hidden, batch)
+    return qkv + scores + weighted + output

@@ -1,0 +1,204 @@
+"""A tf.data-style input-pipeline DSL.
+
+The programs TPUPoint-Optimizer analyzes are tf.data pipelines — chains
+of ``interleave/shuffle/map/batch/prefetch`` calls whose arguments *are*
+the adjustable parameters. This module provides that front end: declare
+the pipeline the way user code does, then lower it to the simulator's
+:class:`~repro.host.pipeline.InputPipeline` (stages + config). The
+declaration order is preserved, so a map-after-batch pipeline really is
+vectorized, and a missing ``prefetch`` really serializes the handoff —
+the naive patterns of Section VII are expressible literally.
+
+Example::
+
+    pipeline = (
+        Dataset.from_tfrecords(SQUAD)
+        .interleave(cycle_length=4)
+        .shuffle(1024)
+        .map("parse", cost_us_per_example=18.0, num_parallel_calls=8)
+        .batch(32)
+        .prefetch(2)
+        .build(vm, bucket)
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.datasets.base import DatasetSpec
+from repro.errors import ConfigurationError
+from repro.host.pipeline import InputPipeline, PipelineConfig
+from repro.host.stages import StageKind, StageSpec
+from repro.host.vm import HostVM
+from repro.storage.bucket import Bucket
+
+_DEFAULT_MAP_OPS = (("Cast", 0.5), ("Sub", 0.5))
+_TRANSFER_OPS = (
+    ("TransferBufferToInfeedLocked", 0.5),
+    ("InfeedEnqueueTuple", 0.2),
+    ("LinearizeX32", 0.2),
+    ("LSRAv2", 0.1),
+)
+
+
+@dataclass(frozen=True)
+class _MapOp:
+    name: str
+    cost_us_per_example: float
+    num_parallel_calls: int
+    ops: tuple[tuple[str, float], ...]
+    after_batch: bool = False
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable pipeline declaration; every method returns a new one."""
+
+    spec: DatasetSpec
+    cycle_length: int = 1
+    shuffle_buffer: int = 0
+    maps: tuple[_MapOp, ...] = field(default_factory=tuple)
+    batch_size: int | None = None
+    prefetch_depth: int = 0
+    infeed_threads: int = 2
+    batched: bool = False  # tracks declaration order for map-after-batch
+
+    # --- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_tfrecords(cls, spec: DatasetSpec) -> "Dataset":
+        """Start a pipeline over a dataset's TFRecord shards."""
+        return cls(spec=spec)
+
+    # --- transformations ------------------------------------------------------
+
+    def interleave(self, cycle_length: int) -> "Dataset":
+        """Read ``cycle_length`` shards concurrently."""
+        if cycle_length <= 0:
+            raise ConfigurationError("cycle_length must be positive")
+        return replace(self, cycle_length=cycle_length)
+
+    def shuffle(self, buffer_size: int) -> "Dataset":
+        """Reservoir-shuffle with the given buffer."""
+        if buffer_size < 0:
+            raise ConfigurationError("buffer_size must be non-negative")
+        return replace(self, shuffle_buffer=buffer_size)
+
+    def map(
+        self,
+        name: str,
+        cost_us_per_example: float,
+        num_parallel_calls: int = 1,
+        ops: tuple[tuple[str, float], ...] = _DEFAULT_MAP_OPS,
+    ) -> "Dataset":
+        """Apply a per-example function; placement relative to batch matters."""
+        if cost_us_per_example < 0:
+            raise ConfigurationError("cost_us_per_example must be non-negative")
+        if num_parallel_calls <= 0:
+            raise ConfigurationError("num_parallel_calls must be positive")
+        new_map = _MapOp(
+            name=name,
+            cost_us_per_example=cost_us_per_example,
+            num_parallel_calls=num_parallel_calls,
+            ops=ops,
+            after_batch=self.batched,
+        )
+        return replace(self, maps=(*self.maps, new_map))
+
+    def batch(self, batch_size: int) -> "Dataset":
+        """Assemble examples into batches."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.batched:
+            raise ConfigurationError("batch() already applied")
+        return replace(self, batch_size=batch_size, batched=True)
+
+    def prefetch(self, depth: int) -> "Dataset":
+        """Run the pipeline up to ``depth`` batches ahead of the consumer."""
+        if depth < 0:
+            raise ConfigurationError("prefetch depth must be non-negative")
+        return replace(self, prefetch_depth=depth)
+
+    def with_infeed_threads(self, threads: int) -> "Dataset":
+        """Threads linearizing buffers for the infeed DMA."""
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        return replace(self, infeed_threads=threads)
+
+    # --- lowering -----------------------------------------------------------------
+
+    def to_config(self) -> PipelineConfig:
+        """The tuning knobs this declaration implies."""
+        parallel_calls = max((m.num_parallel_calls for m in self.maps), default=1)
+        return PipelineConfig(
+            num_parallel_reads=self.cycle_length,
+            num_parallel_calls=parallel_calls,
+            prefetch_depth=self.prefetch_depth,
+            shuffle_buffer=self.shuffle_buffer,
+            infeed_threads=self.infeed_threads,
+            # Maps declared after batch() run vectorized (the map/batch swap).
+            vectorized_preprocess=any(m.after_batch for m in self.maps),
+        )
+
+    def to_stages(self) -> tuple[StageSpec, ...]:
+        """The simulator stages this declaration lowers to."""
+        if self.batch_size is None:
+            raise ConfigurationError("pipeline must call batch() before building")
+        stages: list[StageSpec] = [
+            StageSpec("read", StageKind.READ, ops=(("Send", 0.5), ("Recv", 0.5)))
+        ]
+        for index, map_op in enumerate(self.maps):
+            stages.append(
+                StageSpec(
+                    map_op.name or f"map_{index}",
+                    StageKind.CPU,
+                    cpu_us_per_example=map_op.cost_us_per_example,
+                    ops=map_op.ops,
+                )
+            )
+        stages.append(
+            StageSpec(
+                "batch",
+                StageKind.BATCH,
+                cpu_us_per_example=0.5,
+                parallelizable=False,
+                ops=(("Cast", 1.0),),
+            )
+        )
+        stages.append(StageSpec("transfer", StageKind.TRANSFER, ops=_TRANSFER_OPS))
+        return tuple(stages)
+
+    def build(self, vm: HostVM | None = None, bucket: Bucket | None = None) -> InputPipeline:
+        """Lower the declaration to an executable input pipeline."""
+        return InputPipeline(
+            vm=vm or HostVM(),
+            bucket=bucket or Bucket(f"{self.spec.name.lower()}-bucket"),
+            stages=self.to_stages(),
+            config=self.to_config(),
+            bytes_per_example_storage=self.spec.storage_bytes_per_example,
+            bytes_per_example_device=self.spec.device_bytes_per_example,
+        )
+
+    # --- introspection -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """The pipeline as the user-code chain it represents."""
+        parts = [f"Dataset.from_tfrecords({self.spec.name})"]
+        if self.cycle_length > 1:
+            parts.append(f".interleave(cycle_length={self.cycle_length})")
+        if self.shuffle_buffer:
+            parts.append(f".shuffle({self.shuffle_buffer})")
+        emitted_batch = False
+        for map_op in self.maps:
+            if map_op.after_batch and not emitted_batch:
+                parts.append(f".batch({self.batch_size})")
+                emitted_batch = True
+            parts.append(
+                f".map({map_op.name!r}, num_parallel_calls={map_op.num_parallel_calls})"
+            )
+        if not emitted_batch and self.batch_size is not None:
+            parts.append(f".batch({self.batch_size})")
+        if self.prefetch_depth:
+            parts.append(f".prefetch({self.prefetch_depth})")
+        return "".join(parts)

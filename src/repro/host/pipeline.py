@@ -1,0 +1,185 @@
+"""tf.data-style input pipeline model.
+
+The pipeline converts a workload's stage specs plus tuning knobs into the
+cost of producing one training batch: storage read time, parallel CPU time
+for decode/preprocess, batch assembly, and the host-to-TPU infeed
+transfer. These per-batch costs drive both the step timing (how long the
+TPU waits for data) and the host-side operator events the profiler sees
+(``TransferBufferToInfeedLocked``, ``DecodeAndCropJpeg``, ...).
+
+The knobs in :class:`PipelineConfig` are exactly the "adjustable
+parameters" TPUPoint-Optimizer discovers and tunes (Section VII-A):
+buffer sizes, thread counts, and stage ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.host.stages import StageCost, StageKind, StageSpec
+from repro.host.vm import HostVM
+from repro.storage.bucket import Bucket
+
+# Parallel reads from cloud storage scale bandwidth sub-linearly and
+# saturate; this exponent and cap model GCS multi-stream behaviour.
+_READ_SCALING_EXPONENT = 0.7
+_READ_SCALING_CAP = 8.0
+
+# Host link used by TransferBufferToInfeedLocked (PCIe-class), bytes/s.
+_HOST_LINK_BANDWIDTH = 10e9
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable input-pipeline parameters.
+
+    Attributes:
+        num_parallel_reads: concurrent storage read streams (interleave).
+        num_parallel_calls: worker threads for parallelizable CPU stages.
+        prefetch_depth: batches the pipeline may run ahead of the TPU;
+            0 disables overlap entirely (fully serial host→TPU handoff).
+        shuffle_buffer: shuffle-buffer size in examples (costs CPU).
+        infeed_threads: threads linearizing buffers for the infeed DMA.
+        vectorized_preprocess: reorder batching before per-example maps
+            (the classic map/batch swap): the same work runs vectorized,
+            trimming per-example overhead without changing outputs.
+        jitter: lognormal sigma applied to each batch's cost.
+    """
+
+    num_parallel_reads: int = 4
+    num_parallel_calls: int = 8
+    prefetch_depth: int = 2
+    shuffle_buffer: int = 1024
+    infeed_threads: int = 2
+    vectorized_preprocess: bool = False
+    jitter: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.num_parallel_reads <= 0 or self.num_parallel_calls <= 0:
+            raise ConfigurationError("parallelism knobs must be positive")
+        if self.prefetch_depth < 0 or self.shuffle_buffer < 0:
+            raise ConfigurationError("buffer sizes must be non-negative")
+        if self.infeed_threads <= 0:
+            raise ConfigurationError("infeed_threads must be positive")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be non-negative")
+
+    def with_updates(self, **kwargs) -> "PipelineConfig":
+        """Return a copy with some knobs replaced (used by the tuner)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Realized cost of producing and transferring one batch."""
+
+    stages: tuple[StageCost, ...]
+    total_wall_us: float
+    transfer_wall_us: float
+
+    @property
+    def produce_wall_us(self) -> float:
+        """Host time to have the batch ready, excluding the infeed DMA."""
+        return self.total_wall_us - self.transfer_wall_us
+
+    def op_durations(self) -> list[tuple[str, float]]:
+        """Flatten all stages into (host op name, duration) pairs."""
+        durations: list[tuple[str, float]] = []
+        for stage in self.stages:
+            durations.extend(stage.op_durations())
+        return durations
+
+
+@dataclass
+class InputPipeline:
+    """A configured input pipeline feeding one training run.
+
+    Attributes:
+        vm: host VM executing the CPU stages.
+        bucket: storage bucket holding the dataset.
+        stages: ordered stage specs from the workload model.
+        config: tuning knobs.
+        bytes_per_example_storage: serialized example size in the bucket.
+        bytes_per_example_device: example size as staged for the TPU.
+    """
+
+    vm: HostVM
+    bucket: Bucket
+    stages: tuple[StageSpec, ...]
+    config: PipelineConfig
+    bytes_per_example_storage: float
+    bytes_per_example_device: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_example_storage < 0 or self.bytes_per_example_device < 0:
+            raise ConfigurationError("example sizes must be non-negative")
+        if not self.stages:
+            raise ConfigurationError("pipeline needs at least one stage")
+
+    # --- stage costing ----------------------------------------------------
+
+    def _read_wall_us(self, batch_size: int) -> float:
+        scale = min(self.config.num_parallel_reads**_READ_SCALING_EXPONENT, _READ_SCALING_CAP)
+        effective_bandwidth = self.bucket.read_bandwidth * scale
+        batch_bytes = self.bytes_per_example_storage * batch_size
+        latency = self.bucket.request_latency_us / max(self.config.num_parallel_reads, 1)
+        # Amortize the per-request latency over the examples a request returns.
+        amortized_latency = latency * batch_bytes / max(self.bucket.read_bandwidth, 1.0) * 1e-6
+        return batch_bytes / effective_bandwidth * 1e6 + amortized_latency
+
+    def _cpu_wall_us(self, spec: StageSpec, batch_size: int) -> float:
+        serial_us = spec.cpu_us_per_example * batch_size
+        if self.config.vectorized_preprocess and spec.parallelizable:
+            serial_us *= 0.85  # batched maps amortize per-example overhead
+        threads = self.config.num_parallel_calls if spec.parallelizable else 1
+        return self.vm.parallel_time_us(serial_us, threads)
+
+    def _transfer_wall_us(self, batch_size: int) -> float:
+        batch_bytes = self.bytes_per_example_device * batch_size
+        link_us = batch_bytes / _HOST_LINK_BANDWIDTH * 1e6
+        # Linearizing the buffer for DMA costs CPU and overlaps the link.
+        linearize_serial_us = batch_bytes / 4e9 * 1e6
+        linearize_us = self.vm.parallel_time_us(
+            linearize_serial_us, self.config.infeed_threads
+        )
+        return max(link_us, linearize_us)
+
+    def _shuffle_wall_us(self, batch_size: int) -> float:
+        if self.config.shuffle_buffer == 0:
+            return 0.0
+        # Maintaining the reservoir costs a small, size-dependent CPU fee.
+        per_example_us = 0.05 * (1.0 + np.log2(1 + self.config.shuffle_buffer) / 16.0)
+        return self.vm.parallel_time_us(per_example_us * batch_size, 1)
+
+    # --- public API ---------------------------------------------------------
+
+    def batch_cost(self, batch_size: int, rng: np.random.Generator) -> BatchCost:
+        """Cost of producing one batch under the current configuration."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        jitter = float(rng.lognormal(mean=0.0, sigma=self.config.jitter)) if self.config.jitter else 1.0
+        costs: list[StageCost] = []
+        transfer_wall = 0.0
+        for spec in self.stages:
+            if spec.kind is StageKind.READ:
+                wall = self._read_wall_us(batch_size) + self._shuffle_wall_us(batch_size)
+            elif spec.kind is StageKind.TRANSFER:
+                wall = self._transfer_wall_us(batch_size)
+            else:
+                wall = self._cpu_wall_us(spec, batch_size)
+            wall *= jitter
+            if spec.kind is StageKind.TRANSFER:
+                transfer_wall += wall
+            costs.append(StageCost(spec.name, spec.kind, wall, spec.ops))
+        total = sum(stage.wall_us for stage in costs)
+        return BatchCost(tuple(costs), total, transfer_wall)
+
+    def mean_batch_wall_us(self, batch_size: int) -> float:
+        """Jitter-free per-batch production cost (for planning/tuning)."""
+        rng = np.random.default_rng(0)
+        quiet = replace(self.config, jitter=0.0)
+        pipeline = replace(self, config=quiet)
+        return pipeline.batch_cost(batch_size, rng).total_wall_us

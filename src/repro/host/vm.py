@@ -1,0 +1,74 @@
+"""Host virtual-machine model.
+
+The paper's experiments ran each workload from a Compute Engine VM with a
+16-core, 2-way-SMT Intel Skylake CPU and 104 GB of memory. The VM model
+answers one question for the input pipeline: how much does spreading work
+across ``n`` threads actually speed it up? Parallel efficiency falls off
+with contention, and SMT threads contribute less than physical cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro import units
+
+
+@dataclass(frozen=True)
+class HostVmSpec:
+    """Static description of the host VM."""
+
+    physical_cores: int = 16
+    smt_ways: int = 2
+    memory_bytes: float = 104 * units.GIB
+    smt_yield: float = 0.35  # extra throughput an SMT sibling contributes
+    parallel_efficiency: float = 0.92  # per-doubling efficiency under contention
+
+    def __post_init__(self) -> None:
+        if self.physical_cores <= 0 or self.smt_ways <= 0:
+            raise ConfigurationError("core counts must be positive")
+        if not 0.0 <= self.smt_yield <= 1.0:
+            raise ConfigurationError("smt_yield must be in [0, 1]")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ConfigurationError("parallel_efficiency must be in (0, 1]")
+
+    @property
+    def vcpus(self) -> int:
+        """Logical CPU count exposed to the guest."""
+        return self.physical_cores * self.smt_ways
+
+
+class HostVM:
+    """Executable view of a host VM: thread-scaling and CPU-time costing."""
+
+    def __init__(self, spec: HostVmSpec | None = None):
+        self.spec = spec or HostVmSpec()
+
+    def effective_parallelism(self, num_threads: int) -> float:
+        """Throughput multiplier achieved by ``num_threads`` workers.
+
+        Scales sub-linearly (contention) up to the physical core count,
+        then SMT siblings add ``smt_yield`` each, and threads beyond the
+        vCPU count add nothing.
+        """
+        if num_threads <= 0:
+            raise ConfigurationError("num_threads must be positive")
+        spec = self.spec
+        capped = min(num_threads, spec.vcpus)
+        physical = min(capped, spec.physical_cores)
+        smt_extra = max(0, capped - spec.physical_cores)
+        raw = physical + smt_extra * spec.smt_yield
+        # Contention: each doubling of workers only retains parallel_efficiency.
+        if raw <= 1.0:
+            return raw
+        import math
+
+        doublings = math.log2(raw)
+        return raw * (spec.parallel_efficiency**doublings)
+
+    def parallel_time_us(self, serial_cpu_us: float, num_threads: int) -> float:
+        """Wall time to burn ``serial_cpu_us`` of CPU work on ``num_threads``."""
+        if serial_cpu_us < 0:
+            raise ConfigurationError("serial_cpu_us must be non-negative")
+        return serial_cpu_us / self.effective_parallelism(num_threads)

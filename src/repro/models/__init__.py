@@ -1,0 +1,38 @@
+"""Workload substrate: behavioural models of Table I's ML workloads."""
+
+from repro.models.base import WorkloadDefaults, WorkloadModel, apply_mxu_efficiency
+from repro.models.bert import BertModel
+from repro.models.dcgan import DcganModel
+from repro.models.naive import NaiveVariant, naive_pipeline_config
+from repro.models.qanet import QanetModel
+from repro.models.registry import (
+    OPTIMIZER_WORKLOADS,
+    PAPER_WORKLOADS,
+    SMALL_DATASET_WORKLOADS,
+    WorkloadEntry,
+    all_workloads,
+    model,
+    workload,
+)
+from repro.models.resnet import ResNetModel
+from repro.models.retinanet import RetinaNetModel
+
+__all__ = [
+    "OPTIMIZER_WORKLOADS",
+    "PAPER_WORKLOADS",
+    "SMALL_DATASET_WORKLOADS",
+    "BertModel",
+    "DcganModel",
+    "NaiveVariant",
+    "QanetModel",
+    "ResNetModel",
+    "RetinaNetModel",
+    "WorkloadDefaults",
+    "WorkloadEntry",
+    "WorkloadModel",
+    "all_workloads",
+    "apply_mxu_efficiency",
+    "model",
+    "naive_pipeline_config",
+    "workload",
+]

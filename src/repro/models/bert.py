@@ -1,0 +1,92 @@
+"""BERT fine-tuning workload (Table I, rows 1-4).
+
+A BERT-base encoder (12 layers, hidden 768, 12 heads, FFN 3072) fine-tuned
+with max sequence length 128 and batch size 32, as the paper ran it on
+SQuAD, MRPC, MNLI, and CoLA. The graph carries the full attention/FFN
+matmul structure — including the reshape/transpose layout ops that make
+``Reshape`` a top TPU operator — plus the mirrored gradient matmuls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetSpec
+from repro.graph import ops as opdefs
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.shapes import TensorShape
+from repro.models import layers
+from repro.models.base import WorkloadDefaults, WorkloadModel, apply_mxu_efficiency
+
+# Simulation-scale step counts per dataset (paper runs 3 epochs each).
+_SIM_STEPS = {"SQuAD": 400, "MRPC": 120, "MNLI": 480, "CoLA": 160}
+# Achieved fraction of peak for BERT-class matmuls on a TPU core.
+_BERT_MXU_EFFICIENCY = 0.38
+
+
+@dataclass
+class BertModel(WorkloadModel):
+    """BERT-base encoder fine-tuning."""
+
+    num_layers: int = 12
+    hidden: int = 768
+    num_heads: int = 12
+    ffn: int = 3072
+    seq_len: int = 128
+
+    name: str = "BERT"
+    workload_type: str = "Natural Language"
+
+    def _forward(self, b: GraphBuilder, batch_size: int) -> "layers.Operation":
+        tokens = b.infeed(TensorShape((batch_size, self.seq_len, 3), dtype="int32"))
+        # Embedding lookup: a gather (memory-bound) then layout to [B,S,H].
+        embedded = b.reshape(tokens, TensorShape((batch_size, self.seq_len, self.hidden)))
+        x = b.elementwise(opdefs.CAST, embedded)
+        for _ in range(self.num_layers):
+            x = layers.transformer_layer(
+                b, x, batch_size, self.seq_len, self.hidden, self.ffn, self.num_heads
+            )
+        return x
+
+    def build_train_graph(self, batch_size: int, dataset: DatasetSpec | None = None) -> Graph:
+        b = GraphBuilder(f"bert-train-b{batch_size}")
+        encoded = self._forward(b, batch_size)
+        # Task head: pooled classification/span logits.
+        pooled = b.reshape(encoded, TensorShape((batch_size * self.seq_len, self.hidden)))
+        logits = layers.dense_layer(
+            b, pooled, batch_size * self.seq_len, self.hidden, 2, activation=None
+        )
+        grad = logits
+        for _ in range(self.num_layers):
+            grad = layers.transformer_backward(
+                b, grad, batch_size, self.seq_len, self.hidden, self.ffn
+            )
+        weight_elements = self.num_layers * (4 * self.hidden**2 + 2 * self.hidden * self.ffn)
+        reduced = layers.loss_and_optimizer(b, grad, float(weight_elements))
+        b.outfeed(reduced)
+        return apply_mxu_efficiency(b.build(), _BERT_MXU_EFFICIENCY)
+
+    def build_eval_graph(self, batch_size: int, dataset: DatasetSpec | None = None) -> Graph:
+        b = GraphBuilder(f"bert-eval-b{batch_size}")
+        encoded = self._forward(b, batch_size)
+        pooled = b.reshape(encoded, TensorShape((batch_size * self.seq_len, self.hidden)))
+        logits = layers.dense_layer(
+            b, pooled, batch_size * self.seq_len, self.hidden, 2, activation=None
+        )
+        b.outfeed(logits)
+        return apply_mxu_efficiency(b.build(), _BERT_MXU_EFFICIENCY)
+
+    def defaults(self, dataset: DatasetSpec) -> WorkloadDefaults:
+        base_name = dataset.name.removesuffix("-half")
+        epochs = 3
+        paper_steps = max(1, dataset.num_examples * epochs // 32)
+        sim_steps = _SIM_STEPS.get(base_name, min(400, paper_steps))
+        return WorkloadDefaults(
+            batch_size=32,
+            train_steps=sim_steps,
+            paper_train_steps=paper_steps,
+            iterations_per_loop=20,
+            checkpoint_every=75,
+            checkpoint_bytes=440e6,  # BERT-base checkpoint
+        )

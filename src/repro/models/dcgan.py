@@ -1,0 +1,129 @@
+"""DCGAN image-generation workload (Table I, row 2).
+
+A deep convolutional GAN trained on CIFAR-10 or MNIST with batch size
+1024. Both the generator (transposed convolutions modelled as convs at
+the output resolution) and the discriminator train each step. The tiny
+channel counts fill the MXU poorly, which is why DCGAN sits at the bottom
+of the paper's MXU-utilization chart while its large batch keeps the
+infeed busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetSpec
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.models import layers
+from repro.models.base import WorkloadDefaults, WorkloadModel, apply_mxu_efficiency
+
+_LATENT_DIM = 100
+# Small GAN convolutions fill very little of the systolic array.
+_DCGAN_MXU_EFFICIENCY = 0.12
+
+
+@dataclass
+class DcganModel(WorkloadModel):
+    """DCGAN generator + discriminator trained jointly."""
+
+    base_channels: int = 96
+
+    name: str = "DCGAN"
+    workload_type: str = "Image Generation"
+
+    def _generator(
+        self, b: GraphBuilder, batch: int, image_size: int, channels: int
+    ) -> tuple[Operation, list[tuple[layers.ConvSpec, int]]]:
+        specs: list[tuple[layers.ConvSpec, int]] = []
+        noise = b.const(TensorShape((batch, _LATENT_DIM)))
+        seed_size = max(1, image_size // 8)
+        projected = layers.dense_layer(
+            b, noise, batch, _LATENT_DIM, seed_size * seed_size * self.base_channels * 4
+        )
+        x = b.reshape(
+            projected, TensorShape((batch, seed_size, seed_size, self.base_channels * 4))
+        )
+        size = seed_size
+        out_channels = self.base_channels * 4
+        while size < image_size:
+            next_channels = max(self.base_channels, out_channels // 2)
+            size *= 2
+            spec = layers.ConvSpec(out_channels, next_channels, kernel=5, stride=1)
+            x, _ = layers.conv_block(b, x, batch, size, spec, batch_norm=True)
+            specs.append((spec, size))
+            out_channels = next_channels
+        final = layers.ConvSpec(out_channels, channels, kernel=5, stride=1)
+        x, _ = layers.conv_block(b, x, batch, size, final, batch_norm=False)
+        specs.append((final, size))
+        return x, specs
+
+    def _discriminator(
+        self, b: GraphBuilder, images: Operation, batch: int, image_size: int, channels: int
+    ) -> tuple[Operation, list[tuple[layers.ConvSpec, int]]]:
+        specs: list[tuple[layers.ConvSpec, int]] = []
+        x = images
+        size = image_size
+        in_channels = channels
+        out_channels = self.base_channels
+        while size > 4:
+            spec = layers.ConvSpec(in_channels, out_channels, kernel=5, stride=2)
+            x, size = layers.conv_block(b, x, batch, size, spec, batch_norm=True)
+            specs.append((spec, size))
+            in_channels = out_channels
+            out_channels *= 2
+        flat = b.reshape(x, TensorShape((batch, size * size * in_channels)))
+        verdict = layers.dense_layer(
+            b, flat, batch, size * size * in_channels, 1, activation=None
+        )
+        return verdict, specs
+
+    def build_train_graph(self, batch_size: int, dataset: DatasetSpec) -> Graph:
+        image_size = dataset.example_shape[0]
+        channels = dataset.example_shape[2] if len(dataset.example_shape) > 2 else 1
+        b = GraphBuilder(f"dcgan-train-{dataset.name}-b{batch_size}")
+        real = b.infeed(TensorShape((batch_size, image_size, image_size, channels)))
+        fake, gen_specs = self._generator(b, batch_size, image_size, channels)
+        # The discriminator scores real and fake batches each step.
+        verdict_fake, disc_specs = self._discriminator(b, fake, batch_size, image_size, channels)
+        verdict_real, disc_specs_real = self._discriminator(
+            b, real, batch_size, image_size, channels
+        )
+        grad = layers.dense_backward(b, verdict_fake, batch_size, 1, 1)
+        grad = backbone_grads(b, grad, batch_size, disc_specs + disc_specs_real + gen_specs)
+        weight_elements = 3.5e6
+        reduced = layers.loss_and_optimizer(b, verdict_real, weight_elements)
+        del grad
+        b.outfeed(reduced)
+        return apply_mxu_efficiency(b.build(), _DCGAN_MXU_EFFICIENCY)
+
+    def build_eval_graph(self, batch_size: int, dataset: DatasetSpec) -> Graph:
+        image_size = dataset.example_shape[0]
+        channels = dataset.example_shape[2] if len(dataset.example_shape) > 2 else 1
+        b = GraphBuilder(f"dcgan-eval-{dataset.name}-b{batch_size}")
+        fake, _ = self._generator(b, batch_size, image_size, channels)
+        b.outfeed(fake)
+        return apply_mxu_efficiency(b.build(), _DCGAN_MXU_EFFICIENCY)
+
+    def defaults(self, dataset: DatasetSpec) -> WorkloadDefaults:
+        return WorkloadDefaults(
+            batch_size=1024,
+            train_steps=300,
+            paper_train_steps=10_000,
+            iterations_per_loop=20,  # paper: iterations per loop 100
+            eval_every=100,  # paper: train steps per eval 1000
+            eval_steps=4,
+            checkpoint_every=100,
+            checkpoint_bytes=50e6,
+        )
+
+
+def backbone_grads(
+    b: GraphBuilder, grad: Operation, batch: int, specs: list[tuple[layers.ConvSpec, int]]
+) -> Operation:
+    """Gradient ops for all GAN convolutions, deepest first."""
+    for spec, out_size in reversed(specs):
+        grad = layers.conv_backward(b, grad, batch, out_size, spec, batch_norm=False)
+    return grad

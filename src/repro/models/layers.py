@@ -1,0 +1,239 @@
+"""Reusable neural-network blocks for workload graphs.
+
+Workload models assemble their per-step training graphs from these
+builders. Each block adds the forward operators with realistic FLOP and
+shape accounting, and the matching ``*_backward`` helpers add the
+gradient operators (``Conv2DBackpropFilter``, ``BiasAddGrad``, mirrored
+``MatMul``s, ...) that show up among the paper's top TPU operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph import ops as opdefs
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape, conv2d_flops, matmul_flops
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One convolution layer's geometry."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+
+    def out_size(self, size: int) -> int:
+        return max(1, size // self.stride)
+
+
+def dense_layer(
+    b: GraphBuilder, x: Operation, batch: int, in_dim: int, out_dim: int, activation=opdefs.RELU
+) -> Operation:
+    """Fully connected layer: MatMul + activation."""
+    w = b.const(TensorShape((in_dim, out_dim)))
+    h = b.matmul(x, w, batch, in_dim, out_dim)
+    if activation is not None:
+        h = b.elementwise(activation, h)
+    return h
+
+
+def dense_backward(
+    b: GraphBuilder, grad: Operation, batch: int, in_dim: int, out_dim: int
+) -> Operation:
+    """Gradients of a dense layer: dX and dW matmuls plus BiasAddGrad."""
+    w = b.const(TensorShape((out_dim, in_dim)))
+    dx = b.matmul(grad, w, batch, out_dim, in_dim)
+    dw = b.add(
+        opdefs.MATMUL,
+        inputs=(grad.name,),
+        shape=TensorShape((in_dim, out_dim)),
+        flops=matmul_flops(in_dim, batch, out_dim),
+        m=in_dim,
+        k=batch,
+        n=out_dim,
+    )
+    b.add(
+        opdefs.BIAS_ADD_GRAD,
+        inputs=(grad.name,),
+        shape=TensorShape((out_dim,)),
+        flops=float(batch * out_dim),
+    )
+    del dw  # weight gradient feeds the (implicit) optimizer update
+    return dx
+
+
+def conv_block(
+    b: GraphBuilder,
+    x: Operation,
+    batch: int,
+    size: int,
+    spec: ConvSpec,
+    batch_norm: bool = True,
+) -> tuple[Operation, int]:
+    """Conv2D (+ FusedBatchNormV3 + Relu); returns (output op, output size)."""
+    out_size = spec.out_size(size)
+    kernel = b.const(TensorShape((spec.kernel, spec.kernel, spec.in_channels, spec.out_channels)))
+    h = b.conv2d(
+        x,
+        kernel,
+        batch=batch,
+        out_height=out_size,
+        out_width=out_size,
+        in_channels=spec.in_channels,
+        out_channels=spec.out_channels,
+        kernel_size=spec.kernel,
+    )
+    if batch_norm:
+        h = b.elementwise(opdefs.FUSED_BATCH_NORM, h, flops_per_element=4.0)
+    h = b.elementwise(opdefs.RELU, h)
+    return h, out_size
+
+
+def conv_backward(
+    b: GraphBuilder,
+    grad: Operation,
+    batch: int,
+    out_size: int,
+    spec: ConvSpec,
+    batch_norm: bool = True,
+) -> Operation:
+    """Gradient operators of one conv block; returns the input gradient."""
+    flops = conv2d_flops(
+        batch, out_size, out_size, spec.in_channels, spec.out_channels, spec.kernel, spec.kernel
+    )
+    if batch_norm:
+        grad = b.elementwise(opdefs.FUSED_BATCH_NORM_GRAD, grad, flops_per_element=6.0)
+    b.add(
+        opdefs.CONV2D_BACKPROP_FILTER,
+        inputs=(grad.name,),
+        shape=TensorShape((spec.kernel, spec.kernel, spec.in_channels, spec.out_channels)),
+        flops=flops,
+    )
+    in_size = out_size * spec.stride
+    dx = b.add(
+        opdefs.CONV2D_BACKPROP_INPUT,
+        inputs=(grad.name,),
+        shape=TensorShape((batch, in_size, in_size, spec.in_channels)),
+        flops=flops,
+    )
+    return dx
+
+
+def attention_block(
+    b: GraphBuilder, x: Operation, batch: int, seq: int, hidden: int, heads: int
+) -> Operation:
+    """Multi-head self-attention with the layout ops TPUs actually run."""
+    head_dim = hidden // heads
+    wq = b.const(TensorShape((hidden, hidden)))
+    q = b.matmul(x, wq, seq, hidden, hidden, batch=batch)
+    wk = b.const(TensorShape((hidden, hidden)))
+    k = b.matmul(x, wk, seq, hidden, hidden, batch=batch)
+    wv = b.const(TensorShape((hidden, hidden)))
+    v = b.matmul(x, wv, seq, hidden, hidden, batch=batch)
+    # Split heads: reshape + transpose (memory ops the paper observes).
+    q = b.reshape(q, TensorShape((batch * heads, seq, head_dim)))
+    k = b.reshape(k, TensorShape((batch * heads, seq, head_dim)))
+    v = b.reshape(v, TensorShape((batch * heads, seq, head_dim)))
+    kt = b.transpose(k)
+    scores = b.add(
+        opdefs.MATMUL,
+        inputs=(q.name, kt.name),
+        shape=TensorShape((batch * heads, seq, seq)),
+        flops=matmul_flops(seq, head_dim, seq, batch * heads),
+        m=seq,
+        k=head_dim,
+        n=seq,
+        batch=batch * heads,
+    )
+    probs = b.elementwise(opdefs.SOFTMAX, scores, flops_per_element=5.0)
+    context = b.add(
+        opdefs.MATMUL,
+        inputs=(probs.name, v.name),
+        shape=TensorShape((batch * heads, seq, head_dim)),
+        flops=matmul_flops(seq, seq, head_dim, batch * heads),
+        m=seq,
+        k=seq,
+        n=head_dim,
+        batch=batch * heads,
+    )
+    merged = b.reshape(context, TensorShape((batch, seq, hidden)))
+    wo = b.const(TensorShape((hidden, hidden)))
+    return b.matmul(merged, wo, seq, hidden, hidden, batch=batch)
+
+
+def feed_forward_block(
+    b: GraphBuilder, x: Operation, batch: int, seq: int, hidden: int, ffn: int
+) -> Operation:
+    """Transformer FFN: hidden -> ffn -> hidden with a GELU-ish activation."""
+    w1 = b.const(TensorShape((hidden, ffn)))
+    h = b.matmul(x, w1, seq, hidden, ffn, batch=batch)
+    h = b.elementwise(opdefs.TANH, h, flops_per_element=8.0)
+    w2 = b.const(TensorShape((ffn, hidden)))
+    return b.matmul(h, w2, seq, ffn, hidden, batch=batch)
+
+
+def transformer_layer(
+    b: GraphBuilder, x: Operation, batch: int, seq: int, hidden: int, ffn: int, heads: int
+) -> Operation:
+    """One encoder layer: attention + FFN (+ cheap residual Mul)."""
+    attended = attention_block(b, x, batch, seq, hidden, heads)
+    h = feed_forward_block(b, attended, batch, seq, hidden, ffn)
+    return b.elementwise(opdefs.MUL, h)
+
+
+def transformer_backward(
+    b: GraphBuilder, grad: Operation, batch: int, seq: int, hidden: int, ffn: int
+) -> Operation:
+    """Approximate gradient work of one encoder layer.
+
+    Backprop through a transformer costs about 2x the forward matmul
+    work; it is modelled as the dX/dW matmul pairs of the four projection
+    layers and the FFN, which is where the time actually goes.
+    """
+    tokens = batch * seq
+    grad = dense_backward(b, grad, tokens, hidden, ffn)
+    grad = dense_backward(b, grad, tokens, ffn, hidden)
+    for _ in range(2):  # attention projections, folded pairwise
+        grad = dense_backward(b, grad, tokens, hidden, hidden)
+    return grad
+
+
+def loss_and_optimizer(b: GraphBuilder, logits: Operation, weight_elements: float) -> Operation:
+    """Loss reduction, L2 regularization, all-reduce, and weight update.
+
+    Returns a small metrics tensor suitable for the outfeed — weights and
+    gradients stay on the device; only losses/counters cross back to the
+    host each step.
+    """
+    loss = b.elementwise(opdefs.SUM, logits, flops_per_element=1.0)
+    b.add(
+        opdefs.L2LOSS,
+        inputs=(loss.name,),
+        shape=TensorShape((1,)),
+        flops=2.0 * weight_elements,
+    )
+    reduced = b.add(
+        opdefs.ALL_REDUCE,
+        inputs=(loss.name,),
+        shape=TensorShape((max(1, int(weight_elements)),)),
+    )
+    # Optimizer update: element-wise work over every weight (VPU-bound).
+    b.add(
+        opdefs.MUL,
+        inputs=(reduced.name,),
+        shape=TensorShape((max(1, int(weight_elements)),)),
+        flops=3.0 * weight_elements,
+        name="weight_update",
+    )
+    metrics = b.add(
+        opdefs.SUM,
+        inputs=(reduced.name,),
+        shape=TensorShape((16,)),
+        flops=float(weight_elements),
+        name="metrics",
+    )
+    return metrics

@@ -1,0 +1,118 @@
+"""QANet question-answering workload (Table I, row 3).
+
+QANet combines depthwise-separable convolutions with self-attention in
+its encoder blocks (no recurrence). The paper trains it on SQuAD with
+batch size 32. Narrow hidden dimensions (128) and depthwise convolutions
+fill the MXU poorly, matching the ~16% TPUv2 FLOP utilization the paper
+reports for this workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetSpec
+from repro.graph import ops as opdefs
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.models import layers
+from repro.models.base import WorkloadDefaults, WorkloadModel, apply_mxu_efficiency
+
+# Achieved fraction of peak for QANet's narrow convolutions/attention.
+_QANET_MXU_EFFICIENCY = 0.22
+
+
+@dataclass
+class QanetModel(WorkloadModel):
+    """QANet reading-comprehension model."""
+
+    hidden: int = 128
+    num_heads: int = 8
+    context_len: int = 400
+    question_len: int = 50
+    embedding_blocks: int = 1
+    model_blocks: int = 7
+    convs_per_block: int = 2
+
+    name: str = "QANet"
+    workload_type: str = "Q/A Natural Language"
+
+    def _encoder_block(
+        self, b: GraphBuilder, x: Operation, batch: int, seq: int
+    ) -> Operation:
+        """One QANet encoder block: convs, self-attention, feed-forward."""
+        for _ in range(self.convs_per_block):
+            # Depthwise-separable conv over the sequence: a depthwise pass
+            # (element-wise scale work) plus a pointwise 1x1 projection.
+            x = b.elementwise(opdefs.MUL, x, flops_per_element=7.0 * 2)
+            w = b.const(TensorShape((self.hidden, self.hidden)))
+            x = b.matmul(x, w, seq, self.hidden, self.hidden, batch=batch)
+        attended = layers.attention_block(b, x, batch, seq, self.hidden, self.num_heads)
+        return layers.feed_forward_block(b, attended, batch, seq, self.hidden, self.hidden * 4)
+
+    def _forward(self, b: GraphBuilder, batch_size: int) -> Operation:
+        tokens = b.infeed(
+            TensorShape((batch_size, self.context_len + self.question_len, 3), dtype="int32")
+        )
+        x = b.reshape(tokens, TensorShape((batch_size, self.context_len, self.hidden)))
+        x = b.elementwise(opdefs.CAST, x)
+        for _ in range(self.embedding_blocks):
+            x = self._encoder_block(b, x, batch_size, self.context_len)
+        # Context-query attention over the question span.
+        x = layers.attention_block(b, x, batch_size, self.question_len, self.hidden, self.num_heads)
+        for _ in range(self.model_blocks):
+            x = self._encoder_block(b, x, batch_size, self.context_len)
+        return x
+
+    def build_train_graph(self, batch_size: int, dataset: DatasetSpec | None = None) -> Graph:
+        b = GraphBuilder(f"qanet-train-b{batch_size}")
+        encoded = self._forward(b, batch_size)
+        flat = b.reshape(encoded, TensorShape((batch_size * self.context_len, self.hidden)))
+        logits = layers.dense_layer(
+            b, flat, batch_size * self.context_len, self.hidden, 2, activation=None
+        )
+        grad = logits
+        blocks = self.embedding_blocks + self.model_blocks
+        for _ in range(blocks):
+            grad = layers.transformer_backward(
+                b, grad, batch_size, self.context_len, self.hidden, self.hidden * 4
+            )
+        weight_elements = 1.3e6  # QANet parameter count
+        reduced = layers.loss_and_optimizer(b, grad, weight_elements)
+        b.outfeed(reduced)
+        return apply_mxu_efficiency(b.build(), _QANET_MXU_EFFICIENCY)
+
+    def build_eval_graph(self, batch_size: int, dataset: DatasetSpec | None = None) -> Graph:
+        b = GraphBuilder(f"qanet-eval-b{batch_size}")
+        encoded = self._forward(b, batch_size)
+        flat = b.reshape(encoded, TensorShape((batch_size * self.context_len, self.hidden)))
+        logits = layers.dense_layer(
+            b, flat, batch_size * self.context_len, self.hidden, 2, activation=None
+        )
+        b.outfeed(logits)
+        return apply_mxu_efficiency(b.build(), _QANET_MXU_EFFICIENCY)
+
+    def pipeline_stages(self, dataset: DatasetSpec):
+        # QANet regenerates char-level features on the fly, making its
+        # host preprocessing far heavier than BERT's on the same SQuAD
+        # records; scale the per-example CPU costs accordingly.
+        from dataclasses import replace as _replace
+
+        heavy = _replace(dataset, decode_cpu_us=1_500.0, preprocess_cpu_us=5_200.0)
+        return super().pipeline_stages(heavy)
+
+    def defaults(self, dataset: DatasetSpec) -> WorkloadDefaults:
+        half = dataset.name.endswith("-half")
+        return WorkloadDefaults(
+            batch_size=32,
+            train_steps=700,
+            paper_train_steps=100_000,  # 5 epochs x 20000 steps per epoch
+            iterations_per_loop=20,
+            # Epoch-tied cadences tighten when the dataset shrinks.
+            checkpoint_every=50 if half else 100,
+            eval_every=60 if half else 120,
+            eval_steps=4,
+            checkpoint_bytes=120e6,
+        )

@@ -1,0 +1,101 @@
+"""Workload registry: every (model, dataset) pairing of Table I.
+
+Workloads are addressed as ``"<model>-<dataset>"`` (lowercase), e.g.
+``"bert-mrpc"`` or ``"resnet-imagenet"``. The registry also exposes the
+reduced-dataset pairings of Figures 12/13 and the naive variants of
+Section VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetSpec
+from repro.datasets.registry import dataset as dataset_by_name
+from repro.errors import ConfigurationError
+from repro.models.base import WorkloadModel
+from repro.models.bert import BertModel
+from repro.models.dcgan import DcganModel
+from repro.models.naive import NaiveVariant
+from repro.models.qanet import QanetModel
+from repro.models.resnet import ResNetModel
+from repro.models.retinanet import RetinaNetModel
+
+_MODELS: dict[str, WorkloadModel] = {
+    "bert": BertModel(),
+    "dcgan": DcganModel(),
+    "qanet": QanetModel(),
+    "retinanet": RetinaNetModel(),
+    "resnet": ResNetModel(),
+}
+
+#: The nine workload/dataset pairings evaluated in the paper (Table I).
+PAPER_WORKLOADS: tuple[str, ...] = (
+    "bert-mrpc",
+    "bert-squad",
+    "bert-cola",
+    "bert-mnli",
+    "dcgan-cifar10",
+    "dcgan-mnist",
+    "qanet-squad",
+    "retinanet-coco",
+    "resnet-imagenet",
+)
+
+#: The reduced-dataset pairings of Figures 12/13.
+SMALL_DATASET_WORKLOADS: tuple[str, ...] = (
+    "qanet-squad-half",
+    "retinanet-coco-half",
+    "resnet-cifar10",
+)
+
+#: Long-running workloads used in the optimizer study (Figure 14).
+OPTIMIZER_WORKLOADS: tuple[str, ...] = ("qanet-squad", "retinanet-coco")
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """A resolved workload: model plus dataset."""
+
+    key: str
+    model: WorkloadModel
+    dataset: DatasetSpec
+
+    @property
+    def display_name(self) -> str:
+        """E.g. ``BERT-MRPC``, as the paper's figures label workloads."""
+        return f"{self.model.name}-{self.dataset.name}"
+
+
+def model(name: str) -> WorkloadModel:
+    """Look up a model by name; a ``naive-`` prefix wraps it naively."""
+    key = name.lower()
+    if key.startswith("naive-"):
+        return NaiveVariant(base=model(key.removeprefix("naive-")))
+    try:
+        return _MODELS[key]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown model {name!r}; known: {sorted(_MODELS)}") from exc
+
+
+def workload(key: str) -> WorkloadEntry:
+    """Resolve ``"<model>-<dataset>"`` (optionally ``naive-`` prefixed)."""
+    normalized = key.lower()
+    naive = normalized.startswith("naive-")
+    if naive:
+        normalized = normalized.removeprefix("naive-")
+    parts = normalized.split("-", 1)
+    if len(parts) != 2:
+        raise ConfigurationError(f"workload key {key!r} must look like 'model-dataset'")
+    model_name, dataset_name = parts
+    resolved_model = model(f"naive-{model_name}" if naive else model_name)
+    return WorkloadEntry(
+        key=key.lower(),
+        model=resolved_model,
+        dataset=dataset_by_name(dataset_name),
+    )
+
+
+def all_workloads() -> list[WorkloadEntry]:
+    """The paper's nine workload/dataset pairings, resolved."""
+    return [workload(key) for key in PAPER_WORKLOADS]

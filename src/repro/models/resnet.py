@@ -1,0 +1,126 @@
+"""ResNet-50 image-classification workload (Table I, row 5).
+
+The standard ResNet-50 bottleneck architecture trained on ImageNet with
+batch size 1024, plus the CIFAR-10 variant the paper uses to demonstrate
+dataset sensitivity (Figures 12/13): the same model code fed 32x32 images
+does almost no matrix work per step, collapsing MXU utilization.
+
+:func:`resnet50_backbone` is shared with the RetinaNet model, which uses
+the same backbone under its detection heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetSpec
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.models import layers
+from repro.models.base import WorkloadDefaults, WorkloadModel, apply_mxu_efficiency
+
+# Bottleneck stages of ResNet-50: (blocks, inner channels, output channels).
+_STAGES = ((3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048))
+# Achieved fraction of peak for large-image convolutions.
+_RESNET_MXU_EFFICIENCY = 0.52
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: Operation,
+    batch: int,
+    size: int,
+    in_channels: int,
+    inner: int,
+    out_channels: int,
+    stride: int,
+) -> tuple[Operation, int, list[tuple[layers.ConvSpec, int]]]:
+    """One bottleneck block; returns (output, size, conv specs for backprop)."""
+    specs: list[tuple[layers.ConvSpec, int]] = []
+    spec1 = layers.ConvSpec(in_channels, inner, kernel=1, stride=1)
+    x, size = layers.conv_block(b, x, batch, size, spec1)
+    specs.append((spec1, size))
+    spec2 = layers.ConvSpec(inner, inner, kernel=3, stride=stride)
+    x, size = layers.conv_block(b, x, batch, size, spec2)
+    specs.append((spec2, size))
+    spec3 = layers.ConvSpec(inner, out_channels, kernel=1, stride=1)
+    x, size = layers.conv_block(b, x, batch, size, spec3)
+    specs.append((spec3, size))
+    return x, size, specs
+
+
+def resnet50_backbone(
+    b: GraphBuilder, x: Operation, batch: int, image_size: int
+) -> tuple[Operation, int, list[tuple[layers.ConvSpec, int]]]:
+    """ResNet-50 forward pass; returns (features, size, conv specs)."""
+    all_specs: list[tuple[layers.ConvSpec, int]] = []
+    stem = layers.ConvSpec(3, 64, kernel=7, stride=2)
+    x, size = layers.conv_block(b, x, batch, image_size, stem)
+    all_specs.append((stem, size))
+    size = max(1, size // 2)  # max-pool
+    in_channels = 64
+    for blocks, inner, out_channels in _STAGES:
+        for block_index in range(blocks):
+            stride = 2 if block_index == 0 and out_channels != 256 else 1
+            x, size, specs = _bottleneck(
+                b, x, batch, size, in_channels, inner, out_channels, stride
+            )
+            all_specs.extend(specs)
+            in_channels = out_channels
+    return x, size, all_specs
+
+
+def backbone_backward(
+    b: GraphBuilder, grad: Operation, batch: int, specs: list[tuple[layers.ConvSpec, int]]
+) -> Operation:
+    """Gradient ops for a stack of conv blocks, deepest layer first."""
+    for spec, out_size in reversed(specs):
+        grad = layers.conv_backward(b, grad, batch, out_size, spec)
+    return grad
+
+
+@dataclass
+class ResNetModel(WorkloadModel):
+    """ResNet-50 classifier."""
+
+    num_classes: int = 1000
+
+    name: str = "ResNet"
+    workload_type: str = "Image Classification"
+
+    def build_train_graph(self, batch_size: int, dataset: DatasetSpec) -> Graph:
+        image_size = dataset.example_shape[0]
+        b = GraphBuilder(f"resnet50-train-{dataset.name}-b{batch_size}")
+        images = b.infeed(TensorShape((batch_size, image_size, image_size, 3)))
+        features, size, specs = resnet50_backbone(b, images, batch_size, image_size)
+        pooled = b.reshape(features, TensorShape((batch_size, 2048)))
+        logits = layers.dense_layer(b, pooled, batch_size, 2048, self.num_classes, activation=None)
+        grad = layers.dense_backward(b, logits, batch_size, 2048, self.num_classes)
+        grad = backbone_backward(b, grad, batch_size, specs)
+        weight_elements = 25.6e6  # ResNet-50 parameter count
+        reduced = layers.loss_and_optimizer(b, grad, weight_elements)
+        b.outfeed(reduced)
+        return apply_mxu_efficiency(b.build(), _RESNET_MXU_EFFICIENCY)
+
+    def build_eval_graph(self, batch_size: int, dataset: DatasetSpec) -> Graph:
+        image_size = dataset.example_shape[0]
+        b = GraphBuilder(f"resnet50-eval-{dataset.name}-b{batch_size}")
+        images = b.infeed(TensorShape((batch_size, image_size, image_size, 3)))
+        features, _, _ = resnet50_backbone(b, images, batch_size, image_size)
+        pooled = b.reshape(features, TensorShape((batch_size, 2048)))
+        logits = layers.dense_layer(b, pooled, batch_size, 2048, self.num_classes, activation=None)
+        b.outfeed(logits)
+        return apply_mxu_efficiency(b.build(), _RESNET_MXU_EFFICIENCY)
+
+    def defaults(self, dataset: DatasetSpec) -> WorkloadDefaults:
+        return WorkloadDefaults(
+            batch_size=1024,
+            train_steps=500,
+            paper_train_steps=112_590,
+            iterations_per_loop=50,
+            checkpoint_every=125,
+            checkpoint_bytes=100e6,
+            incidental_scale=6.0,
+        )

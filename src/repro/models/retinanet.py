@@ -1,0 +1,119 @@
+"""RetinaNet object-detection workload (Table I, row 4 of the models).
+
+RetinaNet = ResNet-50 backbone + feature-pyramid network (FPN) + shared
+classification/box subnets applied at five pyramid scales, trained on
+COCO at 640x640 with batch size 64. The detection heads dominate the
+compute; the heavy JPEG decode of COCO dominates the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import DatasetSpec
+from repro.host.pipeline import PipelineConfig
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.models import layers
+from repro.models.base import WorkloadDefaults, WorkloadModel, apply_mxu_efficiency
+from repro.models.resnet import backbone_backward, resnet50_backbone
+
+_FPN_CHANNELS = 96
+_SUBNET_DEPTH = 2
+_ANCHORS = 9
+_NUM_CLASSES = 90
+# Achieved fraction of peak for detection convolutions.
+_RETINANET_MXU_EFFICIENCY = 0.5
+
+
+def _pyramid_sizes(image_size: int) -> list[int]:
+    """Feature map sizes for pyramid levels P3..P7."""
+    return [max(1, image_size // (2**level)) for level in range(3, 8)]
+
+
+@dataclass
+class RetinaNetModel(WorkloadModel):
+    """RetinaNet single-stage detector."""
+
+    name: str = "RetinaNet"
+    workload_type: str = "Object Detection"
+
+    def default_pipeline_config(self) -> "PipelineConfig":
+        # The public implementation of the era parallelized decode only
+        # modestly, leaving the heavy COCO preprocessing nearly serial —
+        # the headroom TPUPoint-Optimizer exploits (Figure 14).
+        return PipelineConfig(num_parallel_calls=2, prefetch_depth=2)
+
+    def _heads(
+        self, b: GraphBuilder, features: Operation, batch: int, image_size: int
+    ) -> tuple[Operation, list[tuple[layers.ConvSpec, int]]]:
+        """FPN laterals plus class/box subnets at every pyramid scale."""
+        specs: list[tuple[layers.ConvSpec, int]] = []
+        x = features
+        for size in _pyramid_sizes(image_size):
+            lateral = layers.ConvSpec(_FPN_CHANNELS, _FPN_CHANNELS, kernel=1)
+            x, _ = layers.conv_block(b, x, batch, size, lateral, batch_norm=False)
+            specs.append((lateral, size))
+            for spec_list, out_channels in (
+                ("class", _ANCHORS * _NUM_CLASSES),
+                ("box", _ANCHORS * 4),
+            ):
+                del spec_list
+                subnet_in = _FPN_CHANNELS
+                for _ in range(_SUBNET_DEPTH):
+                    conv = layers.ConvSpec(subnet_in, _FPN_CHANNELS, kernel=3)
+                    x, _ = layers.conv_block(b, x, batch, size, conv, batch_norm=False)
+                    specs.append((conv, size))
+                    subnet_in = _FPN_CHANNELS
+                head = layers.ConvSpec(_FPN_CHANNELS, out_channels, kernel=3)
+                x, _ = layers.conv_block(b, x, batch, size, head, batch_norm=False)
+                specs.append((head, size))
+        return x, specs
+
+    def build_train_graph(self, batch_size: int, dataset: DatasetSpec) -> Graph:
+        image_size = dataset.example_shape[0]
+        b = GraphBuilder(f"retinanet-train-{dataset.name}-b{batch_size}")
+        images = b.infeed(TensorShape((batch_size, image_size, image_size, 3)))
+        features, _, backbone_specs = resnet50_backbone(b, images, batch_size, image_size)
+        # Adapt backbone output into the pyramid's channel width.
+        neck = b.reshape(
+            features,
+            TensorShape((batch_size, max(1, image_size // 8), max(1, image_size // 8), 256)),
+        )
+        predictions, head_specs = self._heads(b, neck, batch_size, image_size)
+        grad = backbone_backward(b, predictions, batch_size, head_specs)
+        grad = backbone_backward(b, grad, batch_size, backbone_specs)
+        weight_elements = 36.3e6  # RetinaNet-50 parameter count
+        reduced = layers.loss_and_optimizer(b, grad, weight_elements)
+        b.outfeed(reduced)
+        return apply_mxu_efficiency(b.build(), _RETINANET_MXU_EFFICIENCY)
+
+    def build_eval_graph(self, batch_size: int, dataset: DatasetSpec) -> Graph:
+        image_size = dataset.example_shape[0]
+        b = GraphBuilder(f"retinanet-eval-{dataset.name}-b{batch_size}")
+        images = b.infeed(TensorShape((batch_size, image_size, image_size, 3)))
+        features, _, _ = resnet50_backbone(b, images, batch_size, image_size)
+        neck = b.reshape(
+            features,
+            TensorShape((batch_size, max(1, image_size // 8), max(1, image_size // 8), 256)),
+        )
+        predictions, _ = self._heads(b, neck, batch_size, image_size)
+        b.outfeed(predictions)
+        return apply_mxu_efficiency(b.build(), _RETINANET_MXU_EFFICIENCY)
+
+    def defaults(self, dataset: DatasetSpec) -> WorkloadDefaults:
+        half = dataset.name.endswith("-half")
+        return WorkloadDefaults(
+            batch_size=64,
+            train_steps=350,
+            paper_train_steps=28_125,  # 15 epochs x 120k examples / batch 64
+            iterations_per_loop=50,
+            # Epoch-tied cadences tighten when the dataset shrinks.
+            eval_every=60 if half else 120,
+            eval_steps=5,
+            checkpoint_every=50 if half else 100,
+            checkpoint_bytes=145e6,
+            incidental_scale=6.0,
+        )

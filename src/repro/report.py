@@ -1,0 +1,140 @@
+"""Characterization reports.
+
+Renders one profiled run into a self-contained Markdown report: run
+summary, phase breakdown per detection algorithm, dominant-phase
+operator tables, and checkpoint associations — the human-readable
+counterpart of the analyzer's JSON/CSV exports. Used by the CLI's
+``report`` subcommand and usable as a library call.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import units
+from repro.core.analyzer.analyzer import AnalysisResult, TPUPointAnalyzer
+from repro.costs import run_cost
+from repro.core.analyzer.checkpoints import associate_checkpoints
+from repro.core.analyzer.operators import top_operators_of_longest_phase
+from repro.runtime.events import DeviceKind
+from repro.runtime.session import SessionSummary
+from repro.storage.checkpoints import CheckpointStore
+
+
+def _summary_section(title: str, summary: SessionSummary) -> list[str]:
+    return [
+        f"# TPUPoint characterization: {title}",
+        "",
+        "## Run summary",
+        "",
+        f"- simulated wall time: **{units.format_duration(summary.wall_us)}**",
+        f"- TPU idle time: **{summary.tpu_idle_fraction:.1%}**",
+        f"- MXU utilization: **{summary.mxu_utilization:.1%}**",
+        f"- steps profiled: {summary.steps_executed}",
+        f"- events recorded: {summary.events_recorded}",
+        "",
+    ]
+
+
+def _phase_section(result: AnalysisResult) -> list[str]:
+    coverage = result.coverage()
+    lines = [
+        f"## Phases — {result.method} {result.params}",
+        "",
+        f"- phases detected: **{result.num_phases}**",
+        f"- top-3 coverage: **{coverage.top(3):.1%}**",
+        "",
+        "| rank | phase | steps | duration | idle | top TPU ops | top host ops |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for rank, phase in enumerate(result.phases[:8]):
+        tpu = ", ".join(s.name for s in phase.top_operators(3, DeviceKind.TPU)) or "-"
+        host = ", ".join(s.name for s in phase.top_operators(3, DeviceKind.HOST)) or "-"
+        lines.append(
+            f"| {rank} | {phase.phase_id} | {phase.num_steps} | "
+            f"{units.format_duration(phase.total_duration_us)} | "
+            f"{phase.idle_fraction:.1%} | {tpu} | {host} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _operator_section(result: AnalysisResult) -> list[str]:
+    cell = top_operators_of_longest_phase(result.phases)
+    lines = ["## Dominant-phase operators", ""]
+    for device in (DeviceKind.TPU, DeviceKind.HOST):
+        row = cell[device]
+        lines.append(f"### {device.value.upper()}")
+        lines.append("")
+        lines.append("| operator | total time |")
+        lines.append("|---|---|")
+        for name, duration in zip(row.operators, row.durations_us):
+            lines.append(f"| {name} | {units.format_duration(duration)} |")
+        lines.append("")
+    return lines
+
+
+def _checkpoint_section(
+    result: AnalysisResult, store: CheckpointStore, analyzer: TPUPointAnalyzer
+) -> list[str]:
+    if not len(store):
+        return ["## Checkpoints", "", "_no checkpoints were saved during the run_", ""]
+    associations = associate_checkpoints(result.phases, store, analyzer.steps)
+    lines = [
+        "## Checkpoint associations (fast-forward targets)",
+        "",
+        "| phase | checkpoint | distance (steps) |",
+        "|---|---|---|",
+    ]
+    for phase_id, assoc in sorted(associations.items()):
+        lines.append(
+            f"| {phase_id} | model.ckpt-{assoc.checkpoint.step} | {assoc.distance_steps} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _economics_section(summary: SessionSummary, generation) -> list[str]:
+    cost = run_cost(summary, generation)
+    return [
+        "## Economics",
+        "",
+        f"- TPU bill: **${cost.tpu_dollars:.4f}** "
+        f"(${cost.idle_dollars:.4f}, {cost.idle_dollar_fraction:.0%}, paid for idle time)",
+        f"- host bill: ${cost.host_dollars:.4f}",
+        f"- energy: {cost.total_energy_joules / 1e3:.2f} kJ",
+        "",
+    ]
+
+
+def build_report(
+    title: str,
+    summary: SessionSummary,
+    analyzer: TPUPointAnalyzer,
+    methods: tuple[str, ...] = ("ols",),
+    checkpoint_store: CheckpointStore | None = None,
+    generation=None,
+) -> str:
+    """Render the Markdown report for one profiled run."""
+    lines = _summary_section(title, summary)
+    if generation is not None:
+        lines.extend(_economics_section(summary, generation))
+    primary: AnalysisResult | None = None
+    for method in methods:
+        result = analyzer.analyze(method)
+        if primary is None:
+            primary = result
+        lines.extend(_phase_section(result))
+    assert primary is not None
+    lines.extend(_operator_section(primary))
+    if checkpoint_store is not None:
+        lines.extend(_checkpoint_section(primary, checkpoint_store, analyzer))
+    return "\n".join(lines)
+
+
+def write_report(path: str | Path, report: str) -> Path:
+    """Persist a report; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report, encoding="utf-8")
+    return path

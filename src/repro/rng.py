@@ -1,0 +1,56 @@
+"""Deterministic random-number streams.
+
+Every stochastic choice in the simulator flows through a named stream so
+that runs are reproducible and independent subsystems do not perturb each
+other's sequences. Streams are derived from a root seed plus a string key
+using a stable hash, so adding a new consumer never shifts existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 0x54505550  # "TPUP"
+
+
+def _derive_seed(root_seed: int, key: str) -> int:
+    digest = hashlib.sha256(f"{root_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(key: str, root_seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Return a fresh, deterministic generator for the given stream key.
+
+    Two calls with the same ``(key, root_seed)`` produce generators that
+    yield identical sequences; different keys are statistically independent.
+    """
+    return np.random.default_rng(_derive_seed(root_seed, key))
+
+
+class RngFactory:
+    """Factory bound to one root seed, handing out named substreams.
+
+    A simulation holds one factory and passes substreams to components:
+
+    >>> rngs = RngFactory(seed=7)
+    >>> a = rngs.stream("pipeline")
+    >>> b = rngs.stream("pipeline")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.seed = int(seed)
+
+    def stream(self, key: str) -> np.random.Generator:
+        """Return a deterministic generator for ``key`` under this seed."""
+        return stream(key, self.seed)
+
+    def child(self, key: str) -> "RngFactory":
+        """Derive a nested factory, namespacing all of its streams."""
+        return RngFactory(_derive_seed(self.seed, key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self.seed})"

@@ -1,0 +1,38 @@
+"""Execution substrate: clock, events, RPC, master, workers, sessions."""
+
+from repro.runtime.clock import SimClock
+from repro.runtime.estimator import TPUEstimator
+from repro.runtime.events import DeviceKind, EventLog, StepKind, StepMetadata, TraceEvent
+from repro.runtime.master import CompiledProgram, compile_graph
+from repro.runtime.rpc import (
+    MAX_EVENTS_PER_PROFILE,
+    MAX_PROFILE_DURATION_MS,
+    ProfileRequest,
+    ProfileResponse,
+    ProfileService,
+    ProfileStub,
+)
+from repro.runtime.session import SessionPlan, SessionSummary, TrainingSession
+from repro.runtime.worker import HostWorker, TpuWorker
+
+__all__ = [
+    "MAX_EVENTS_PER_PROFILE",
+    "MAX_PROFILE_DURATION_MS",
+    "CompiledProgram",
+    "DeviceKind",
+    "EventLog",
+    "HostWorker",
+    "ProfileRequest",
+    "ProfileResponse",
+    "ProfileService",
+    "ProfileStub",
+    "SessionPlan",
+    "SessionSummary",
+    "SimClock",
+    "StepKind",
+    "StepMetadata",
+    "TPUEstimator",
+    "TraceEvent",
+    "TpuWorker",
+    "TrainingSession",
+]

@@ -1,0 +1,37 @@
+"""Simulation clock.
+
+A simple monotonic clock in microseconds. Components never read wall
+time; everything is driven by the clock so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulation time in microseconds."""
+
+    def __init__(self, start_us: float = 0.0):
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time."""
+        return self._now_us
+
+    def advance(self, delta_us: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if delta_us < 0:
+            raise SimulationError(f"cannot advance clock by {delta_us} us")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_to(self, time_us: float) -> float:
+        """Jump to an absolute time at or after the current time."""
+        if time_us < self._now_us:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now_us} to {time_us}"
+            )
+        self._now_us = time_us
+        return self._now_us

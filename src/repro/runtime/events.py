@@ -1,0 +1,116 @@
+"""Trace events and the event log.
+
+A running workload emits a stream of :class:`TraceEvent` records — one per
+operator execution on either device — plus one :class:`StepMetadata`
+record per training step carrying the device counters (idle time, MXU
+FLOPs) that the real Cloud TPU attaches to profile responses. The
+:class:`EventLog` buffers both with cursor-based reads so the profile
+service can serve bounded windows without copying history.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+class DeviceKind(enum.Enum):
+    """Which processor an event ran on."""
+
+    HOST = "host"
+    TPU = "tpu"
+
+
+class StepKind(enum.Enum):
+    """Coarse role of a step in the training timeline."""
+
+    INIT = "init"
+    TRAIN = "train"
+    EVAL = "eval"
+    CHECKPOINT = "checkpoint"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One operator execution."""
+
+    name: str
+    device: DeviceKind
+    step: int
+    start_us: float
+    duration_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass(frozen=True, slots=True)
+class StepMetadata:
+    """Per-step device counters reported alongside events."""
+
+    step: int
+    kind: StepKind
+    start_us: float
+    end_us: float
+    tpu_idle_us: float
+    mxu_flops: float
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return min(self.tpu_idle_us / self.elapsed_us, 1.0)
+
+
+@dataclass
+class EventLog:
+    """Append-only buffer of events and step metadata."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    steps: list[StepMetadata] = field(default_factory=list)
+
+    def append_event(self, event: TraceEvent) -> None:
+        """Record an operator execution."""
+        self.events.append(event)
+
+    def append_step(self, metadata: StepMetadata) -> None:
+        """Record a completed step; steps must arrive in order."""
+        if self.steps and metadata.step <= self.steps[-1].step:
+            raise SimulationError(
+                f"step metadata out of order: {metadata.step} after {self.steps[-1].step}"
+            )
+        self.steps.append(metadata)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def last_time_us(self) -> float:
+        """End time of the latest event recorded (0 when empty)."""
+        if not self.events:
+            return 0.0
+        return self.events[-1].end_us
+
+    def events_since(self, cursor: int, limit: int | None = None) -> tuple[list[TraceEvent], int]:
+        """Events after ``cursor``; returns (events, new_cursor)."""
+        if cursor < 0 or cursor > len(self.events):
+            raise SimulationError(f"invalid event cursor {cursor}")
+        end = len(self.events) if limit is None else min(len(self.events), cursor + limit)
+        return self.events[cursor:end], end
+
+    def steps_between(self, start_us: float, end_us: float) -> list[StepMetadata]:
+        """Step metadata whose interval overlaps [start_us, end_us)."""
+        return [
+            meta
+            for meta in self.steps
+            if meta.end_us > start_us and meta.start_us < end_us
+        ]

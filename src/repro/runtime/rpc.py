@@ -1,0 +1,147 @@
+"""gRPC-style profile service.
+
+The real Cloud TPU exposes profiling through client→master gRPC calls;
+each response may carry at most 1,000,000 events spanning at most
+60,000 ms (Section III-A). This module reproduces that interface: the
+:class:`ProfileService` sits between a running session's event log and
+the TPUPoint profiler thread, serving bounded windows per request. The
+profiler never touches the log directly — only request/response pairs —
+so the boundary matches the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProfileServiceError
+from repro.runtime.events import EventLog, StepMetadata, TraceEvent
+
+MAX_EVENTS_PER_PROFILE = 1_000_000
+MAX_PROFILE_DURATION_MS = 60_000.0
+
+
+@dataclass(frozen=True)
+class ProfileRequest:
+    """A profile request issued by a client stub.
+
+    Attributes:
+        max_events: event cap for the response (clamped to the service cap).
+        max_duration_ms: window cap in milliseconds (clamped likewise).
+    """
+
+    max_events: int = MAX_EVENTS_PER_PROFILE
+    max_duration_ms: float = MAX_PROFILE_DURATION_MS
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise ProfileServiceError("max_events must be positive")
+        if self.max_duration_ms <= 0:
+            raise ProfileServiceError("max_duration_ms must be positive")
+
+
+@dataclass(frozen=True)
+class ProfileResponse:
+    """One served profile window.
+
+    Attributes:
+        events: operator executions inside the window, in order.
+        step_metadata: per-step device counters overlapping the window.
+        window_start_us / window_end_us: the window bounds.
+        truncated: True when the event or duration cap cut the window short.
+        final: True when the session is finished and the log is drained.
+    """
+
+    events: tuple[TraceEvent, ...]
+    step_metadata: tuple[StepMetadata, ...]
+    window_start_us: float
+    window_end_us: float
+    truncated: bool
+    final: bool
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.window_end_us - self.window_start_us) / 1000.0
+
+
+@dataclass
+class ProfileService:
+    """Serves sequential profile windows over one session's event log."""
+
+    log: EventLog
+    _cursor: int = 0
+    _window_start_us: float = 0.0
+    requests_served: int = field(default=0)
+
+    def session_finished(self) -> bool:
+        """Hook the session overrides; default assumes still running."""
+        return False
+
+    def serve(self, request: ProfileRequest, finished: bool | None = None) -> ProfileResponse:
+        """Serve the next profile window after the previous one.
+
+        ``finished`` tells the service the training session has ended, so
+        the response drains the remaining events and is marked final.
+        """
+        max_events = min(request.max_events, MAX_EVENTS_PER_PROFILE)
+        max_duration_us = min(request.max_duration_ms, MAX_PROFILE_DURATION_MS) * 1000.0
+        if finished is None:
+            finished = self.session_finished()
+
+        pending, _ = self.log.events_since(self._cursor)
+        window_start = self._window_start_us
+        window_limit = window_start + max_duration_us
+
+        taken: list[TraceEvent] = []
+        truncated = False
+        for event in pending:
+            if event.end_us > window_limit:
+                truncated = True
+                break
+            if len(taken) >= max_events:
+                truncated = True
+                break
+            taken.append(event)
+
+        if taken:
+            window_end = max(event.end_us for event in taken)
+        elif truncated:
+            window_end = window_limit
+        else:
+            window_end = max(window_start, self.log.last_time_us)
+
+        self._cursor += len(taken)
+        self._window_start_us = window_end
+        self.requests_served += 1
+
+        remaining = self.log.num_events - self._cursor
+        return ProfileResponse(
+            events=tuple(taken),
+            step_metadata=tuple(self.log.steps_between(window_start, window_end)),
+            window_start_us=window_start,
+            window_end_us=window_end,
+            truncated=truncated,
+            final=finished and remaining == 0,
+        )
+
+
+class ProfileStub:
+    """Client-side stub, mirroring a gRPC channel to the master."""
+
+    def __init__(self, service: ProfileService):
+        self._service = service
+
+    def request_profile(
+        self,
+        max_events: int = MAX_EVENTS_PER_PROFILE,
+        max_duration_ms: float = MAX_PROFILE_DURATION_MS,
+        finished: bool | None = None,
+    ) -> ProfileResponse:
+        """Issue one profile request and return the response."""
+        return self._service.serve(
+            ProfileRequest(max_events=max_events, max_duration_ms=max_duration_ms),
+            finished=finished,
+        )

@@ -1,0 +1,15 @@
+"""Cloud-storage substrate: buckets, objects, and checkpoints."""
+
+from repro.storage.bucket import Bucket, BucketStats
+from repro.storage.checkpoints import Checkpoint, CheckpointStore
+from repro.storage.objects import DatasetShard, StorageObject, shard_dataset
+
+__all__ = [
+    "Bucket",
+    "BucketStats",
+    "Checkpoint",
+    "CheckpointStore",
+    "DatasetShard",
+    "StorageObject",
+    "shard_dataset",
+]

@@ -1,0 +1,120 @@
+"""Cloud-storage bucket model.
+
+A Cloud TPU deployment keeps training data and model checkpoints in a
+Storage Bucket that the host VM reads over the network. The bucket model
+charges a per-request latency plus throughput-limited transfer time, which
+makes dataset size and shard layout visible to the input pipeline — the
+mechanism behind the paper's Observation 6 (bottlenecks move when the
+dataset changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.objects import StorageObject
+
+
+@dataclass
+class BucketStats:
+    """Running request/byte counters for a bucket."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+
+@dataclass
+class Bucket:
+    """A named bucket with a simple latency/throughput cost model.
+
+    Attributes:
+        name: bucket name (``gs://name``).
+        read_bandwidth: sustained read throughput in bytes/s.
+        write_bandwidth: sustained write throughput in bytes/s.
+        request_latency_us: fixed per-request latency in microseconds.
+        quota_bytes: storage quota; writes that would exceed it raise
+            StorageError (None = unlimited), the way a full project
+            quota fails a checkpoint save in production.
+    """
+
+    name: str
+    read_bandwidth: float = 800e6
+    write_bandwidth: float = 400e6
+    request_latency_us: float = 30_000.0
+    quota_bytes: float | None = None
+    _objects: dict[str, StorageObject] = field(default_factory=dict, repr=False)
+    stats: BucketStats = field(default_factory=BucketStats, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ConfigurationError("bucket bandwidth must be positive")
+        if self.request_latency_us < 0:
+            raise ConfigurationError("request latency must be non-negative")
+
+    # --- object management ---------------------------------------------
+
+    def used_bytes(self) -> float:
+        """Bytes currently stored."""
+        return sum(obj.num_bytes for obj in self._objects.values())
+
+    def put(self, obj: StorageObject) -> float:
+        """Store an object; returns the simulated write time in us.
+
+        Raises StorageError when the write would exceed the quota.
+        """
+        if self.quota_bytes is not None:
+            existing = self._objects.get(obj.name)
+            projected = self.used_bytes() - (existing.num_bytes if existing else 0.0)
+            if projected + obj.num_bytes > self.quota_bytes:
+                raise StorageError(
+                    f"bucket {self.name!r} quota exceeded: "
+                    f"{projected + obj.num_bytes:.0f} B > {self.quota_bytes:.0f} B"
+                )
+        self._objects[obj.name] = obj
+        self.stats.writes += 1
+        self.stats.bytes_written += obj.num_bytes
+        return self.request_latency_us + obj.num_bytes / self.write_bandwidth * 1e6
+
+    def get(self, name: str) -> StorageObject:
+        """Fetch object metadata without charging a transfer."""
+        try:
+            return self._objects[name]
+        except KeyError as exc:
+            raise StorageError(f"object {name!r} not found in bucket {self.name!r}") from exc
+
+    def exists(self, name: str) -> bool:
+        """Whether an object with this name is stored."""
+        return name in self._objects
+
+    def delete(self, name: str) -> None:
+        """Remove an object; missing names raise StorageError."""
+        if name not in self._objects:
+            raise StorageError(f"object {name!r} not found in bucket {self.name!r}")
+        del self._objects[name]
+
+    def list(self, prefix: str = "") -> list[StorageObject]:
+        """List stored objects whose names start with ``prefix``, sorted."""
+        return sorted(
+            (obj for name, obj in self._objects.items() if name.startswith(prefix)),
+            key=lambda obj: obj.name,
+        )
+
+    # --- transfer costing ------------------------------------------------
+
+    def read_time_us(self, name: str) -> float:
+        """Simulated time to read one object in full."""
+        obj = self.get(name)
+        self.stats.reads += 1
+        self.stats.bytes_read += obj.num_bytes
+        return self.request_latency_us + obj.num_bytes / self.read_bandwidth * 1e6
+
+    def read_bytes_time_us(self, num_bytes: float) -> float:
+        """Simulated time to read ``num_bytes`` of sequential data."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        self.stats.reads += 1
+        self.stats.bytes_read += num_bytes
+        return self.request_latency_us + num_bytes / self.read_bandwidth * 1e6

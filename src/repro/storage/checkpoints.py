@@ -1,0 +1,108 @@
+"""Checkpoint store.
+
+TensorFlow periodically saves model checkpoints tagged with the global
+step. TPUPoint-Analyzer associates each detected phase with the nearest
+checkpoint so a user can fast-forward a run to the interesting phase
+(Section IV-C), and TPUPoint-Optimizer restarts from checkpoints while
+tuning. The store keeps checkpoints in a bucket and answers
+nearest-checkpoint queries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.storage.bucket import Bucket
+from repro.storage.objects import StorageObject
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved model checkpoint."""
+
+    step: int
+    saved_at_us: float
+    num_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ConfigurationError("checkpoint step must be non-negative")
+        if self.num_bytes < 0:
+            raise ConfigurationError("checkpoint size must be non-negative")
+
+    @property
+    def object_name(self) -> str:
+        return f"model.ckpt-{self.step}"
+
+
+class CheckpointStore:
+    """Checkpoints for one training run, persisted into a bucket."""
+
+    def __init__(self, bucket: Bucket, prefix: str = "checkpoints/"):
+        self.bucket = bucket
+        self.prefix = prefix
+        self._checkpoints: list[Checkpoint] = []  # sorted by step
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    @property
+    def checkpoints(self) -> list[Checkpoint]:
+        """All checkpoints, ordered by step."""
+        return list(self._checkpoints)
+
+    def save(self, checkpoint: Checkpoint) -> float:
+        """Persist a checkpoint; returns the simulated write time in us.
+
+        Steps must be strictly increasing, matching TensorFlow's behaviour
+        of writing monotonically tagged checkpoints during one run.
+        """
+        if self._checkpoints and checkpoint.step <= self._checkpoints[-1].step:
+            raise CheckpointError(
+                f"checkpoint steps must increase: got {checkpoint.step} after "
+                f"{self._checkpoints[-1].step}"
+            )
+        write_us = self.bucket.put(
+            StorageObject(self.prefix + checkpoint.object_name, checkpoint.num_bytes)
+        )
+        self._checkpoints.append(checkpoint)
+        return write_us
+
+    def latest(self) -> Checkpoint:
+        """The most recent checkpoint; raises if none exist."""
+        if not self._checkpoints:
+            raise CheckpointError("no checkpoints have been saved")
+        return self._checkpoints[-1]
+
+    def nearest(self, step: int) -> Checkpoint:
+        """The checkpoint with the smallest step distance to ``step``.
+
+        Ties between an earlier and a later checkpoint prefer the earlier
+        one, since restoring earlier never skips the target step.
+        """
+        if not self._checkpoints:
+            raise CheckpointError("no checkpoints have been saved")
+        steps = [ckpt.step for ckpt in self._checkpoints]
+        idx = bisect_right(steps, step)
+        candidates = []
+        if idx > 0:
+            candidates.append(self._checkpoints[idx - 1])
+        if idx < len(self._checkpoints):
+            candidates.append(self._checkpoints[idx])
+        return min(candidates, key=lambda ckpt: (abs(ckpt.step - step), ckpt.step))
+
+    def nearest_before(self, step: int) -> Checkpoint:
+        """The latest checkpoint at or before ``step`` (for fast-forwarding)."""
+        if not self._checkpoints:
+            raise CheckpointError("no checkpoints have been saved")
+        steps = [ckpt.step for ckpt in self._checkpoints]
+        idx = bisect_right(steps, step)
+        if idx == 0:
+            raise CheckpointError(f"no checkpoint at or before step {step}")
+        return self._checkpoints[idx - 1]
+
+    def restore_time_us(self, checkpoint: Checkpoint) -> float:
+        """Simulated time to restore a checkpoint from the bucket."""
+        return self.bucket.read_time_us(self.prefix + checkpoint.object_name)

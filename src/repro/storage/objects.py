@@ -1,0 +1,70 @@
+"""Objects stored in a simulated cloud-storage bucket.
+
+A stored object is just a named blob with a size; dataset shards add the
+number of training examples they carry so the input pipeline can convert
+"read one shard" into "produced N examples".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StorageObject:
+    """One immutable object in a bucket."""
+
+    name: str
+    num_bytes: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("object name must be non-empty")
+        if self.num_bytes < 0:
+            raise ConfigurationError("object size must be non-negative")
+
+
+@dataclass(frozen=True)
+class DatasetShard(StorageObject):
+    """A dataset shard: a blob holding a known number of examples."""
+
+    num_examples: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_examples < 0:
+            raise ConfigurationError("num_examples must be non-negative")
+
+    @property
+    def bytes_per_example(self) -> float:
+        """Average serialized example size within this shard."""
+        if self.num_examples == 0:
+            return 0.0
+        return self.num_bytes / self.num_examples
+
+
+def shard_dataset(
+    name: str, total_bytes: float, total_examples: int, num_shards: int
+) -> list[DatasetShard]:
+    """Split a dataset into evenly sized shards (last shard takes the slack)."""
+    if num_shards <= 0:
+        raise ConfigurationError("num_shards must be positive")
+    if total_examples < num_shards:
+        num_shards = max(1, total_examples) if total_examples else 1
+    base_examples = total_examples // num_shards
+    base_bytes = total_bytes / num_shards
+    shards = []
+    remaining_examples = total_examples
+    for index in range(num_shards):
+        examples = base_examples if index < num_shards - 1 else remaining_examples
+        shards.append(
+            DatasetShard(
+                name=f"{name}-{index:05d}-of-{num_shards:05d}",
+                num_bytes=base_bytes,
+                num_examples=examples,
+            )
+        )
+        remaining_examples -= examples
+    return shards

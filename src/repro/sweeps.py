@@ -1,0 +1,156 @@
+"""Experiment sweeps.
+
+The paper's evaluation is a grid: workloads × TPU generations ×
+configurations, each cell measured the same way. This module makes that
+grid a first-class object — declare the axes, run the cells
+deterministically, then render or export the metric table — so studies
+like Figures 10-13 are a few lines instead of hand-written loops.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.host.pipeline import PipelineConfig
+from repro.workloads.runner import WorkloadRun, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Metric extractors available to tables and CSV exports.
+METRICS: dict[str, Callable[[WorkloadRun], float]] = {
+    "wall_seconds": lambda run: run.wall_seconds,
+    "idle_fraction": lambda run: run.idle_fraction,
+    "mxu_utilization": lambda run: run.mxu_utilization,
+    "steps": lambda run: float(run.summary.steps_executed),
+    "events": lambda run: float(run.summary.events_recorded),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: the spec that was run and its result."""
+
+    workload: str
+    generation: str
+    config_label: str
+    run: WorkloadRun
+
+    def metric(self, name: str) -> float:
+        try:
+            return METRICS[name](self.run)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown metric {name!r}; known: {sorted(METRICS)}"
+            ) from exc
+
+
+@dataclass
+class SweepResult:
+    """All cells of one executed sweep."""
+
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(self, workload: str, generation: str, config_label: str = "default") -> SweepCell:
+        """Look up one cell; raises when the combination was not swept."""
+        for candidate in self.cells:
+            if (candidate.workload, candidate.generation, candidate.config_label) == (
+                workload,
+                generation,
+                config_label,
+            ):
+                return candidate
+        raise ConfigurationError(
+            f"no cell ({workload}, {generation}, {config_label}) in this sweep"
+        )
+
+    def column(self, metric: str) -> dict[tuple[str, str, str], float]:
+        """One metric across all cells, keyed by the cell coordinates."""
+        return {
+            (c.workload, c.generation, c.config_label): c.metric(metric)
+            for c in self.cells
+        }
+
+    def mean(self, metric: str, generation: str | None = None) -> float:
+        """Average of a metric, optionally restricted to one generation."""
+        values = [
+            cell.metric(metric)
+            for cell in self.cells
+            if generation is None or cell.generation == generation
+        ]
+        if not values:
+            raise ConfigurationError("no cells match the filter")
+        return sum(values) / len(values)
+
+    def table(self, metrics: tuple[str, ...] = ("idle_fraction", "mxu_utilization")) -> str:
+        """A formatted text table, one row per cell."""
+        header = f"{'workload':20s} {'gen':>4s} {'config':>10s} " + " ".join(
+            f"{m:>16s}" for m in metrics
+        )
+        rows = [header]
+        for cell in self.cells:
+            values = " ".join(f"{cell.metric(m):>16.4f}" for m in metrics)
+            rows.append(
+                f"{cell.workload:20s} {cell.generation:>4s} {cell.config_label:>10s} {values}"
+            )
+        return "\n".join(rows)
+
+    def to_csv(self, path: str | Path, metrics: tuple[str, ...] | None = None) -> Path:
+        """Export the sweep as CSV; returns the path written."""
+        metrics = metrics or tuple(METRICS)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["workload", "generation", "config", *metrics])
+            for cell in self.cells:
+                writer.writerow(
+                    [
+                        cell.workload,
+                        cell.generation,
+                        cell.config_label,
+                        *[cell.metric(m) for m in metrics],
+                    ]
+                )
+        return path
+
+
+def sweep(
+    workloads: list[str] | tuple[str, ...],
+    generations: tuple[str, ...] = ("v2",),
+    configs: dict[str, PipelineConfig | None] | None = None,
+    seed: int | None = None,
+) -> SweepResult:
+    """Run the full grid of (workload, generation, config) cells.
+
+    ``configs`` maps a label to a pipeline configuration (None means the
+    workload's own default). Cells run serially and deterministically in
+    grid order.
+    """
+    if not workloads:
+        raise ConfigurationError("sweep needs at least one workload")
+    if not generations:
+        raise ConfigurationError("sweep needs at least one generation")
+    configs = configs or {"default": None}
+    result = SweepResult()
+    for key in workloads:
+        for generation in generations:
+            for label, config in configs.items():
+                spec_kwargs = {"key": key, "generation": generation, "pipeline_config": config}
+                if seed is not None:
+                    spec_kwargs["seed"] = seed
+                run = run_workload(WorkloadSpec(**spec_kwargs))
+                result.cells.append(
+                    SweepCell(
+                        workload=key,
+                        generation=generation,
+                        config_label=label,
+                        run=run,
+                    )
+                )
+    return result

@@ -1,0 +1,35 @@
+"""TPU hardware substrate: chip specs, MXU/HBM models, queues, devices."""
+
+from repro.tpu.device import (
+    StepExecution,
+    TpuDevice,
+    TpuOpCategory,
+    TpuOpExecution,
+    TpuOpWork,
+)
+from repro.tpu.hbm import HbmModel
+from repro.tpu.mxu import MatmulShape, MxuModel
+from repro.tpu.queues import QueueItem, TransferQueue
+from repro.tpu.slice import TpuSliceSpec, scaling_efficiency, tpu_slice
+from repro.tpu.specs import TPU_V2, TPU_V3, TpuChipSpec, TpuGeneration, chip_spec
+
+__all__ = [
+    "TPU_V2",
+    "TPU_V3",
+    "HbmModel",
+    "MatmulShape",
+    "MxuModel",
+    "QueueItem",
+    "StepExecution",
+    "TpuChipSpec",
+    "TpuDevice",
+    "TpuGeneration",
+    "TpuOpCategory",
+    "TpuOpExecution",
+    "TpuOpWork",
+    "TpuSliceSpec",
+    "TransferQueue",
+    "scaling_efficiency",
+    "tpu_slice",
+    "chip_spec",
+]

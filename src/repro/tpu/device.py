@@ -1,0 +1,193 @@
+"""TPU device: executes one step's worth of TPU operators.
+
+The device consumes a *TPU op schedule* — an ordered list of work items
+produced by the workload model after graph partitioning and fusion — and
+turns it into timed executions using the MXU and HBM models. It also
+accounts the two quantities TPUPoint's profiler reports as device
+metadata: **idle time** (the TPU waiting on infeed/outfeed) and **MXU
+utilization** (achieved matmul FLOPs against peak).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tpu.hbm import HbmModel
+from repro.tpu.mxu import MxuModel
+from repro.tpu.specs import TpuChipSpec, TpuGeneration, chip_spec
+
+
+class TpuOpCategory(enum.Enum):
+    """How a TPU operator's cost is computed."""
+
+    COMPUTE = "compute"  # MXU-bound: cost from FLOPs
+    MEMORY = "memory"  # HBM-bound: cost from bytes moved
+    INFEED = "infeed"  # waits for the host, then transfers over the link
+    OUTFEED = "outfeed"  # transfers results back toward the host
+    SYNC = "sync"  # fixed-cost synchronization (all-reduce, ...)
+
+
+@dataclass(frozen=True)
+class TpuOpWork:
+    """One operator's worth of work to run on the device.
+
+    Attributes:
+        name: TensorFlow-style operator name (e.g. ``fusion``, ``Reshape``).
+        category: cost model used for the op.
+        flops: compute work (COMPUTE ops; counted toward MXU utilization
+            when ``uses_mxu`` is set).
+        num_bytes: memory or transfer traffic (MEMORY/INFEED/OUTFEED ops).
+        efficiency: fraction of peak a COMPUTE op achieves (shape effects).
+        uses_mxu: whether the op's FLOPs run on the matrix units.
+        fixed_us: additive fixed cost (kernel launch, sync latency).
+    """
+
+    name: str
+    category: TpuOpCategory
+    flops: float = 0.0
+    num_bytes: float = 0.0
+    efficiency: float = 0.5
+    uses_mxu: bool = False
+    fixed_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.num_bytes < 0 or self.fixed_us < 0:
+            raise ConfigurationError("op work quantities must be non-negative")
+
+
+@dataclass(frozen=True)
+class TpuOpExecution:
+    """A completed operator execution on the device timeline."""
+
+    name: str
+    category: TpuOpCategory
+    start_us: float
+    duration_us: float
+    flops: float
+    num_bytes: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass
+class StepExecution:
+    """Result of running one step's TPU schedule."""
+
+    step_number: int
+    start_us: float
+    end_us: float
+    executions: list[TpuOpExecution] = field(default_factory=list)
+    idle_us: float = 0.0
+    mxu_flops: float = 0.0
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of the step the TPU spent waiting on data exchange."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return min(self.idle_us / self.elapsed_us, 1.0)
+
+
+class TpuDevice:
+    """A single Cloud TPU chip executing op schedules step by step."""
+
+    def __init__(self, spec: TpuChipSpec | TpuGeneration | str):
+        if not isinstance(spec, TpuChipSpec):
+            spec = chip_spec(spec)
+        self.spec = spec
+        self.mxu = MxuModel(spec)
+        self.hbm = HbmModel(spec)
+        self.total_busy_us = 0.0
+        self.total_idle_us = 0.0
+        self.total_mxu_flops = 0.0
+
+    # --- per-op costing --------------------------------------------------
+
+    def _op_duration_us(self, op: TpuOpWork, data_wait_us: float) -> float:
+        if op.category is TpuOpCategory.COMPUTE:
+            return op.fixed_us + self.mxu.compute_time_us(op.flops, op.efficiency)
+        if op.category is TpuOpCategory.MEMORY:
+            return op.fixed_us + self.hbm.transfer_time_us(op.num_bytes, streams=2)
+        if op.category in (TpuOpCategory.INFEED, TpuOpCategory.OUTFEED):
+            transfer = op.num_bytes / self.spec.infeed_bandwidth * 1e6
+            return op.fixed_us + data_wait_us + transfer
+        return op.fixed_us  # SYNC
+
+    # --- step execution ---------------------------------------------------
+
+    def execute_step(
+        self,
+        step_number: int,
+        schedule: list[TpuOpWork],
+        start_us: float,
+        infeed_ready_us: float = 0.0,
+    ) -> StepExecution:
+        """Run one step's schedule sequentially starting at ``start_us``.
+
+        ``infeed_ready_us`` is the simulation time at which the host has
+        fully staged this step's batch; an INFEED op issued before that
+        time stalls the device, and the stall is accounted as idle time.
+        """
+        result = StepExecution(step_number=step_number, start_us=start_us, end_us=start_us)
+        now = start_us
+        for op in schedule:
+            data_wait = 0.0
+            if op.category is TpuOpCategory.INFEED:
+                data_wait = max(0.0, infeed_ready_us - now)
+            duration = self._op_duration_us(op, data_wait)
+            execution = TpuOpExecution(
+                name=op.name,
+                category=op.category,
+                start_us=now,
+                duration_us=duration,
+                flops=op.flops,
+                num_bytes=op.num_bytes,
+            )
+            result.executions.append(execution)
+            now += duration
+            if op.category in (TpuOpCategory.INFEED, TpuOpCategory.OUTFEED):
+                result.idle_us += duration
+            if op.uses_mxu:
+                result.mxu_flops += op.flops
+        result.end_us = now
+        self.total_busy_us += result.elapsed_us - result.idle_us
+        self.total_idle_us += result.idle_us
+        self.total_mxu_flops += result.mxu_flops
+        return result
+
+    # --- aggregate metrics --------------------------------------------------
+
+    @property
+    def total_elapsed_us(self) -> float:
+        """Busy plus idle time accumulated across all executed steps."""
+        return self.total_busy_us + self.total_idle_us
+
+    def idle_fraction(self) -> float:
+        """Lifetime fraction of time the device spent idle."""
+        elapsed = self.total_elapsed_us
+        if elapsed <= 0:
+            return 0.0
+        return self.total_idle_us / elapsed
+
+    def mxu_utilization(self) -> float:
+        """Lifetime achieved matmul FLOPs as a fraction of peak."""
+        elapsed = self.total_elapsed_us
+        if elapsed <= 0:
+            return 0.0
+        achieved = self.total_mxu_flops / (elapsed / 1e6)
+        return min(achieved / self.spec.peak_flops, 1.0)
+
+    def reset(self) -> None:
+        """Clear accumulated counters and device memory."""
+        self.total_busy_us = 0.0
+        self.total_idle_us = 0.0
+        self.total_mxu_flops = 0.0
+        self.hbm.reset()

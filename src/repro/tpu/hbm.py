@@ -1,0 +1,70 @@
+"""High-bandwidth-memory model.
+
+Memory-bound TPU operators (reshape, transpose, copy, element-wise math)
+are limited by HBM bandwidth rather than MXU throughput. The model also
+tracks allocations against capacity so that oversized workloads fail the
+same way the real platform does (k-means/DBSCAN hitting memory limits on
+RetinaNet/ResNet is an observation in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.tpu.specs import TpuChipSpec
+
+
+class HbmModel:
+    """Capacity and bandwidth model for a chip's HBM stacks."""
+
+    def __init__(self, spec: TpuChipSpec):
+        self.spec = spec
+        self._allocated_bytes = 0.0
+
+    # --- bandwidth -----------------------------------------------------
+
+    def transfer_time_us(self, num_bytes: float, streams: int = 1) -> float:
+        """Time to move ``num_bytes`` through HBM.
+
+        ``streams`` > 1 models ops that both read and write (copy-like ops
+        touch memory twice), multiplying the traffic.
+        """
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        if streams <= 0:
+            raise ConfigurationError("streams must be positive")
+        return num_bytes * streams / self.spec.hbm_bandwidth * 1e6
+
+    # --- capacity ------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> float:
+        """Bytes currently allocated on the device."""
+        return self._allocated_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Bytes still available on the device."""
+        return self.spec.hbm_bytes - self._allocated_bytes
+
+    def allocate(self, num_bytes: float) -> None:
+        """Reserve device memory, raising SimulationError when exhausted."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        if self._allocated_bytes + num_bytes > self.spec.hbm_bytes:
+            raise SimulationError(
+                f"HBM out of memory: requested {num_bytes:.0f} B with only "
+                f"{self.free_bytes:.0f} B free of {self.spec.hbm_bytes:.0f} B"
+            )
+        self._allocated_bytes += num_bytes
+
+    def release(self, num_bytes: float) -> None:
+        """Return device memory; releasing more than allocated is an error."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        if num_bytes > self._allocated_bytes + 1e-6:
+            raise SimulationError("released more HBM than was allocated")
+        self._allocated_bytes = max(0.0, self._allocated_bytes - num_bytes)
+
+    def reset(self) -> None:
+        """Free all allocations (device reinitialization)."""
+        self._allocated_bytes = 0.0

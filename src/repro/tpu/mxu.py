@@ -1,0 +1,88 @@
+"""Matrix-unit (MXU) timing model.
+
+An MXU is a 128x128 systolic array. A matrix multiply only achieves peak
+throughput when its dimensions fill the array; ragged dimensions waste
+lanes. This model converts a FLOP count plus the operand shape into an
+execution time and an achieved-utilization figure, which is exactly the
+quantity TPUPoint's profiler reports as "MXU utilization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tpu.specs import TpuChipSpec
+
+
+def _dim_efficiency(dim: int, lanes: int) -> float:
+    """Fraction of systolic lanes a dimension keeps busy.
+
+    A dimension of 300 on a 128-lane array needs ceil(300/128)=3 passes but
+    only fills 300/384 of the lanes across them.
+    """
+    if dim <= 0:
+        return 0.0
+    passes = -(-dim // lanes)  # ceil division
+    return dim / (passes * lanes)
+
+
+@dataclass(frozen=True)
+class MatmulShape:
+    """Logical shape of a (possibly batched) matrix multiply: (m,k)x(k,n)."""
+
+    m: int
+    k: int
+    n: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n, self.batch) <= 0:
+            raise ConfigurationError("matmul dimensions must be positive")
+
+    @property
+    def flops(self) -> float:
+        """Multiply-accumulate FLOPs for this shape (2*m*k*n per batch)."""
+        return 2.0 * self.m * self.k * self.n * self.batch
+
+
+class MxuModel:
+    """Timing/utilization model for the matrix units of one TPU chip."""
+
+    def __init__(self, spec: TpuChipSpec):
+        self.spec = spec
+
+    def shape_efficiency(self, shape: MatmulShape) -> float:
+        """Achievable fraction of peak for a matmul shape.
+
+        The product of the lane efficiencies in each systolic dimension,
+        floored at a small pipeline-startup efficiency so tiny matrices do
+        not report zero.
+        """
+        lanes = self.spec.mxu_dim
+        eff = (
+            _dim_efficiency(shape.m, lanes)
+            * _dim_efficiency(shape.k, lanes)
+            * _dim_efficiency(shape.n, lanes)
+        )
+        return max(eff, 0.01)
+
+    def matmul_time_us(self, shape: MatmulShape) -> float:
+        """Execution time in microseconds for a matmul on all MXUs."""
+        achieved = self.spec.peak_flops * self.shape_efficiency(shape)
+        return shape.flops / achieved * 1e6
+
+    def compute_time_us(self, flops: float, efficiency: float = 1.0) -> float:
+        """Time for a generic compute op expressed only as a FLOP count."""
+        if flops < 0:
+            raise ConfigurationError("flops must be non-negative")
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        return flops / (self.spec.peak_flops * efficiency) * 1e6
+
+    def utilization(self, flops: float, elapsed_us: float) -> float:
+        """Fraction of peak the chip achieved over an elapsed window."""
+        if elapsed_us <= 0:
+            return 0.0
+        achieved = flops / (elapsed_us / 1e6)
+        return min(achieved / self.spec.peak_flops, 1.0)

@@ -1,0 +1,86 @@
+"""Infeed and outfeed queue models.
+
+The host feeds training batches to the TPU through an *infeed* queue and
+drains results through an *outfeed* queue. When the host cannot produce
+batches as fast as the TPU consumes them, the TPU stalls — this is the
+mechanism behind the paper's headline observation that infeed/outfeed
+and reshape, not computation, dominate modern TPU workloads.
+
+The queues here are occupancy models driven by explicit timestamps rather
+than callback-driven simulators: the session computes, per step, when the
+producer finished and when the consumer wanted the data, and the queue
+answers how long the consumer had to wait.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class QueueItem:
+    """One enqueued batch: when it became ready and how large it is."""
+
+    ready_at_us: float
+    num_bytes: float
+
+
+class TransferQueue:
+    """Bounded FIFO connecting a producer and a consumer with timestamps.
+
+    The producer calls :meth:`push` with the simulation time at which the
+    item is fully transferred; the consumer calls :meth:`pop` with the time
+    it *asks* for an item and receives the time it actually *obtains* one
+    (``max(ask, ready)``). The difference is consumer stall time.
+    """
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity <= 0:
+            raise ConfigurationError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[QueueItem] = deque()
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.total_stall_us = 0.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """Whether the producer would block on the next push."""
+        return len(self._items) >= self.capacity
+
+    def push(self, ready_at_us: float, num_bytes: float) -> None:
+        """Enqueue an item that finishes transferring at ``ready_at_us``."""
+        if self.full:
+            raise SimulationError(
+                f"{self.name}: push into a full queue (capacity {self.capacity})"
+            )
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        if self._items and ready_at_us < self._items[-1].ready_at_us:
+            raise SimulationError(f"{self.name}: non-monotonic ready times")
+        self._items.append(QueueItem(ready_at_us, num_bytes))
+        self.total_pushed += 1
+
+    def pop(self, ask_at_us: float) -> tuple[float, QueueItem]:
+        """Dequeue the oldest item; returns (obtained_at, item)."""
+        if not self._items:
+            raise SimulationError(f"{self.name}: pop from an empty queue")
+        item = self._items.popleft()
+        obtained_at = max(ask_at_us, item.ready_at_us)
+        self.total_stall_us += obtained_at - ask_at_us
+        self.total_popped += 1
+        return obtained_at, item
+
+    def reset(self) -> None:
+        """Drop all items and counters."""
+        self._items.clear()
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.total_stall_us = 0.0

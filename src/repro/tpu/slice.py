@@ -1,0 +1,118 @@
+"""Multi-chip TPU slices (beyond-paper extension).
+
+The paper confines its study to single-TPU instances because scaling to
+slices "requires significant tuning and optimization" (Section V,
+quoting Google's system-architecture docs). This module supplies the
+substrate to *show* why: a :class:`TpuSliceSpec` describes a
+data-parallel slice (e.g. a v2-8 board's four chips) with an ICI
+interconnect; per-step compute and infeed shard across chips while the
+host input pipeline — and its tuning — stays shared, so the host-bound
+crossover arrives exactly ``num_chips`` times sooner.
+
+Execution reuses the single-device machinery: lowering costs ops
+against the slice's *aggregate* spec (n x peak FLOPS, n x HBM, n links),
+which is timing-equivalent to per-chip execution of 1/n of the batch,
+except the gradient all-reduce, which pays a ring-transfer cost over
+the ICI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.tpu.specs import TpuChipSpec, TpuGeneration, chip_spec
+
+
+@dataclass(frozen=True)
+class TpuSliceSpec:
+    """A data-parallel slice of identical TPU chips.
+
+    Attributes:
+        chip: the member chip's spec.
+        num_chips: chips in the slice (1 degenerates to a single device).
+        ici_bandwidth: per-link inter-chip-interconnect bandwidth, bytes/s.
+        ici_latency_us: per-hop ICI latency in microseconds.
+    """
+
+    chip: TpuChipSpec
+    num_chips: int
+    ici_bandwidth: float = 100e9
+    ici_latency_us: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.num_chips <= 0:
+            raise ConfigurationError("num_chips must be positive")
+        if self.ici_bandwidth <= 0:
+            raise ConfigurationError("ici_bandwidth must be positive")
+        if self.ici_latency_us < 0:
+            raise ConfigurationError("ici_latency_us must be non-negative")
+
+    @property
+    def generation(self) -> TpuGeneration:
+        return self.chip.generation
+
+    @property
+    def name(self) -> str:
+        """Cloud naming: a vN-K slice exposes 2 cores per chip."""
+        return f"{self.generation.value}-{self.num_chips * 2}"
+
+    def aggregate_chip_spec(self) -> TpuChipSpec:
+        """The slice viewed as one big device (data-parallel equivalence).
+
+        Costing an op against n x peak with the full batch equals costing
+        1/n of the batch against one chip; the same holds for HBM traffic
+        and the per-chip infeed DMA links.
+        """
+        return replace(
+            self.chip,
+            mxu_count=self.chip.mxu_count * self.num_chips,
+            peak_flops=self.chip.peak_flops * self.num_chips,
+            hbm_bytes=self.chip.hbm_bytes * self.num_chips,
+            hbm_bandwidth=self.chip.hbm_bandwidth * self.num_chips,
+            tdp_watts=self.chip.tdp_watts * self.num_chips,
+            infeed_bandwidth=self.chip.infeed_bandwidth * self.num_chips,
+        )
+
+    def all_reduce_us(self, gradient_bytes: float) -> float:
+        """Ring all-reduce time for one gradient exchange.
+
+        The ring moves ``2 (n-1)/n`` of the payload per chip across the
+        ICI, plus a latency term per ring step.
+        """
+        if gradient_bytes < 0:
+            raise ConfigurationError("gradient_bytes must be non-negative")
+        if self.num_chips == 1:
+            return 0.0
+        n = self.num_chips
+        transfer = 2.0 * (n - 1) / n * gradient_bytes / self.ici_bandwidth * 1e6
+        latency = 2.0 * (n - 1) * self.ici_latency_us
+        return transfer + latency
+
+
+def tpu_slice(generation: TpuGeneration | str | TpuChipSpec, num_chips: int) -> TpuSliceSpec:
+    """Convenience constructor: ``tpu_slice("v2", 4)`` is a v2-8 board."""
+    return TpuSliceSpec(chip=chip_spec(generation), num_chips=num_chips)
+
+
+def scaling_efficiency(single_wall_us: float, slice_wall_us: float, num_chips: int) -> float:
+    """Achieved fraction of ideal linear scaling."""
+    if slice_wall_us <= 0 or num_chips <= 0:
+        raise ConfigurationError("wall time and chip count must be positive")
+    speedup = single_wall_us / slice_wall_us
+    return speedup / num_chips
+
+
+def ring_hops(num_chips: int) -> int:
+    """Ring steps per all-reduce (2(n-1), reduce-scatter + all-gather)."""
+    if num_chips <= 0:
+        raise ConfigurationError("num_chips must be positive")
+    return 2 * (num_chips - 1)
+
+
+def tree_depth(num_chips: int) -> int:
+    """Depth of a binary reduction tree over the slice (alternative cost)."""
+    if num_chips <= 0:
+        raise ConfigurationError("num_chips must be positive")
+    return math.ceil(math.log2(num_chips)) if num_chips > 1 else 0

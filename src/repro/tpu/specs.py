@@ -1,0 +1,116 @@
+"""Cloud TPU generation specifications.
+
+Numbers come from Section II of the paper and Google's published system
+architecture documentation: a TPUv2 chip has two 128x128 MXUs with 8 GiB of
+HBM per MXU and 45 TFLOPS peak; TPUv3 doubles the MXU count and HBM for
+90 TFLOPS at a similar power envelope. Bandwidth figures use the publicly
+stated 600 GB/s (v2) and 900 GB/s (v3) per chip.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class TpuGeneration(enum.Enum):
+    """Cloud TPU generations available through the Google Cloud Platform."""
+
+    V2 = "v2"
+    V3 = "v3"
+
+    def __str__(self) -> str:
+        return f"TPU{self.value}"
+
+
+@dataclass(frozen=True)
+class TpuChipSpec:
+    """Static description of one TPU chip.
+
+    Attributes:
+        generation: which Cloud TPU generation this spec describes.
+        mxu_count: number of 128x128 matrix units on the chip.
+        mxu_dim: systolic array dimension (128 lanes per side).
+        peak_flops: peak chip throughput in FLOP/s across all MXUs.
+        hbm_bytes: total high-bandwidth-memory capacity in bytes.
+        hbm_bandwidth: HBM bandwidth in bytes/s.
+        clock_hz: MXU clock frequency.
+        tdp_watts: thermal design power of the chip.
+        infeed_bandwidth: host-to-TPU transfer bandwidth in bytes/s
+            (PCIe/ICI-limited path used by infeed).
+    """
+
+    generation: TpuGeneration
+    mxu_count: int
+    mxu_dim: int
+    peak_flops: float
+    hbm_bytes: float
+    hbm_bandwidth: float
+    clock_hz: float
+    tdp_watts: float
+    infeed_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.mxu_count <= 0:
+            raise ConfigurationError("mxu_count must be positive")
+        if self.peak_flops <= 0:
+            raise ConfigurationError("peak_flops must be positive")
+        if self.hbm_bytes <= 0 or self.hbm_bandwidth <= 0:
+            raise ConfigurationError("HBM capacity/bandwidth must be positive")
+
+    @property
+    def peak_flops_per_mxu(self) -> float:
+        """Peak FLOP/s contributed by a single MXU."""
+        return self.peak_flops / self.mxu_count
+
+
+TPU_V2 = TpuChipSpec(
+    generation=TpuGeneration.V2,
+    mxu_count=2,
+    mxu_dim=128,
+    peak_flops=units.tflops(45.0),
+    hbm_bytes=units.gib(16.0),
+    hbm_bandwidth=600e9,
+    clock_hz=700e6,
+    tdp_watts=225.0,
+    infeed_bandwidth=5e9,
+)
+
+TPU_V3 = TpuChipSpec(
+    generation=TpuGeneration.V3,
+    mxu_count=4,
+    mxu_dim=128,
+    peak_flops=units.tflops(90.0),
+    hbm_bytes=units.gib(32.0),
+    hbm_bandwidth=900e9,
+    clock_hz=940e6,
+    tdp_watts=225.0,
+    infeed_bandwidth=5e9,
+)
+
+_SPECS = {TpuGeneration.V2: TPU_V2, TpuGeneration.V3: TPU_V3}
+
+
+def chip_spec(generation: "TpuGeneration | str | TpuChipSpec") -> TpuChipSpec:
+    """Resolve a chip spec.
+
+    Accepts a generation enum, a "v2"/"v3" string, or — for portability
+    to other accelerators (Section VIII: TPUPoint works at the
+    programming-language level and ports by swapping the low-level
+    calls) — a fully custom :class:`TpuChipSpec`, which is returned
+    as-is.
+    """
+    if isinstance(generation, TpuChipSpec):
+        return generation
+    if isinstance(generation, str):
+        normalized = generation.lower().removeprefix("tpu")
+        try:
+            generation = TpuGeneration(normalized)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"unknown TPU generation {generation!r}; expected 'v2' or 'v3'"
+            ) from exc
+    return _SPECS[generation]

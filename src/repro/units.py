@@ -1,0 +1,93 @@
+"""Unit helpers: bytes, durations, and FLOP quantities.
+
+The simulation internally keeps time in **microseconds** (the unit used by
+chrome://tracing and by TensorFlow profiles), sizes in **bytes**, and compute
+in **FLOPs**. These helpers make literals in model definitions readable and
+keep conversions in one place.
+"""
+
+from __future__ import annotations
+
+# --- byte units (binary, as used in the paper's Table I) ------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+# --- time units (canonical unit: microseconds) -----------------------------
+
+US = 1.0
+MS = 1_000.0
+SECOND = 1_000_000.0
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+
+# --- compute units ----------------------------------------------------------
+
+KFLOP = 1e3
+MFLOP = 1e6
+GFLOP = 1e9
+TFLOP = 1e12
+
+
+def mib(value: float) -> float:
+    """Convert mebibytes to bytes."""
+    return value * MIB
+
+
+def gib(value: float) -> float:
+    """Convert gibibytes to bytes."""
+    return value * GIB
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to microseconds (the canonical simulation unit)."""
+    return value * SECOND
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return value * MS
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to microseconds."""
+    return value * MINUTE
+
+
+def us_to_seconds(value_us: float) -> float:
+    """Convert microseconds back to seconds for reporting."""
+    return value_us / SECOND
+
+
+def us_to_ms(value_us: float) -> float:
+    """Convert microseconds back to milliseconds for reporting."""
+    return value_us / MS
+
+
+def tflops(value: float) -> float:
+    """Convert teraFLOP/s to FLOP/s."""
+    return value * TFLOP
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count the way the paper's Table I does (MiB / GiB)."""
+    if num_bytes >= GIB:
+        return f"{num_bytes / GIB:.2f} GiB"
+    if num_bytes >= MIB:
+        return f"{num_bytes / MIB:.2f} MiB"
+    if num_bytes >= KIB:
+        return f"{num_bytes / KIB:.2f} KiB"
+    return f"{num_bytes:.0f} B"
+
+
+def format_duration(duration_us: float) -> str:
+    """Render a duration with a sensible unit for logs and reports."""
+    if duration_us >= MINUTE:
+        return f"{duration_us / MINUTE:.2f} min"
+    if duration_us >= SECOND:
+        return f"{duration_us / SECOND:.2f} s"
+    if duration_us >= MS:
+        return f"{duration_us / MS:.2f} ms"
+    return f"{duration_us:.1f} us"

@@ -1,0 +1,17 @@
+"""Figure regeneration: dependency-free SVG charts of the paper's plots."""
+
+from repro.viz.figures import DEFAULT_WORKLOADS, FIGURES, FigureData, generate_figures
+from repro.viz.svg import PALETTE, SvgCanvas, bar_chart, line_chart
+from repro.viz.timeline import phase_timeline_svg
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "FIGURES",
+    "FigureData",
+    "PALETTE",
+    "SvgCanvas",
+    "bar_chart",
+    "generate_figures",
+    "line_chart",
+    "phase_timeline_svg",
+]

@@ -1,0 +1,217 @@
+"""Regenerate the paper's figures as SVG images.
+
+Each generator runs the required workloads (deterministically, with a
+shared cache), computes the same series the paper plots, and writes a
+self-contained ``figNN.svg``. `generate_figures` drives the full set;
+the CLI exposes it as ``tpupoint figures``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.api import TPUPoint
+from repro.viz.svg import bar_chart, line_chart
+from repro.viz.timeline import phase_timeline_svg
+from repro.workloads.runner import WorkloadRun, build_estimator, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Default workload set (the paper's nine, in figure order).
+DEFAULT_WORKLOADS = (
+    "bert-mrpc",
+    "bert-squad",
+    "bert-cola",
+    "bert-mnli",
+    "dcgan-cifar10",
+    "dcgan-mnist",
+    "qanet-squad",
+    "retinanet-coco",
+    "resnet-imagenet",
+)
+
+
+class FigureData:
+    """Caches runs/analyzers across figure generators."""
+
+    def __init__(self, workloads: tuple[str, ...] = DEFAULT_WORKLOADS):
+        self.workloads = workloads
+        self._runs: dict[tuple[str, str], WorkloadRun] = {}
+        self._analyzers: dict[tuple[str, str], TPUPointAnalyzer] = {}
+
+    def run(self, key: str, generation: str = "v2") -> WorkloadRun:
+        cache_key = (key, generation)
+        if cache_key not in self._runs:
+            self._runs[cache_key] = run_workload(WorkloadSpec(key, generation=generation))
+        return self._runs[cache_key]
+
+    def analyzer(self, key: str, generation: str = "v2") -> TPUPointAnalyzer:
+        cache_key = (key, generation)
+        if cache_key not in self._analyzers:
+            estimator = build_estimator(WorkloadSpec(key, generation=generation))
+            tpupoint = TPUPoint(estimator)
+            tpupoint.Start(analyzer=True)
+            estimator.train()
+            tpupoint.Stop()
+            self._analyzers[cache_key] = TPUPointAnalyzer(tpupoint.records)
+        return self._analyzers[cache_key]
+
+
+def figure03(data: FigureData) -> str:
+    """The profile/phase breakdown timeline for one representative run."""
+    key = data.workloads[0]
+    analyzer = data.analyzer(key)
+    phases = analyzer.ols_phases(0.70).phases
+    return phase_timeline_svg(
+        analyzer.records,
+        phases,
+        title=f"Figure 3: profile and phase breakdown ({key}, OLS @ 70%)",
+    )
+
+
+def figure04(data: FigureData) -> str:
+    """k-means SSD vs k, normalized to k=1."""
+    ks = list(range(1, 16))
+    series = {}
+    for key in data.workloads:
+        sweep = data.analyzer(key).kmeans_sweep(range(1, 16))
+        base = max(sweep[1], 1e-12)
+        series[key] = [sweep.get(k, 0.0) / base for k in ks]
+    return line_chart(
+        "Figure 4: k-means sum of squared distances vs k",
+        [float(k) for k in ks],
+        series,
+        xlabel="k",
+        ylabel="SSD / SSD(k=1)",
+    )
+
+
+def figure05(data: FigureData) -> str:
+    """DBSCAN noise ratio vs minimum samples."""
+    sweep_range = list(range(5, 181, 25))
+    series = {}
+    for key in data.workloads:
+        sweep = data.analyzer(key).dbscan_sweep(sweep_range)
+        series[key] = [sweep[m] for m in sweep_range]
+    return line_chart(
+        "Figure 5: DBSCAN noise ratio vs minimum samples",
+        [float(m) for m in sweep_range],
+        series,
+        xlabel="minimum samples",
+        ylabel="noise ratio",
+    )
+
+
+def figure06(data: FigureData) -> str:
+    """OLS phase count vs similarity threshold."""
+    thresholds = [round(0.1 * i, 1) for i in range(11)]
+    series = {}
+    for key in data.workloads:
+        sweep = data.analyzer(key).ols_sweep(thresholds)
+        series[key] = [float(sweep[t]) for t in thresholds]
+    return line_chart(
+        "Figure 6: OLS phases vs similarity threshold",
+        [t * 100 for t in thresholds],
+        series,
+        xlabel="similarity threshold (%)",
+        ylabel="phases",
+        log_y=True,
+    )
+
+
+def figure07(data: FigureData) -> str:
+    """Top-3 phase coverage, OLS @ 70% (stacked as grouped bars)."""
+    series = {"phase 1": [], "phase 2": [], "phase 3": []}
+    for key in data.workloads:
+        report = data.analyzer(key).ols_phases(0.70).coverage()
+        fractions = list(report.fractions) + [0.0, 0.0, 0.0]
+        for index in range(3):
+            series[f"phase {index + 1}"].append(fractions[index])
+    return bar_chart(
+        "Figure 7: top-3 phase coverage, OLS @ 70%",
+        list(data.workloads),
+        series,
+        percent=True,
+        ylabel="fraction of execution time",
+    )
+
+
+def figure10(data: FigureData) -> str:
+    """TPU idle time, v2 vs v3."""
+    series = {
+        "TPUv2": [data.run(key, "v2").idle_fraction for key in data.workloads],
+        "TPUv3": [data.run(key, "v3").idle_fraction for key in data.workloads],
+    }
+    return bar_chart(
+        "Figure 10: TPU idle time",
+        list(data.workloads),
+        series,
+        percent=True,
+        ylabel="idle fraction",
+    )
+
+
+def figure11(data: FigureData) -> str:
+    """MXU utilization, v2 vs v3."""
+    series = {
+        "TPUv2": [data.run(key, "v2").mxu_utilization for key in data.workloads],
+        "TPUv3": [data.run(key, "v3").mxu_utilization for key in data.workloads],
+    }
+    return bar_chart(
+        "Figure 11: MXU utilization",
+        list(data.workloads),
+        series,
+        percent=True,
+        ylabel="MXU utilization",
+    )
+
+
+def figure14(data: FigureData) -> str:
+    """Optimizer speedups on TPUv2 for the long-running workloads."""
+    keys = [k for k in ("qanet-squad", "retinanet-coco") if k in data.workloads] or list(
+        data.workloads[:2]
+    )
+    speedups = []
+    for key in keys:
+        baseline = data.run(key, "v2")
+        estimator = build_estimator(WorkloadSpec(key, generation="v2"))
+        result = TPUPoint(estimator).optimize()
+        speedups.append(baseline.summary.wall_us / result.summary.wall_us)
+    return bar_chart(
+        "Figure 14: TPUPoint-Optimizer speedups (TPUv2)",
+        keys,
+        {"speedup": speedups},
+        ylabel="speedup (x)",
+    )
+
+
+#: name -> generator
+FIGURES = {
+    "fig03": figure03,
+    "fig04": figure04,
+    "fig05": figure05,
+    "fig06": figure06,
+    "fig07": figure07,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig14": figure14,
+}
+
+
+def generate_figures(
+    out_dir: str | Path,
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    names: tuple[str, ...] | None = None,
+) -> dict[str, Path]:
+    """Write the requested figures; returns {name: path}."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = FigureData(workloads)
+    written: dict[str, Path] = {}
+    for name, generator in FIGURES.items():
+        if names is not None and name not in names:
+            continue
+        path = out_dir / f"{name}.svg"
+        path.write_text(generator(data), encoding="utf-8")
+        written[name] = path
+    return written

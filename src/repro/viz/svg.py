@@ -1,0 +1,242 @@
+"""A minimal, dependency-free SVG chart backend.
+
+Just enough vector drawing to regenerate the paper's figures as images:
+grouped bar charts (Figures 10-16) and multi-series line charts
+(Figures 4-6). Output is a self-contained SVG string that renders in
+any browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+from repro.errors import ConfigurationError
+
+#: A color-blind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#D55E00",
+    "#CC79A7",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+_FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+
+@dataclass
+class SvgCanvas:
+    """An SVG element buffer with fixed pixel dimensions."""
+
+    width: int
+    height: int
+    _elements: list[str] = field(default_factory=list)
+
+    def rect(self, x, y, w, h, fill, opacity: float = 1.0) -> None:
+        self._elements.append(
+            f"<rect x='{x:.1f}' y='{y:.1f}' width='{w:.1f}' height='{h:.1f}' "
+            f"fill='{fill}' opacity='{opacity}'/>"
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#444", width=1.0) -> None:
+        self._elements.append(
+            f"<line x1='{x1:.1f}' y1='{y1:.1f}' x2='{x2:.1f}' y2='{y2:.1f}' "
+            f"stroke='{stroke}' stroke-width='{width}'/>"
+        )
+
+    def polyline(self, points, stroke, width=2.0) -> None:
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._elements.append(
+            f"<polyline points='{coords}' fill='none' stroke='{stroke}' "
+            f"stroke-width='{width}'/>"
+        )
+
+    def circle(self, x, y, r, fill) -> None:
+        self._elements.append(f"<circle cx='{x:.1f}' cy='{y:.1f}' r='{r}' fill='{fill}'/>")
+
+    def text(self, x, y, content, size=12, anchor="start", rotate: float | None = None,
+             color="#222") -> None:
+        transform = (
+            f" transform='rotate({rotate:.0f} {x:.1f} {y:.1f})'" if rotate is not None else ""
+        )
+        self._elements.append(
+            f"<text x='{x:.1f}' y='{y:.1f}' font-size='{size}' {_FONT} "
+            f"fill='{color}' text-anchor='{anchor}'{transform}>{escape(str(content))}</text>"
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f"<svg xmlns='http://www.w3.org/2000/svg' width='{self.width}' "
+            f"height='{self.height}' viewBox='0 0 {self.width} {self.height}'>\n"
+            f"<rect width='{self.width}' height='{self.height}' fill='white'/>\n"
+            f"{body}\n</svg>"
+        )
+
+
+def _nice_ticks(maximum: float, count: int = 5) -> list[float]:
+    if maximum <= 0:
+        return [0.0, 1.0]
+    raw = maximum / count
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 10 ** -len(str(int(1 / raw)))
+    step = max(raw, magnitude)
+    # Round the step to 1/2/5 x 10^k.
+    import math
+
+    exponent = math.floor(math.log10(step))
+    base = step / 10**exponent
+    if base <= 1:
+        base = 1
+    elif base <= 2:
+        base = 2
+    elif base <= 5:
+        base = 5
+    else:
+        base = 10
+    step = base * 10**exponent
+    ticks = []
+    value = 0.0
+    while value <= maximum * 1.0001:
+        ticks.append(value)
+        value += step
+    return ticks
+
+
+def bar_chart(
+    title: str,
+    categories: list[str],
+    series: dict[str, list[float]],
+    width: int = 860,
+    height: int = 360,
+    percent: bool = False,
+    ylabel: str = "",
+) -> str:
+    """A grouped bar chart; one bar group per category."""
+    if not categories or not series:
+        raise ConfigurationError("bar_chart needs categories and series")
+    for label, values in series.items():
+        if len(values) != len(categories):
+            raise ConfigurationError(f"series {label!r} length mismatch")
+
+    margin_left, margin_bottom, margin_top = 64, 86, 40
+    plot_w = width - margin_left - 20
+    plot_h = height - margin_top - margin_bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 22, title, size=15, anchor="middle")
+
+    maximum = max(max(values) for values in series.values())
+    maximum = max(maximum, 1e-9)
+    ticks = _nice_ticks(maximum if not percent else min(maximum, 1.0))
+
+    def y_of(value: float) -> float:
+        top = ticks[-1]
+        return margin_top + plot_h * (1.0 - value / top)
+
+    for tick in ticks:
+        y = y_of(tick)
+        canvas.line(margin_left, y, margin_left + plot_w, y, stroke="#ddd")
+        label = f"{tick:.0%}" if percent else f"{tick:g}"
+        canvas.text(margin_left - 6, y + 4, label, size=11, anchor="end")
+    canvas.line(margin_left, margin_top, margin_left, margin_top + plot_h)
+    canvas.line(margin_left, margin_top + plot_h, margin_left + plot_w, margin_top + plot_h)
+    if ylabel:
+        canvas.text(16, margin_top + plot_h / 2, ylabel, size=12, anchor="middle", rotate=-90)
+
+    group_w = plot_w / len(categories)
+    bar_w = group_w * 0.7 / len(series)
+    for column, category in enumerate(categories):
+        x0 = margin_left + column * group_w + group_w * 0.15
+        for row, (label, values) in enumerate(series.items()):
+            x = x0 + row * bar_w
+            y = y_of(values[column])
+            canvas.rect(x, y, bar_w * 0.92, margin_top + plot_h - y, PALETTE[row % len(PALETTE)])
+        canvas.text(
+            margin_left + column * group_w + group_w / 2,
+            margin_top + plot_h + 14,
+            category,
+            size=10,
+            anchor="end",
+            rotate=-30,
+        )
+
+    legend_x = margin_left
+    legend_y = height - 14
+    for row, label in enumerate(series):
+        canvas.rect(legend_x, legend_y - 10, 12, 12, PALETTE[row % len(PALETTE)])
+        canvas.text(legend_x + 16, legend_y, label, size=11)
+        legend_x += 24 + 7 * len(label)
+    return canvas.render()
+
+
+def line_chart(
+    title: str,
+    x_values: list[float],
+    series: dict[str, list[float]],
+    width: int = 860,
+    height: int = 400,
+    xlabel: str = "",
+    ylabel: str = "",
+    log_y: bool = False,
+) -> str:
+    """A multi-series line chart over shared x values."""
+    if not x_values or not series:
+        raise ConfigurationError("line_chart needs x values and series")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(f"series {label!r} length mismatch")
+
+    import math
+
+    margin_left, margin_bottom, margin_top, margin_right = 64, 56, 40, 170
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text((margin_left + plot_w) / 2, 22, title, size=15, anchor="middle")
+
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+    all_values = [v for values in series.values() for v in values]
+    if log_y:
+        floor = max(min(v for v in all_values if v > 0), 1e-9)
+        transform = lambda v: math.log10(max(v, floor))  # noqa: E731
+    else:
+        transform = lambda v: v  # noqa: E731
+    y_min = min(transform(v) for v in all_values)
+    y_max = max(transform(v) for v in all_values)
+    y_span = (y_max - y_min) or 1.0
+
+    def point(x, value):
+        px = margin_left + plot_w * (x - x_min) / x_span
+        py = margin_top + plot_h * (1.0 - (transform(value) - y_min) / y_span)
+        return px, py
+
+    canvas.line(margin_left, margin_top, margin_left, margin_top + plot_h)
+    canvas.line(margin_left, margin_top + plot_h, margin_left + plot_w, margin_top + plot_h)
+    for x in x_values:
+        px, _ = point(x, all_values[0])
+        canvas.line(px, margin_top + plot_h, px, margin_top + plot_h + 4)
+        canvas.text(px, margin_top + plot_h + 18, f"{x:g}", size=10, anchor="middle")
+    if xlabel:
+        canvas.text(margin_left + plot_w / 2, height - 10, xlabel, size=12, anchor="middle")
+    if ylabel:
+        label = f"{ylabel} (log)" if log_y else ylabel
+        canvas.text(16, margin_top + plot_h / 2, label, size=12, anchor="middle", rotate=-90)
+
+    legend_y = margin_top + 4
+    for row, (label, values) in enumerate(series.items()):
+        color = PALETTE[row % len(PALETTE)]
+        points = [point(x, v) for x, v in zip(x_values, values)]
+        canvas.polyline(points, stroke=color)
+        for px, py in points:
+            canvas.circle(px, py, 2.4, color)
+        canvas.line(
+            margin_left + plot_w + 10, legend_y, margin_left + plot_w + 30, legend_y,
+            stroke=color, width=2.5,
+        )
+        canvas.text(margin_left + plot_w + 36, legend_y + 4, label, size=11)
+        legend_y += 18
+    return canvas.render()

@@ -1,0 +1,84 @@
+"""Figure 3: the TPUPoint profiling-output timeline.
+
+The paper's Figure 3 shows two horizontal breakdowns of one run — the
+*Profile Breakdown* (each profile record as a small span) above the
+*Phase Breakdown* (each detected phase as a larger span covering several
+records). This module renders that picture as a standalone SVG, the
+image counterpart of the chrome://tracing export.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyzer.phases import Phase
+from repro.core.profiler.record import ProfileRecord
+from repro.errors import ConfigurationError
+from repro.viz.svg import PALETTE, SvgCanvas
+
+
+def phase_timeline_svg(
+    records: list[ProfileRecord],
+    phases: list[Phase],
+    title: str = "Figure 3: profile and phase breakdown",
+    width: int = 900,
+) -> str:
+    """Render the two-track timeline of one profiled run."""
+    if not records or not phases:
+        raise ConfigurationError("timeline needs records and phases")
+
+    start = min(record.window_start_us for record in records)
+    end = max(record.window_end_us for record in records)
+    for phase in phases:
+        start = min(start, phase.start_us)
+        end = max(end, phase.end_us)
+    span = max(end - start, 1.0)
+
+    margin_left, track_h, gap = 130, 34, 14
+    plot_w = width - margin_left - 20
+    height = 60 + 2 * track_h + gap + 46
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 24, title, size=15, anchor="middle")
+
+    def x_of(time_us: float) -> float:
+        return margin_left + plot_w * (time_us - start) / span
+
+    # Track 1: profile records, alternating shades.
+    y_profiles = 48
+    canvas.text(margin_left - 8, y_profiles + track_h / 2 + 4, "Profile Breakdown",
+                size=11, anchor="end")
+    for record in records:
+        x0 = x_of(record.window_start_us)
+        x1 = x_of(record.window_end_us)
+        shade = "#9ecae1" if record.index % 2 == 0 else "#c6dbef"
+        canvas.rect(x0, y_profiles, max(x1 - x0, 0.5), track_h, shade)
+        canvas.line(x0, y_profiles, x0, y_profiles + track_h, stroke="#ffffff", width=0.5)
+
+    # Track 2: phases, ordered by timeline position, colored by identity.
+    y_phases = y_profiles + track_h + gap
+    canvas.text(margin_left - 8, y_phases + track_h / 2 + 4, "Phase Breakdown",
+                size=11, anchor="end")
+    ordered = sorted(phases, key=lambda p: p.start_us)
+    for index, phase in enumerate(ordered):
+        color = PALETTE[index % len(PALETTE)]
+        x0 = x_of(phase.start_us)
+        x1 = x_of(phase.end_us)
+        phase_w = max(x1 - x0, 1.0)
+        canvas.rect(x0, y_phases, phase_w, track_h, color, opacity=0.85)
+        if phase_w > 60:
+            canvas.text(
+                x0 + phase_w / 2,
+                y_phases + track_h / 2 + 4,
+                f"phase {phase.phase_id} ({phase.num_steps} steps)",
+                size=10,
+                anchor="middle",
+                color="#ffffff",
+            )
+
+    # Time axis in seconds.
+    y_axis = y_phases + track_h + 10
+    canvas.line(margin_left, y_axis, margin_left + plot_w, y_axis)
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = margin_left + plot_w * fraction
+        canvas.line(x, y_axis, x, y_axis + 4)
+        seconds = (start + span * fraction) / 1e6
+        canvas.text(x, y_axis + 18, f"{seconds:.1f}s", size=10, anchor="middle")
+    return canvas.render()

@@ -1,0 +1,6 @@
+"""Workload execution: run specs end-to-end, producing event logs."""
+
+from repro.workloads.runner import WorkloadRun, build_estimator, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["WorkloadRun", "WorkloadSpec", "build_estimator", "run_workload"]

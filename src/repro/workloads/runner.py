@@ -1,0 +1,61 @@
+"""End-to-end workload runner.
+
+Runs a :class:`~repro.workloads.spec.WorkloadSpec` to completion and
+returns the estimator (with its full event log), the session summary, and
+convenience metrics. This is the entry point every benchmark and the
+analyzer's test fixtures use; results are memoizable because runs are
+fully deterministic in the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rng import RngFactory
+from repro.runtime.estimator import TPUEstimator
+from repro.runtime.session import SessionSummary
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """A completed run: the estimator (holding the event log) + summary."""
+
+    spec: WorkloadSpec
+    estimator: TPUEstimator
+    summary: SessionSummary
+
+    @property
+    def idle_fraction(self) -> float:
+        """TPU idle time over the whole run (Figure 10/12/15 metric)."""
+        return self.summary.tpu_idle_fraction
+
+    @property
+    def mxu_utilization(self) -> float:
+        """MXU utilization over the whole run (Figure 11/13/16 metric)."""
+        return self.summary.mxu_utilization
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total simulated execution time in seconds."""
+        return self.summary.wall_us / 1e6
+
+
+def build_estimator(spec: WorkloadSpec) -> TPUEstimator:
+    """Assemble the estimator for a spec without running it."""
+    entry = spec.resolve()
+    rngs = RngFactory(spec.seed)
+    return entry.model.build_estimator(
+        dataset=entry.dataset,
+        generation=spec.generation,
+        plan=spec.plan,
+        pipeline_config=spec.pipeline_config,
+        rng=rngs.stream(f"runner:{spec.key}:{spec.generation}"),
+    )
+
+
+def run_workload(spec: WorkloadSpec) -> WorkloadRun:
+    """Run a workload to completion."""
+    estimator = build_estimator(spec)
+    summary = estimator.train()
+    return WorkloadRun(spec=spec, estimator=estimator, summary=summary)

@@ -1,0 +1,53 @@
+"""Workload run specifications.
+
+A :class:`WorkloadSpec` pins down everything one experiment run needs:
+the workload (model + dataset), the TPU generation, optional overrides of
+the session plan and pipeline knobs, and the seed. Benchmarks build specs
+declaratively and hand them to the runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.pipeline import PipelineConfig
+from repro.models.registry import WorkloadEntry, workload
+from repro.rng import DEFAULT_SEED
+from repro.runtime.session import SessionPlan
+from repro.tpu.specs import TpuGeneration
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One fully specified workload run."""
+
+    key: str
+    generation: TpuGeneration | str = TpuGeneration.V2
+    plan: SessionPlan | None = None
+    pipeline_config: PipelineConfig | None = None
+    seed: int = DEFAULT_SEED
+
+    def resolve(self) -> WorkloadEntry:
+        """Resolve the workload key against the registry."""
+        return workload(self.key)
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable run label including the accelerator."""
+        if isinstance(self.generation, str):
+            label = f"TPU{self.generation}"
+        elif hasattr(self.generation, "value"):
+            label = f"TPU{self.generation.value}"
+        else:  # a custom accelerator spec (portability mode)
+            label = str(getattr(self.generation, "generation", self.generation))
+        return f"{self.resolve().display_name} ({label})"
+
+    def with_generation(self, generation: TpuGeneration | str) -> "WorkloadSpec":
+        """The same run on another TPU generation."""
+        return WorkloadSpec(
+            key=self.key,
+            generation=generation,
+            plan=self.plan,
+            pipeline_config=self.pipeline_config,
+            seed=self.seed,
+        )

@@ -1,0 +1,92 @@
+"""End-to-end flows: run → profile → analyze → export."""
+
+import pytest
+
+from repro.core.analyzer import (
+    TPUPointAnalyzer,
+    associate_checkpoints,
+    top_operators_of_longest_phase,
+)
+from repro.runtime.events import DeviceKind
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestProfiledRun:
+    def test_records_reconstruct_full_run(self, bert_mrpc_run):
+        estimator, summary, records = bert_mrpc_run
+        analyzer = TPUPointAnalyzer(records)
+        # Every logged step appears in the merged analyzer view.
+        assert len(analyzer.steps) == len(estimator.session.log.steps)
+        # Total recorded operator time matches the raw event log.
+        recorded = sum(
+            stats.total_duration_us
+            for step in analyzer.steps
+            for stats in step.operators.values()
+        )
+        raw = sum(e.duration_us for e in estimator.session.log.events)
+        assert recorded == pytest.approx(raw, rel=1e-9)
+
+    def test_all_three_algorithms_agree_on_the_dominant_phase(self, bert_mrpc_analyzer):
+        ols = bert_mrpc_analyzer.ols_phases()
+        km = bert_mrpc_analyzer.kmeans_phases(k=3)
+        db = bert_mrpc_analyzer.dbscan_phases(min_samples=5)
+        # The dominant phase of each algorithm is the training body: its
+        # top TPU operators coincide.
+        tops = []
+        for result in (ols, km, db):
+            cell = top_operators_of_longest_phase(result.phases)
+            tops.append(set(cell[DeviceKind.TPU].operators[:3]))
+        assert tops[0] & tops[1] & tops[2]
+
+    def test_dominant_phase_contains_data_exchange_ops(self, bert_mrpc_analyzer):
+        result = bert_mrpc_analyzer.ols_phases()
+        cell = top_operators_of_longest_phase(result.phases)
+        tpu_names = set(cell[DeviceKind.TPU].operators)
+        host_names = set(cell[DeviceKind.HOST].operators)
+        # Observation 3: data preparation/exchange ops rank at the top.
+        assert tpu_names & {"InfeedDequeueTuple", "OutfeedEnqueueTuple", "Reshape"}
+        assert host_names & {"OutfeedDequeueTuple", "TransferBufferToInfeedLocked"}
+
+    def test_checkpoint_association_enables_fast_forward(self, bert_mrpc_run):
+        estimator, _, records = bert_mrpc_run
+        analyzer = TPUPointAnalyzer(records)
+        result = analyzer.ols_phases()
+        associations = associate_checkpoints(
+            result.phases, estimator.checkpoint_store, analyzer.steps
+        )
+        body = max(result.phases, key=lambda p: p.num_steps)
+        assert associations[body.phase_id].distance_steps <= 40  # within a cadence
+
+
+class TestDeterminism:
+    def test_identical_specs_identical_results(self):
+        a = run_workload(WorkloadSpec("dcgan-mnist", seed=5))
+        b = run_workload(WorkloadSpec("dcgan-mnist", seed=5))
+        assert a.summary.wall_us == b.summary.wall_us
+        assert a.summary.events_recorded == b.summary.events_recorded
+        assert a.idle_fraction == b.idle_fraction
+
+    def test_generations_differ(self):
+        v2 = run_workload(WorkloadSpec("dcgan-mnist", generation="v2"))
+        v3 = run_workload(WorkloadSpec("dcgan-mnist", generation="v3"))
+        assert v3.summary.wall_us < v2.summary.wall_us
+        assert v3.mxu_utilization < v2.mxu_utilization
+
+
+class TestProfilerFidelity:
+    def test_profile_caps_respected(self, bert_mrpc_run):
+        _, _, records = bert_mrpc_run
+        for record in records:
+            assert record.duration_ms <= 60_000.0
+            events = sum(
+                stats.count
+                for step in record.steps.values()
+                for stats in step.operators.values()
+            )
+            assert events <= 1_000_000
+
+    def test_windows_contiguous_and_ordered(self, bert_mrpc_run):
+        _, _, records = bert_mrpc_run
+        for first, second in zip(records, records[1:]):
+            assert second.window_start_us == pytest.approx(first.window_end_us)

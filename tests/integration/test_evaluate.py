@@ -1,0 +1,75 @@
+"""The one-call evaluation driver."""
+
+import csv
+
+import pytest
+
+from repro.evaluate import evaluate
+
+
+@pytest.fixture(scope="module")
+def evaluation(tmp_path_factory):
+    out = tmp_path_factory.mktemp("eval")
+    result = evaluate(
+        out,
+        workloads=("bert-mrpc", "dcgan-mnist"),
+        run_optimizer=False,
+        figures=True,
+    )
+    return result
+
+
+def test_metrics_cover_the_grid(evaluation):
+    assert set(evaluation.idle) == {
+        ("bert-mrpc", "v2"),
+        ("bert-mrpc", "v3"),
+        ("dcgan-mnist", "v2"),
+        ("dcgan-mnist", "v3"),
+    }
+    assert set(evaluation.mxu) == set(evaluation.idle)
+
+
+def test_means(evaluation):
+    assert 0.0 < evaluation.mean_idle("v2") < evaluation.mean_idle("v3") < 1.0
+    assert evaluation.mean_mxu("v3") < evaluation.mean_mxu("v2")
+
+
+def test_phase_structure_recorded(evaluation):
+    assert evaluation.phase_counts == {"bert-mrpc": 3, "dcgan-mnist": 3}
+    assert all(value >= 0.95 for value in evaluation.coverage_top3.values())
+
+
+def test_artifacts_written(evaluation):
+    assert (evaluation.out_dir / "SUMMARY.md").exists()
+    summary = (evaluation.out_dir / "SUMMARY.md").read_text()
+    assert "Paper" in summary and "38.9%" in summary
+    with open(evaluation.out_dir / "metrics.csv", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    assert {row["workload"] for row in rows} == {"bert-mrpc", "dcgan-mnist"}
+    for name, path in evaluation.figures.items():
+        assert path.exists(), name
+
+
+def test_optimizer_skipped_when_disabled(evaluation):
+    assert evaluation.speedups == {}
+
+
+def test_cli_evaluate(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    code = cli_main(
+        [
+            "evaluate",
+            "--out",
+            str(tmp_path),
+            "--workloads",
+            "bert-mrpc",
+            "--no-optimizer",
+            "--no-figures",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean idle" in out
+    assert (tmp_path / "SUMMARY.md").exists()

@@ -1,0 +1,69 @@
+"""Full-suite integration: every Table I workload through the whole
+toolchain, asserting cross-cutting invariants rather than magnitudes.
+"""
+
+import pytest
+
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.api import TPUPoint
+from repro.models.registry import PAPER_WORKLOADS
+from repro.workloads.runner import build_estimator
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def all_runs():
+    runs = {}
+    for key in PAPER_WORKLOADS:
+        estimator = build_estimator(WorkloadSpec(key))
+        tpupoint = TPUPoint(estimator)
+        tpupoint.Start(analyzer=True)
+        summary = estimator.train()
+        tpupoint.Stop()
+        runs[key] = (estimator, summary, TPUPointAnalyzer(tpupoint.records))
+    return runs
+
+
+@pytest.mark.parametrize("key", PAPER_WORKLOADS)
+class TestEveryWorkload:
+    def test_events_conserved_through_profiler(self, all_runs, key):
+        estimator, _, analyzer = all_runs[key]
+        recorded = sum(
+            stats.count for step in analyzer.steps for stats in step.operators.values()
+        )
+        assert recorded == estimator.session.log.num_events
+
+    def test_step_time_conserved(self, all_runs, key):
+        estimator, summary, analyzer = all_runs[key]
+        profiled = sum(step.elapsed_us for step in analyzer.steps)
+        assert profiled <= summary.wall_us
+        # Steps cover the bulk of the run (the rest is checkpoints/loops).
+        assert profiled >= 0.5 * summary.wall_us
+
+    def test_phases_partition_steps(self, all_runs, key):
+        _, _, analyzer = all_runs[key]
+        for method, kwargs in (
+            ("ols", {}),
+            ("kmeans", {"k": 4}),
+            ("dbscan", {"min_samples": 10}),
+        ):
+            result = analyzer.analyze(method, **kwargs)
+            assert sum(p.num_steps for p in result.phases) == len(analyzer.steps)
+            assert result.coverage().top(len(result.phases)) == pytest.approx(1.0)
+
+    def test_metrics_bounded(self, all_runs, key):
+        _, summary, _ = all_runs[key]
+        assert 0.0 <= summary.tpu_idle_fraction <= 1.0
+        assert 0.0 < summary.mxu_utilization < 1.0
+
+    def test_dominant_phase_is_training(self, all_runs, key):
+        _, _, analyzer = all_runs[key]
+        result = analyzer.ols_phases()
+        dominant = result.phases[0]
+        # The training body dwarfs init/shutdown.
+        assert dominant.num_steps > 0.8 * len(analyzer.steps)
+
+    def test_checkpoints_saved(self, all_runs, key):
+        estimator, _, _ = all_runs[key]
+        assert len(estimator.checkpoint_store) >= 1
+        assert estimator.checkpoint_store.latest().step == estimator.plan.train_steps

@@ -1,0 +1,74 @@
+"""Property tests: compiler passes over randomly generated chain graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import ops as opdefs
+from repro.graph.builder import GraphBuilder
+from repro.graph.constant_folding import fold_constants
+from repro.graph.fusion import fuse
+from repro.graph.shapes import TensorShape
+
+_FUSABLE = (opdefs.RELU, opdefs.MUL, opdefs.TANH, opdefs.SOFTMAX)
+_NON_FUSABLE = (opdefs.RESHAPE_KIND,) if hasattr(opdefs, "RESHAPE_KIND") else ()
+
+
+def _chain_graph(choices):
+    """A linear graph: infeed -> random (fusable / layout) ops -> outfeed."""
+    b = GraphBuilder()
+    x = b.infeed(TensorShape((8, 64)))
+    for choice in choices:
+        if choice == len(_FUSABLE):  # a layout op breaks fusion chains
+            x = b.reshape(x, TensorShape((64, 8)) if x.shape.dims == (8, 64) else TensorShape((8, 64)))
+        else:
+            x = b.elementwise(_FUSABLE[choice], x)
+    b.outfeed(x)
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, len(_FUSABLE)), min_size=0, max_size=20))
+def test_fusion_preserves_total_flops_and_validity(choices):
+    graph = _chain_graph(choices)
+    before = graph.total_flops()
+    fuse(graph)
+    graph.validate()
+    assert graph.total_flops() == before
+    # Exactly one infeed and one outfeed survive.
+    assert graph.count_kind("InfeedDequeueTuple") == 1
+    assert graph.count_kind("OutfeedEnqueueTuple") == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, len(_FUSABLE)), min_size=0, max_size=20))
+def test_fusion_never_leaves_adjacent_fusable_chain(choices):
+    """After the pass, no remaining fusable op has a single fusable consumer."""
+    graph = _chain_graph(choices)
+    fuse(graph)
+    for op in graph:
+        if not op.kind.fusable:
+            continue
+        consumers = graph.consumers(op.name)
+        if len(consumers) == 1 and consumers[0].kind.fusable:
+            raise AssertionError(f"unfused chain remains at {op.name}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, len(_FUSABLE)), min_size=0, max_size=20))
+def test_folding_is_idempotent(choices):
+    graph = _chain_graph(choices)
+    fold_constants(graph)
+    second = fold_constants(graph)
+    assert second.folded == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 12))
+def test_folding_collapses_pure_constant_chains(depth):
+    b = GraphBuilder()
+    x = b.const(TensorShape((4, 4)))
+    for _ in range(depth):
+        x = b.elementwise(opdefs.MUL, x)
+    graph = b.build()
+    report = fold_constants(graph)
+    assert report.folded == depth
+    assert all(op.kind is opdefs.CONST for op in graph)

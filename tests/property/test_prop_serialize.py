@@ -1,0 +1,84 @@
+"""Property tests: serialization round trips over generated records."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
+from repro.core.profiler.serialize import record_from_dict, record_to_dict
+from repro.runtime.events import DeviceKind, StepKind
+
+op_names = st.sampled_from(
+    ["MatMul", "fusion", "Reshape", "Send", "OutfeedDequeueTuple", "SaveV2"]
+)
+devices = st.sampled_from([DeviceKind.HOST, DeviceKind.TPU])
+kinds = st.sampled_from(list(StepKind) + [None])
+
+
+@st.composite
+def step_stats(draw, step_number):
+    step = StepStats(step=step_number)
+    operators = draw(
+        st.lists(st.tuples(op_names, devices), min_size=0, max_size=6, unique=True)
+    )
+    for name, device in operators:
+        stats = OperatorStats(
+            name=name,
+            device=device,
+            count=draw(st.integers(1, 1000)),
+            total_duration_us=draw(st.floats(0.0, 1e9, allow_nan=False)),
+        )
+        step.operators[(name, device.value)] = stats
+    kind = draw(kinds)
+    if kind is not None:
+        step.kind = kind
+        step.start_us = draw(st.floats(0.0, 1e9, allow_nan=False))
+        step.end_us = step.start_us + draw(st.floats(0.0, 1e6, allow_nan=False))
+        step.tpu_idle_us = draw(st.floats(0.0, 1e6, allow_nan=False))
+        step.mxu_flops = draw(st.floats(0.0, 1e15, allow_nan=False))
+    return step
+
+
+@st.composite
+def profile_records(draw):
+    record = ProfileRecord(
+        index=draw(st.integers(0, 10_000)),
+        window_start_us=draw(st.floats(0.0, 1e9, allow_nan=False)),
+        window_end_us=draw(st.floats(0.0, 1e9, allow_nan=False)),
+        truncated=draw(st.booleans()),
+        final=draw(st.booleans()),
+    )
+    step_numbers = draw(st.lists(st.integers(0, 500), max_size=8, unique=True))
+    for number in step_numbers:
+        record.steps[number] = draw(step_stats(number))
+    return record
+
+
+@settings(max_examples=60, deadline=None)
+@given(profile_records())
+def test_round_trip_identity(record):
+    rebuilt = record_from_dict(record_to_dict(record))
+    assert rebuilt.index == record.index
+    assert rebuilt.window_start_us == record.window_start_us
+    assert rebuilt.window_end_us == record.window_end_us
+    assert rebuilt.truncated == record.truncated
+    assert rebuilt.final == record.final
+    assert set(rebuilt.steps) == set(record.steps)
+    for number, step in record.steps.items():
+        other = rebuilt.steps[number]
+        assert other.kind == step.kind
+        assert other.start_us == step.start_us
+        assert other.end_us == step.end_us
+        assert set(other.operators) == set(step.operators)
+        for key, stats in step.operators.items():
+            rebuilt_stats = other.operators[key]
+            assert rebuilt_stats.count == stats.count
+            assert rebuilt_stats.total_duration_us == stats.total_duration_us
+            assert rebuilt_stats.device is stats.device
+
+
+@settings(max_examples=40, deadline=None)
+@given(profile_records())
+def test_serialized_form_is_pure_json(record):
+    import json
+
+    payload = record_to_dict(record)
+    assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,102 @@
+"""Property tests: session and pipeline invariants over generated plans."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.host.pipeline import PipelineConfig
+from repro.runtime.events import StepKind
+from repro.runtime.session import SessionPlan
+from tests.conftest import TINY_DATASET, TinyModel
+
+plans = st.builds(
+    SessionPlan,
+    train_steps=st.integers(1, 25),
+    batch_size=st.sampled_from([8, 32, 128]),
+    iterations_per_loop=st.integers(1, 10),
+    eval_every=st.sampled_from([0, 5, 9]),
+    eval_steps=st.integers(1, 3),
+    checkpoint_every=st.sampled_from([0, 4, 11]),
+    checkpoint_bytes=st.just(5e6),
+)
+
+configs = st.builds(
+    PipelineConfig,
+    num_parallel_reads=st.integers(1, 16),
+    num_parallel_calls=st.integers(1, 32),
+    prefetch_depth=st.integers(0, 6),
+    shuffle_buffer=st.sampled_from([0, 1024]),
+    infeed_threads=st.integers(1, 8),
+    jitter=st.sampled_from([0.0, 0.1]),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(plan=plans, config=configs, seed=st.integers(0, 2**31 - 1))
+def test_any_plan_runs_to_completion_with_invariants(plan, config, seed):
+    estimator = TinyModel().build_estimator(
+        TINY_DATASET, plan=plan, pipeline_config=config,
+        rng=np.random.default_rng(seed),
+    )
+    summary = estimator.train()
+    session = estimator.session
+    assert session.finished
+    assert session.global_step == plan.train_steps
+
+    steps = session.log.steps
+    # Step indices strictly increase; intervals never overlap backwards.
+    assert all(b.step > a.step for a, b in zip(steps, steps[1:]))
+    assert all(b.start_us >= a.start_us - 1e-6 for a, b in zip(steps, steps[1:]))
+    # Bookends.
+    assert steps[0].kind is StepKind.INIT
+    assert steps[-1].kind is StepKind.SHUTDOWN
+    assert sum(1 for m in steps if m.kind is StepKind.TRAIN) == plan.train_steps
+    # Accounting.
+    assert summary.tpu_busy_us <= summary.wall_us + 1e-6
+    assert 0.0 <= summary.tpu_idle_fraction <= 1.0
+    assert 0.0 <= summary.mxu_utilization <= 1.0
+    # A final checkpoint always exists and is tagged with the last step.
+    assert estimator.checkpoint_store.latest().step == plan.train_steps
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    threads=st.integers(1, 16),
+    prefetch=st.integers(0, 4),
+    seed=st.integers(0, 1000),
+)
+def test_more_parallelism_never_slows_the_run(threads, prefetch, seed):
+    """Wall time is monotone non-increasing in pipeline parallelism."""
+    from dataclasses import replace
+
+    heavy = replace(TINY_DATASET, decode_cpu_us=150.0, preprocess_cpu_us=100.0)
+    plan = SessionPlan(train_steps=12, batch_size=64, checkpoint_every=0)
+
+    def wall(num_calls, depth):
+        estimator = TinyModel().build_estimator(
+            heavy,
+            plan=plan,
+            pipeline_config=PipelineConfig(
+                num_parallel_calls=num_calls, prefetch_depth=depth, jitter=0.0
+            ),
+            rng=np.random.default_rng(seed),
+        )
+        return estimator.train().wall_us
+
+    base = wall(threads, prefetch)
+    more_threads = wall(min(threads * 2, 64), prefetch)
+    more_prefetch = wall(threads, prefetch + 1)
+    assert more_threads <= base * 1.0001
+    assert more_prefetch <= base * 1.0001
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=plans, seed=st.integers(0, 2**31 - 1))
+def test_runs_are_deterministic_in_seed(plan, seed):
+    def run():
+        estimator = TinyModel().build_estimator(
+            TINY_DATASET, plan=plan, rng=np.random.default_rng(seed)
+        )
+        summary = estimator.train()
+        return summary.wall_us, summary.events_recorded
+
+    assert run() == run()

@@ -1,0 +1,69 @@
+"""Properties of Equation 1 (StepSimilarity) and OLS labeling."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.analyzer.ols import OnlineLinearScan, step_similarity
+from repro.core.profiler.record import StepStats
+from repro.runtime.events import DeviceKind
+
+event_sets = st.frozensets(st.integers(min_value=0, max_value=30), max_size=12)
+
+
+@given(event_sets, event_sets)
+def test_similarity_bounded(a, b):
+    assert 0.0 <= step_similarity(a, b) <= 1.0
+
+
+@given(event_sets, event_sets)
+def test_similarity_symmetric(a, b):
+    assert step_similarity(a, b) == step_similarity(b, a)
+
+
+@given(event_sets)
+def test_similarity_reflexive(a):
+    assert step_similarity(a, a) == 1.0
+
+
+@given(event_sets, event_sets)
+def test_subset_similarity_is_one(a, b):
+    union = a | b
+    assert step_similarity(a, union) == 1.0 or len(a) == 0 != len(union)
+
+
+@given(event_sets, event_sets)
+def test_disjoint_nonempty_sets_similarity_zero(a, b):
+    b_shifted = frozenset(x + 1000 for x in b)
+    if a and b_shifted:
+        assert step_similarity(a, b_shifted) == 0.0
+
+
+def _steps_from_sets(sets):
+    steps = []
+    for i, names in enumerate(sets):
+        step = StepStats(step=i)
+        for name in names:
+            step.observe(str(name), DeviceKind.TPU, 1.0)
+        steps.append(step)
+    return steps
+
+
+@given(st.lists(event_sets.filter(lambda s: len(s) > 0), min_size=1, max_size=25),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_ols_labels_contiguous_and_bounded(sets, threshold):
+    scanner = OnlineLinearScan(threshold=threshold)
+    labels = [scanner.observe(step) for step in _steps_from_sets(sets)]
+    assert labels[0] == 0
+    assert all(b - a in (0, 1) for a, b in zip(labels, labels[1:]))
+    assert scanner.num_phases == labels[-1] + 1
+
+
+@given(st.lists(event_sets.filter(lambda s: len(s) > 0), min_size=2, max_size=20))
+def test_ols_phase_count_monotone_in_threshold(sets):
+    steps = _steps_from_sets(sets)
+    counts = []
+    for threshold in (0.0, 0.25, 0.5, 0.75, 1.0):
+        scanner = OnlineLinearScan(threshold=threshold)
+        for step in steps:
+            scanner.observe(step)
+        counts.append(scanner.num_phases)
+    assert all(a <= b for a, b in zip(counts, counts[1:]))

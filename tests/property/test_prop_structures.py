@@ -1,0 +1,115 @@
+"""Properties of core data structures: queues, shapes, graphs, coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer.coverage import coverage
+from repro.core.analyzer.phases import build_phases
+from repro.core.profiler.record import StepStats
+from repro.graph import ops as opdefs
+from repro.graph.graph import Graph
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape, matmul_flops
+from repro.runtime.events import DeviceKind, StepKind, StepMetadata
+from repro.storage.objects import shard_dataset
+from repro.tpu.mxu import MatmulShape, MxuModel
+from repro.tpu.queues import TransferQueue
+from repro.tpu.specs import TPU_V2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+def test_queue_fifo_and_nonnegative_stall(deltas):
+    queue = TransferQueue(capacity=len(deltas))
+    ready = 0.0
+    for i, delta in enumerate(deltas):
+        ready += delta
+        queue.push(ready, float(i))
+    ask = 0.0
+    previous_bytes = -1.0
+    while len(queue):
+        obtained, item = queue.pop(ask)
+        assert obtained >= ask  # time never runs backwards
+        assert item.num_bytes == previous_bytes + 1.0  # FIFO
+        previous_bytes = item.num_bytes
+        ask = obtained
+    assert queue.total_stall_us >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 512), st.integers(1, 512), st.integers(1, 512))
+def test_mxu_efficiency_bounded_and_time_positive(m, k, n):
+    mxu = MxuModel(TPU_V2)
+    shape = MatmulShape(m, k, n)
+    eff = mxu.shape_efficiency(shape)
+    assert 0.01 <= eff <= 1.0
+    assert mxu.matmul_time_us(shape) > 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 64), st.integers(1, 64), st.integers(1, 64), st.integers(1, 8))
+def test_matmul_flops_formula(m, k, n, batch):
+    assert matmul_flops(m, k, n, batch) == 2.0 * m * k * n * batch
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1e12),
+    st.integers(0, 10_000),
+    st.integers(1, 64),
+)
+def test_sharding_conserves_totals(total_bytes, examples, shards):
+    pieces = shard_dataset("d", total_bytes, examples, shards)
+    assert sum(p.num_examples for p in pieces) == examples
+    assert abs(sum(p.num_bytes for p in pieces) - total_bytes) < 1e-6 * max(total_bytes, 1)
+    assert len({p.name for p in pieces}) == len(pieces)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=40))
+def test_random_chain_graph_topological_order(choices):
+    graph = Graph()
+    graph.add(Operation("n0", opdefs.CONST, shape=TensorShape((1,))))
+    for i, back in enumerate(choices, start=1):
+        # Each node reads a random earlier node: always a DAG.
+        parent = f"n{max(0, i - 1 - back)}"
+        graph.add(Operation(f"n{i}", opdefs.IDENTITY, inputs=(parent,)))
+    order = graph.topological_order()
+    positions = {op.name: i for i, op in enumerate(order)}
+    for op in graph:
+        for parent in op.inputs:
+            assert positions[parent] < positions[op.name]
+
+
+def _steps_with_durations(durations):
+    steps = []
+    for i, duration in enumerate(durations):
+        step = StepStats(step=i)
+        step.observe("op", DeviceKind.TPU, 1.0)
+        step.attach_metadata(
+            StepMetadata(i, StepKind.TRAIN, 0.0, float(duration), 0.0, 0.0)
+        )
+        steps.append(step)
+    return steps
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30),
+    st.data(),
+)
+def test_coverage_invariants(durations, data):
+    steps = _steps_with_durations(durations)
+    labels = data.draw(
+        st.lists(st.integers(0, 4), min_size=len(steps), max_size=len(steps))
+    )
+    phases = build_phases(steps, np.asarray(labels))
+    report = coverage(phases)
+    fractions = report.fractions
+    # Descending, in [0,1], summing to 1, and top(n) monotone in n.
+    assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    assert sum(fractions) == pytest.approx(1.0)
+    tops = [report.top(n) for n in range(1, len(fractions) + 1)]
+    assert all(a <= b + 1e-12 for a, b in zip(tops, tops[1:]))

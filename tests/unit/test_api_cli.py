@@ -1,0 +1,83 @@
+"""The TPUPoint front-end API (Figure 2) and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.api import TPUPoint
+from repro.errors import ProfilerError
+
+
+class TestTPUPointApi:
+    def test_figure2_flow(self, tiny_estimator):
+        tpupoint = TPUPoint(tiny_estimator)
+        tpupoint.Start(analyzer=True)
+        tiny_estimator.train()
+        records = tpupoint.Stop()
+        assert records
+        result = tpupoint.analyzer().ols_phases()
+        assert result.num_phases >= 1
+
+    def test_double_start_rejected(self, tiny_estimator):
+        tpupoint = TPUPoint(tiny_estimator)
+        tpupoint.Start()
+        with pytest.raises(ProfilerError):
+            tpupoint.Start()
+
+    def test_stop_without_start_rejected(self, tiny_estimator):
+        with pytest.raises(ProfilerError):
+            TPUPoint(tiny_estimator).Stop()
+
+    def test_records_require_stop(self, tiny_estimator):
+        tpupoint = TPUPoint(tiny_estimator)
+        tpupoint.Start()
+        with pytest.raises(ProfilerError):
+            tpupoint.records
+
+    def test_analyzer_requires_analyzer_flag(self, tiny_estimator):
+        tpupoint = TPUPoint(tiny_estimator)
+        tpupoint.Start(analyzer=False)
+        tiny_estimator.train()
+        tpupoint.Stop()
+        with pytest.raises(ProfilerError):
+            tpupoint.analyzer()
+
+    def test_pythonic_aliases(self, tiny_estimator):
+        tpupoint = TPUPoint(tiny_estimator)
+        tpupoint.start()
+        tiny_estimator.train()
+        assert tpupoint.stop()
+
+    def test_optimize_runs_to_completion(self, tiny_model, tiny_dataset):
+        from repro.models.naive import naive_pipeline_config
+
+        estimator = tiny_model.build_estimator(
+            tiny_dataset, pipeline_config=naive_pipeline_config()
+        )
+        result = TPUPoint(estimator).optimize()
+        assert estimator.session.finished
+        assert result.summary.steps_executed > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bert-mrpc" in out
+        assert "resnet-imagenet" in out
+
+    def test_profile_writes_exports(self, capsys, tmp_path):
+        code = cli_main(
+            ["profile", "bert-mrpc", "--method", "ols", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TPU idle time" in out
+        assert "top-3 phase coverage" in out
+        assert (tmp_path / "ols_trace.json").exists()
+        assert (tmp_path / "ols_phases.csv").exists()
+
+    def test_optimize_reports_speedup(self, capsys):
+        assert cli_main(["optimize", "naive-dcgan-mnist"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "best config" in out or "tuning trials" in out

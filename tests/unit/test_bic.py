@@ -1,0 +1,58 @@
+"""SimPoint-style BIC for k selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer.bic import bic_score, choose_k_bic
+from repro.core.analyzer.kmeans import kmeans, sweep_k
+from repro.errors import AnalyzerError
+
+
+def _blobs(rng, centers, per=40, scale=0.4):
+    return np.vstack([rng.normal(loc=c, scale=scale, size=(per, 2)) for c in centers])
+
+
+def test_bic_prefers_true_cluster_count(rng):
+    data = _blobs(rng, [(0, 0), (12, 0), (0, 12)])
+    results = sweep_k(data, range(1, 8), rng)
+    assert choose_k_bic(data, results) == 3
+
+
+def test_bic_single_blob_prefers_small_k(rng):
+    data = rng.normal(size=(80, 2))
+    results = sweep_k(data, range(1, 8), rng)
+    assert choose_k_bic(data, results) <= 2
+
+
+def test_bic_score_finite_for_valid_k(rng):
+    data = _blobs(rng, [(0, 0), (10, 10)])
+    result = kmeans(data, 2, rng)
+    assert np.isfinite(bic_score(data, result))
+
+
+def test_bic_degenerate_k_equals_n(rng):
+    data = rng.normal(size=(5, 2))
+    result = kmeans(data, 5, rng)
+    assert bic_score(data, result) == float("-inf")
+
+
+def test_bic_penalizes_overfitting(rng):
+    data = _blobs(rng, [(0, 0), (12, 0)])
+    results = sweep_k(data, range(1, 11), rng)
+    scores = {k: bic_score(data, r) for k, r in results.items()}
+    # More clusters than structure costs BIC.
+    assert scores[2] > scores[8]
+
+
+def test_choose_k_bic_empty_rejected():
+    with pytest.raises(AnalyzerError):
+        choose_k_bic(np.zeros((3, 2)), {})
+
+
+def test_analyzer_criterion_dispatch(bert_mrpc_analyzer):
+    k_elbow = bert_mrpc_analyzer.choose_k(range(1, 8), criterion="elbow")
+    k_bic = bert_mrpc_analyzer.choose_k(range(1, 8), criterion="bic")
+    assert 1 <= k_elbow <= 7
+    assert 1 <= k_bic <= 7
+    with pytest.raises(AnalyzerError):
+        bert_mrpc_analyzer.choose_k(criterion="aic")

@@ -1,0 +1,138 @@
+"""Profiler breakpoints, chrome-trace counters, and the report module."""
+
+import pytest
+
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.analyzer.visualize import chrome_trace
+from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+from repro.errors import ConfigurationError
+from repro.report import build_report, write_report
+
+
+class TestBreakpoints:
+    def test_breakpoint_stops_profiling_early(self, tiny_model, tiny_dataset):
+        estimator = tiny_model.build_estimator(tiny_dataset)
+        profiler = TPUPointProfiler(
+            estimator,
+            ProfilerOptions(request_interval_ms=200.0, breakpoint_step=20),
+        )
+        profiler.start(analyzer=True)
+        estimator.train()  # runs all 40 steps regardless
+        records = profiler.stop()
+        assert profiler.breakpoint_hit
+        max_step = max(step for record in records for step in record.steps)
+        logged_max = max(meta.step for meta in estimator.session.log.steps)
+        # Profiling ended around the breakpoint, well before the run did.
+        assert max_step < logged_max
+        assert estimator.session.global_step == estimator.plan.train_steps
+
+    def test_breakpoint_beyond_run_profiles_everything(self, tiny_model, tiny_dataset):
+        estimator = tiny_model.build_estimator(tiny_dataset)
+        profiler = TPUPointProfiler(
+            estimator, ProfilerOptions(breakpoint_step=10_000)
+        )
+        profiler.start(analyzer=True)
+        estimator.train()
+        records = profiler.stop()
+        assert not profiler.breakpoint_hit
+        covered = {step for record in records for step in record.steps}
+        assert covered == {meta.step for meta in estimator.session.log.steps}
+
+    def test_breakpoint_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProfilerOptions(breakpoint_step=0)
+
+    def test_breakpoint_records_still_analyzable(self, tiny_model, tiny_dataset):
+        estimator = tiny_model.build_estimator(tiny_dataset)
+        profiler = TPUPointProfiler(
+            estimator, ProfilerOptions(request_interval_ms=200.0, breakpoint_step=20)
+        )
+        profiler.start(analyzer=True)
+        estimator.train()
+        records = profiler.stop()
+        result = TPUPointAnalyzer(records).ols_phases()
+        assert result.num_phases >= 1
+
+
+class TestChromeCounters:
+    def test_counter_events_present(self, tiny_run):
+        _, _, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        result = analyzer.ols_phases()
+        trace = chrome_trace(records, result.phases)
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert names == {"TPU idle %", "MXU GFLOP/s"}
+        for event in counters:
+            (value,) = event["args"].values()
+            assert value >= 0.0
+
+    def test_counters_cover_train_steps(self, tiny_run):
+        estimator, _, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        trace = chrome_trace(records, analyzer.ols_phases().phases)
+        idle_counters = [
+            e for e in trace["traceEvents"] if e.get("name") == "TPU idle %"
+        ]
+        assert len(idle_counters) == len(estimator.session.log.steps)
+
+
+class TestReport:
+    def test_report_structure(self, tiny_run):
+        estimator, summary, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        report = build_report(
+            "Tiny-TinySet",
+            summary,
+            analyzer,
+            methods=("ols",),
+            checkpoint_store=estimator.checkpoint_store,
+        )
+        assert report.startswith("# TPUPoint characterization: Tiny-TinySet")
+        assert "## Run summary" in report
+        assert "## Phases — ols" in report
+        assert "## Dominant-phase operators" in report
+        assert "## Checkpoint associations" in report
+        assert "model.ckpt-" in report
+
+    def test_report_multiple_methods(self, tiny_run):
+        estimator, summary, records = tiny_run
+        report = build_report(
+            "t", summary, TPUPointAnalyzer(records), methods=("ols", "kmeans")
+        )
+        assert "## Phases — ols" in report
+        assert "## Phases — kmeans" in report
+
+    def test_write_report(self, tiny_run, tmp_path):
+        _, summary, records = tiny_run
+        report = build_report("t", summary, TPUPointAnalyzer(records))
+        path = write_report(tmp_path / "sub" / "report.md", report)
+        assert path.read_text() == report
+
+
+class TestNewCliCommands:
+    def test_profile_save_and_analyze(self, capsys, tmp_path):
+        from repro.cli import main as cli_main
+
+        records_dir = tmp_path / "recs"
+        assert cli_main(["profile", "bert-mrpc", "--save-records", str(records_dir)]) == 0
+        capsys.readouterr()
+        assert cli_main(["analyze", str(records_dir), "--method", "ols"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 phase coverage" in out
+
+    def test_report_command(self, capsys, tmp_path):
+        from repro.cli import main as cli_main
+
+        path = tmp_path / "r.md"
+        assert cli_main(["report", "bert-mrpc", "--out", str(path)]) == 0
+        assert path.exists()
+        assert "# TPUPoint characterization" in path.read_text()
+
+    def test_profile_with_breakpoint(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["profile", "bert-mrpc", "--breakpoint", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "phases" in out

@@ -1,0 +1,79 @@
+"""Checkpoint store semantics."""
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.storage.bucket import Bucket
+from repro.storage.checkpoints import Checkpoint, CheckpointStore
+
+
+@pytest.fixture
+def store():
+    return CheckpointStore(Bucket("ckpts"))
+
+
+def _save(store, *steps):
+    for step in steps:
+        store.save(Checkpoint(step=step, saved_at_us=float(step), num_bytes=1e6))
+
+
+def test_checkpoint_validation():
+    with pytest.raises(ConfigurationError):
+        Checkpoint(step=-1, saved_at_us=0.0, num_bytes=1.0)
+    with pytest.raises(ConfigurationError):
+        Checkpoint(step=0, saved_at_us=0.0, num_bytes=-1.0)
+
+
+def test_object_name_matches_tensorflow_convention():
+    assert Checkpoint(100, 0.0, 1.0).object_name == "model.ckpt-100"
+
+
+def test_save_persists_to_bucket(store):
+    _save(store, 10)
+    assert store.bucket.exists("checkpoints/model.ckpt-10")
+    assert len(store) == 1
+
+
+def test_steps_must_increase(store):
+    _save(store, 10)
+    with pytest.raises(CheckpointError):
+        _save(store, 10)
+    with pytest.raises(CheckpointError):
+        _save(store, 5)
+
+
+def test_latest(store):
+    _save(store, 10, 20, 30)
+    assert store.latest().step == 30
+
+
+def test_latest_empty_raises(store):
+    with pytest.raises(CheckpointError):
+        store.latest()
+
+
+@pytest.mark.parametrize(
+    "query, expected",
+    [(0, 10), (10, 10), (14, 10), (15, 10), (16, 20), (20, 20), (99, 30), (30, 30)],
+)
+def test_nearest_prefers_earlier_on_ties(store, query, expected):
+    _save(store, 10, 20, 30)
+    assert store.nearest(query).step == expected
+
+
+def test_nearest_before(store):
+    _save(store, 10, 20, 30)
+    assert store.nearest_before(25).step == 20
+    assert store.nearest_before(10).step == 10
+    with pytest.raises(CheckpointError):
+        store.nearest_before(9)
+
+
+def test_nearest_empty_raises(store):
+    with pytest.raises(CheckpointError):
+        store.nearest(5)
+
+
+def test_restore_time_positive(store):
+    _save(store, 10)
+    assert store.restore_time_us(store.latest()) > 0.0

@@ -1,0 +1,95 @@
+"""Run comparison tooling and representative steps."""
+
+import pytest
+
+from repro.compare import OperatorDelta, compare_runs
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+from repro.errors import AnalyzerError
+from repro.host.pipeline import PipelineConfig
+from repro.runtime.events import DeviceKind
+
+
+def _profiled(tiny_model, tiny_dataset, generation="v2", config=None):
+    estimator = tiny_model.build_estimator(
+        tiny_dataset, generation=generation, pipeline_config=config
+    )
+    profiler = TPUPointProfiler(estimator, ProfilerOptions(request_interval_ms=300.0))
+    profiler.start(analyzer=False)
+    summary = estimator.train()
+    return summary, profiler.stop()
+
+
+class TestOperatorDelta:
+    def test_ratio_and_delta(self):
+        delta = OperatorDelta("x", DeviceKind.TPU, 10.0, 25.0)
+        assert delta.ratio == pytest.approx(2.5)
+        assert delta.delta_us == pytest.approx(15.0)
+
+    def test_ratio_from_zero(self):
+        assert OperatorDelta("x", DeviceKind.TPU, 0.0, 5.0).ratio == float("inf")
+        assert OperatorDelta("x", DeviceKind.TPU, 0.0, 0.0).ratio == 1.0
+
+
+class TestCompareRuns:
+    def test_v2_vs_v3(self, tiny_model, tiny_dataset):
+        summary_v2, records_v2 = _profiled(tiny_model, tiny_dataset, "v2")
+        summary_v3, records_v3 = _profiled(tiny_model, tiny_dataset, "v3")
+        comparison = compare_runs(
+            "v2", summary_v2, records_v2, "v3", summary_v3, records_v3
+        )
+        assert comparison.speedup > 1.0  # v3 is faster
+        assert comparison.idle_delta > 0.0  # and idles more (Observation 5)
+        assert comparison.operator_deltas
+
+    def test_same_run_compares_neutral(self, tiny_model, tiny_dataset):
+        summary, records = _profiled(tiny_model, tiny_dataset)
+        comparison = compare_runs("a", summary, records, "b", summary, records)
+        assert comparison.speedup == pytest.approx(1.0)
+        assert comparison.idle_delta == pytest.approx(0.0)
+        assert all(d.ratio == pytest.approx(1.0) for d in comparison.operator_deltas)
+
+    def test_biggest_movers_sorted_and_filtered(self, tiny_model, tiny_dataset):
+        summary_a, records_a = _profiled(tiny_model, tiny_dataset)
+        summary_b, records_b = _profiled(
+            tiny_model, tiny_dataset, config=PipelineConfig(num_parallel_calls=1)
+        )
+        comparison = compare_runs("a", summary_a, records_a, "b", summary_b, records_b)
+        movers = comparison.biggest_movers(3)
+        assert len(movers) == 3
+        deltas = [abs(m.delta_us) for m in movers]
+        assert deltas == sorted(deltas, reverse=True)
+        host_only = comparison.biggest_movers(5, device=DeviceKind.HOST)
+        assert all(m.device is DeviceKind.HOST for m in host_only)
+
+    def test_format_is_readable(self, tiny_model, tiny_dataset):
+        summary, records = _profiled(tiny_model, tiny_dataset)
+        text = compare_runs("a", summary, records, "b", summary, records).format()
+        assert "speedup" in text
+        assert "biggest operator movers" in text
+
+    def test_requires_records(self, tiny_model, tiny_dataset):
+        summary, records = _profiled(tiny_model, tiny_dataset)
+        with pytest.raises(AnalyzerError):
+            compare_runs("a", summary, [], "b", summary, records)
+
+
+class TestRepresentativeStep:
+    def test_representative_is_member_and_typical(self, tiny_run):
+        _, _, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        result = analyzer.ols_phases()
+        body = max(result.phases, key=lambda p: p.num_steps)
+        representative = body.representative_step()
+        assert representative in body.steps
+        # The representative looks like a train step, not an outlier:
+        # its duration sits within the phase's range.
+        durations = [s.elapsed_us for s in body.steps]
+        assert min(durations) <= representative.elapsed_us <= max(durations)
+
+    def test_single_step_phase(self, tiny_run):
+        _, _, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        result = analyzer.ols_phases()
+        singleton = min(result.phases, key=lambda p: p.num_steps)
+        assert singleton.representative_step() is singleton.steps[0]

@@ -1,0 +1,90 @@
+"""Energy and dollar-cost accounting."""
+
+import pytest
+
+from repro.costs import (
+    HOST_HOURLY_USD,
+    TPU_HOURLY_USD,
+    RunCost,
+    run_cost,
+    savings,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.session import SessionSummary
+from repro.tpu.specs import TpuGeneration
+
+
+def _summary(wall_s=3600.0, busy_s=1800.0):
+    return SessionSummary(
+        wall_us=wall_s * 1e6,
+        tpu_busy_us=busy_s * 1e6,
+        mxu_flops=1e15,
+        peak_flops=45e12,
+        steps_executed=100,
+        events_recorded=1000,
+    )
+
+
+def test_one_hour_billing_matches_list_price():
+    cost = run_cost(_summary(wall_s=3600.0), "v2")
+    assert cost.tpu_dollars == pytest.approx(TPU_HOURLY_USD[TpuGeneration.V2])
+    assert cost.host_dollars == pytest.approx(HOST_HOURLY_USD)
+
+
+def test_idle_dollars_proportional_to_idle_time():
+    cost = run_cost(_summary(wall_s=3600.0, busy_s=1800.0), "v2")
+    assert cost.idle_seconds == pytest.approx(1800.0)
+    assert cost.idle_dollars == pytest.approx(cost.tpu_dollars / 2)
+    assert cost.idle_dollar_fraction == pytest.approx(0.5)
+
+
+def test_energy_includes_idle_floor():
+    fully_busy = run_cost(_summary(busy_s=3600.0), "v2")
+    half_busy = run_cost(_summary(busy_s=1800.0), "v2")
+    # Idle halves draw a fraction of TDP, not zero.
+    assert half_busy.tpu_energy_joules < fully_busy.tpu_energy_joules
+    assert half_busy.tpu_energy_joules > fully_busy.tpu_energy_joules / 2
+
+
+def test_v3_costs_more_per_hour():
+    v2 = run_cost(_summary(), "v2")
+    v3 = run_cost(_summary(), "v3")
+    assert v3.tpu_dollars > v2.tpu_dollars
+
+
+def test_totals():
+    cost = run_cost(_summary(), "v2")
+    assert cost.total_dollars == pytest.approx(cost.tpu_dollars + cost.host_dollars)
+    assert cost.total_energy_joules == pytest.approx(
+        cost.tpu_energy_joules + cost.host_energy_joules
+    )
+
+
+def test_format_readable():
+    text = run_cost(_summary(), "v2").format()
+    assert "TPU bill" in text
+    assert "paid for idle time" in text
+
+
+def test_savings():
+    before = run_cost(_summary(wall_s=3600.0, busy_s=1800.0), "v2")
+    after = run_cost(_summary(wall_s=3000.0, busy_s=1800.0), "v2")
+    saved = savings(before, after)
+    assert saved["dollars"] > 0
+    assert saved["joules"] > 0
+    assert saved["idle_dollars"] > 0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        run_cost(_summary(), "v2", idle_power_fraction=2.0)
+    with pytest.raises(ConfigurationError):
+        run_cost(_summary(), "v2", host_power_watts=-1.0)
+
+
+def test_end_to_end_on_real_run(tiny_estimator):
+    summary = tiny_estimator.train()
+    cost = run_cost(summary, tiny_estimator.spec.generation, spec=tiny_estimator.spec)
+    assert cost.total_dollars > 0
+    assert 0.0 <= cost.idle_dollar_fraction <= 1.0
+    assert isinstance(cost, RunCost)

@@ -1,0 +1,128 @@
+"""The tf.data-style pipeline DSL."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import SQUAD
+from repro.errors import ConfigurationError
+from repro.host.data import Dataset
+
+
+def _base():
+    return Dataset.from_tfrecords(SQUAD)
+
+
+class TestDeclaration:
+    def test_immutability(self):
+        base = _base()
+        shuffled = base.shuffle(1024)
+        assert base.shuffle_buffer == 0
+        assert shuffled.shuffle_buffer == 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _base().interleave(0)
+        with pytest.raises(ConfigurationError):
+            _base().map("m", -1.0)
+        with pytest.raises(ConfigurationError):
+            _base().batch(0)
+        with pytest.raises(ConfigurationError):
+            _base().batch(32).batch(32)
+        with pytest.raises(ConfigurationError):
+            _base().prefetch(-1)
+
+    def test_build_requires_batch(self):
+        with pytest.raises(ConfigurationError):
+            _base().build()
+
+
+class TestLowering:
+    def test_config_from_declaration(self):
+        config = (
+            _base()
+            .interleave(8)
+            .shuffle(4096)
+            .map("parse", 18.0, num_parallel_calls=16)
+            .batch(32)
+            .prefetch(4)
+            .with_infeed_threads(4)
+            .to_config()
+        )
+        assert config.num_parallel_reads == 8
+        assert config.num_parallel_calls == 16
+        assert config.shuffle_buffer == 4096
+        assert config.prefetch_depth == 4
+        assert config.infeed_threads == 4
+        assert not config.vectorized_preprocess
+
+    def test_map_after_batch_vectorizes(self):
+        config = _base().batch(32).map("augment", 10.0).to_config()
+        assert config.vectorized_preprocess
+
+    def test_stages_in_declaration_order(self):
+        stages = (
+            _base().map("decode", 5.0).map("augment", 3.0).batch(32).to_stages()
+        )
+        assert [s.name for s in stages] == ["read", "decode", "augment", "batch", "transfer"]
+
+    def test_build_produces_runnable_pipeline(self, rng):
+        pipeline = (
+            _base().interleave(4).map("parse", 18.0, num_parallel_calls=8).batch(32).prefetch(2).build()
+        )
+        cost = pipeline.batch_cost(32, rng)
+        assert cost.total_wall_us > 0
+
+    def test_naive_pipeline_is_slower(self, rng):
+        tuned = (
+            _base().interleave(8).map("parse", 50.0, num_parallel_calls=16)
+            .batch(64).prefetch(2).build()
+        )
+        naive = _base().map("parse", 50.0).batch(64).build()
+        assert (
+            naive.batch_cost(64, np.random.default_rng(0)).total_wall_us
+            > tuned.batch_cost(64, np.random.default_rng(0)).total_wall_us
+        )
+        assert naive.config.prefetch_depth == 0
+
+
+class TestDescribe:
+    def test_chain_rendering(self):
+        text = (
+            _base().interleave(4).shuffle(1024)
+            .map("parse", 18.0, num_parallel_calls=8).batch(32).prefetch(2).describe()
+        )
+        assert text == (
+            "Dataset.from_tfrecords(SQuAD).interleave(cycle_length=4)"
+            ".shuffle(1024).map('parse', num_parallel_calls=8).batch(32).prefetch(2)"
+        )
+
+    def test_map_after_batch_rendering(self):
+        text = _base().batch(32).map("augment", 1.0).describe()
+        assert ".batch(32).map('augment'" in text
+
+
+class TestOptimizerIntegration:
+    def test_dsl_pipeline_is_tunable(self, tiny_model, tiny_dataset):
+        """A naive DSL declaration exposes the same adjustable parameters."""
+        from repro.core.optimizer.parameters import discover_parameters
+
+        config = (
+            Dataset.from_tfrecords(tiny_dataset).map("decode", 400.0).batch(32).to_config()
+        )
+        names = {p.name for p in discover_parameters(config)}
+        assert "num_parallel_calls" in names
+        assert "prefetch_depth" in names
+
+    def test_estimator_runs_with_dsl_config(self, tiny_model, tiny_dataset):
+        declaration = (
+            Dataset.from_tfrecords(tiny_dataset)
+            .interleave(2)
+            .map("decode", 5.0, num_parallel_calls=4)
+            .batch(32)
+            .prefetch(2)
+        )
+        estimator = tiny_model.build_estimator(
+            tiny_dataset, pipeline_config=declaration.to_config()
+        )
+        summary = estimator.train()
+        assert summary.wall_us > 0

@@ -1,0 +1,88 @@
+"""Dataset descriptors and registry (Table I)."""
+
+import pytest
+
+from repro import units
+from repro.datasets.base import DatasetKind, DatasetSpec
+from repro.datasets.registry import all_datasets, dataset
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize(
+    "name, size_mib",
+    [
+        ("SQuAD", 422.27),
+        ("MRPC", 2.85),
+        ("MNLI", 430.61),
+        ("CoLA", 1.44),
+        ("CIFAR10", 178.87),
+        ("MNIST", 56.21),
+    ],
+)
+def test_table1_sizes_mib(name, size_mib):
+    assert dataset(name).total_bytes == pytest.approx(units.mib(size_mib))
+
+
+@pytest.mark.parametrize("name, size_gib", [("COCO", 48.49), ("ImageNet", 143.38)])
+def test_table1_sizes_gib(name, size_gib):
+    assert dataset(name).total_bytes == pytest.approx(units.gib(size_gib))
+
+
+def test_lookup_case_insensitive():
+    assert dataset("imagenet").name == "ImageNet"
+    assert dataset("ImageNet") is dataset("IMAGENET")
+
+
+def test_unknown_dataset():
+    with pytest.raises(ConfigurationError):
+        dataset("cifar100")
+
+
+def test_half_variant():
+    half = dataset("squad-half")
+    full = dataset("squad")
+    assert half.total_bytes == pytest.approx(full.total_bytes / 2)
+    assert half.num_examples == full.num_examples // 2
+    assert half.name == "SQuAD-half"
+    # Per-example properties are unchanged.
+    assert half.device_bytes_per_example == full.device_bytes_per_example
+
+
+def test_kinds():
+    assert dataset("squad").kind is DatasetKind.TEXT
+    assert dataset("coco").kind is DatasetKind.IMAGE
+
+
+def test_storage_bytes_per_example():
+    spec = dataset("mnist")
+    assert spec.storage_bytes_per_example == pytest.approx(spec.total_bytes / spec.num_examples)
+
+
+def test_shards_cover_dataset():
+    spec = dataset("cifar10")
+    shards = spec.shards()
+    assert sum(s.num_examples for s in shards) == spec.num_examples
+    assert sum(s.num_bytes for s in shards) == pytest.approx(spec.total_bytes)
+
+
+def test_default_shard_sizing_about_100mib():
+    shards = dataset("imagenet").shards()
+    assert 50 * units.MIB < shards[0].num_bytes < 200 * units.MIB
+
+
+def test_all_datasets_returns_eight():
+    assert len(all_datasets()) == 8
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DatasetSpec(
+            name="bad",
+            kind=DatasetKind.TEXT,
+            total_bytes=0.0,
+            num_examples=1,
+            example_shape=(1,),
+            device_bytes_per_example=1.0,
+            decode_cpu_us=0.0,
+            preprocess_cpu_us=0.0,
+        )

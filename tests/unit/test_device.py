@@ -1,0 +1,93 @@
+"""TPU device step execution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tpu.device import TpuDevice, TpuOpCategory, TpuOpWork
+from repro.tpu.specs import TPU_V2
+
+
+def _schedule(infeed_bytes=1e6, flops=1e12, memory_bytes=1e8):
+    return [
+        TpuOpWork("InfeedDequeueTuple", TpuOpCategory.INFEED, num_bytes=infeed_bytes),
+        TpuOpWork(
+            "fusion", TpuOpCategory.COMPUTE, flops=flops, efficiency=0.5, uses_mxu=True
+        ),
+        TpuOpWork("Reshape", TpuOpCategory.MEMORY, num_bytes=memory_bytes),
+        TpuOpWork("OutfeedEnqueueTuple", TpuOpCategory.OUTFEED, num_bytes=1e5),
+    ]
+
+
+@pytest.fixture
+def device():
+    return TpuDevice("v2")
+
+
+def test_device_accepts_spec_object():
+    assert TpuDevice(TPU_V2).spec is TPU_V2
+
+
+def test_work_rejects_negative_quantities():
+    with pytest.raises(ConfigurationError):
+        TpuOpWork("x", TpuOpCategory.COMPUTE, flops=-1.0)
+
+
+def test_step_executes_all_ops_in_order(device):
+    result = device.execute_step(1, _schedule(), start_us=0.0)
+    assert [e.name for e in result.executions] == [
+        "InfeedDequeueTuple",
+        "fusion",
+        "Reshape",
+        "OutfeedEnqueueTuple",
+    ]
+    ends = [e.end_us for e in result.executions]
+    assert ends == sorted(ends)
+    assert result.end_us == ends[-1]
+
+
+def test_infeed_wait_counts_as_idle(device):
+    stalled = device.execute_step(1, _schedule(), start_us=0.0, infeed_ready_us=50_000.0)
+    assert stalled.idle_us >= 50_000.0
+    assert stalled.idle_fraction > 0.0
+
+
+def test_no_wait_when_data_ready_early():
+    device = TpuDevice("v2")
+    ready = device.execute_step(1, _schedule(), start_us=100.0, infeed_ready_us=0.0)
+    infeed = ready.executions[0]
+    transfer_only = 1e6 / device.spec.infeed_bandwidth * 1e6
+    assert infeed.duration_us == pytest.approx(transfer_only, rel=0.01)
+
+
+def test_mxu_flops_accounted(device):
+    result = device.execute_step(1, _schedule(flops=2e12), start_us=0.0)
+    assert result.mxu_flops == 2e12
+
+
+def test_compute_duration_honors_efficiency(device):
+    fast = TpuOpWork("a", TpuOpCategory.COMPUTE, flops=1e12, efficiency=1.0, uses_mxu=True)
+    slow = TpuOpWork("b", TpuOpCategory.COMPUTE, flops=1e12, efficiency=0.25, uses_mxu=True)
+    r = device.execute_step(1, [fast, slow], 0.0)
+    assert r.executions[1].duration_us == pytest.approx(4 * r.executions[0].duration_us)
+
+
+def test_lifetime_counters_accumulate(device):
+    device.execute_step(1, _schedule(), 0.0)
+    device.execute_step(2, _schedule(), device.total_elapsed_us)
+    assert device.total_mxu_flops == 2e12
+    assert 0.0 < device.idle_fraction() < 1.0
+    assert 0.0 < device.mxu_utilization() <= 1.0
+
+
+def test_reset_clears_counters(device):
+    device.execute_step(1, _schedule(), 0.0)
+    device.reset()
+    assert device.total_elapsed_us == 0.0
+    assert device.mxu_utilization() == 0.0
+
+
+def test_sync_op_has_fixed_cost(device):
+    sync = TpuOpWork("all-sync", TpuOpCategory.SYNC, fixed_us=42.0)
+    result = device.execute_step(1, [sync], 0.0)
+    assert result.executions[0].duration_us == 42.0
+    assert result.idle_us == 0.0

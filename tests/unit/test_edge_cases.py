@@ -1,0 +1,139 @@
+"""Edge cases and failure paths across modules."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+from repro.errors import AnalyzerError, ClusteringError
+from repro.runtime.events import DeviceKind, StepKind
+from repro.runtime.session import SessionPlan
+
+
+class TestCliErrorHandling:
+    def test_unknown_workload_exits_one(self, capsys):
+        assert cli_main(["profile", "not-a-workload"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_records_dir_exits_one(self, capsys, tmp_path):
+        assert cli_main(["analyze", str(tmp_path / "nope")]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+    def test_optimize_unknown_generation_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["optimize", "bert-mrpc", "--generation", "v4"])
+
+
+class TestEvalRounds:
+    @pytest.fixture
+    def eval_estimator(self, tiny_model, tiny_dataset):
+        plan = SessionPlan(
+            train_steps=30,
+            batch_size=32,
+            iterations_per_loop=10,
+            eval_every=10,
+            eval_steps=3,
+            checkpoint_every=0,
+        )
+        return tiny_model.build_estimator(tiny_dataset, plan=plan)
+
+    def test_eval_steps_recorded(self, eval_estimator):
+        eval_estimator.train()
+        kinds = [m.kind for m in eval_estimator.session.log.steps]
+        assert kinds.count(StepKind.EVAL) == 6  # rounds at step 10 and 20
+        assert kinds.count(StepKind.TRAIN) == 30
+
+    def test_eval_emits_padded_output(self, eval_estimator):
+        eval_estimator.train()
+        eval_steps = {
+            m.step
+            for m in eval_estimator.session.log.steps
+            if m.kind is StepKind.EVAL
+        }
+        # One eval-output assembly event per eval step, on top of the text
+        # pipeline's per-batch padding.
+        extra = [
+            e
+            for e in eval_estimator.session.log.events
+            if e.name == "BuildPaddedOutput" and e.step in eval_steps
+        ]
+        assert len(extra) >= 6
+
+    def test_eval_steps_cheaper_than_train(self, eval_estimator):
+        eval_estimator.train()
+        steps = eval_estimator.session.log.steps
+        train_flops = [m.mxu_flops for m in steps if m.kind is StepKind.TRAIN]
+        eval_flops = [m.mxu_flops for m in steps if m.kind is StepKind.EVAL]
+        assert max(eval_flops) < min(train_flops)
+
+    def test_no_final_eval_round_after_last_step(self, tiny_model, tiny_dataset):
+        plan = SessionPlan(
+            train_steps=20, batch_size=32, eval_every=10, eval_steps=2
+        )
+        estimator = tiny_model.build_estimator(tiny_dataset, plan=plan)
+        estimator.train()
+        kinds = [m.kind for m in estimator.session.log.steps]
+        # The round coinciding with the end of training is skipped.
+        assert kinds.count(StepKind.EVAL) == 2
+
+
+class TestAnalyzerEdgeCases:
+    def test_single_step_run_analyzes(self, tiny_model, tiny_dataset):
+        plan = SessionPlan(train_steps=1, batch_size=32, checkpoint_every=0)
+        estimator = tiny_model.build_estimator(tiny_dataset, plan=plan)
+        profiler = TPUPointProfiler(estimator)
+        profiler.start()
+        estimator.train()
+        analyzer = TPUPointAnalyzer(profiler.stop())
+        result = analyzer.ols_phases()
+        assert result.num_phases >= 1
+        # k cannot exceed the sample count.
+        with pytest.raises(ClusteringError):
+            analyzer.kmeans_phases(k=100)
+
+    def test_kmeans_k_larger_than_steps_rejected(self, bert_mrpc_analyzer):
+        with pytest.raises(ClusteringError):
+            bert_mrpc_analyzer.kmeans_phases(k=10_000)
+
+    def test_ols_threshold_bounds(self, bert_mrpc_analyzer):
+        with pytest.raises(AnalyzerError):
+            bert_mrpc_analyzer.ols_phases(threshold=2.0)
+
+    def test_coverage_monotone_in_n(self, bert_mrpc_analyzer):
+        report = bert_mrpc_analyzer.ols_phases().coverage()
+        values = [report.top(n) for n in range(1, 5)]
+        assert values == sorted(values)
+
+
+class TestProfilerEdgeCases:
+    def test_zero_steps_between_requests(self, tiny_model, tiny_dataset):
+        """A huge interval means only the final drain produces records."""
+        estimator = tiny_model.build_estimator(tiny_dataset)
+        profiler = TPUPointProfiler(
+            estimator, ProfilerOptions(request_interval_ms=10_000_000.0)
+        )
+        profiler.start()
+        estimator.train()
+        records = profiler.stop()
+        assert len(records) >= 1
+        covered = {s for r in records for s in r.steps}
+        assert covered == {m.step for m in estimator.session.log.steps}
+
+    def test_stop_before_any_training(self, tiny_estimator):
+        profiler = TPUPointProfiler(tiny_estimator)
+        profiler.start()
+        records = profiler.stop()
+        assert all(not record.num_steps for record in records)
+
+    def test_host_and_tpu_durations_non_negative(self, tiny_run):
+        estimator, _, _ = tiny_run
+        assert all(e.duration_us >= 0 for e in estimator.session.log.events)
+
+    def test_events_within_session_time(self, tiny_run):
+        estimator, summary, _ = tiny_run
+        # Host pipeline events may start slightly before t=0 only for the
+        # first prefetch; nothing ends after the session's final time.
+        assert all(
+            e.end_us <= summary.wall_us + 1e-6 for e in estimator.session.log.events
+            if e.device is DeviceKind.TPU
+        )

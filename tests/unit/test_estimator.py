@@ -1,0 +1,59 @@
+"""TPUEstimator front end."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.host.pipeline import PipelineConfig
+from repro.tpu.specs import TPU_V2, TPU_V3
+
+
+def test_compile_is_cached(tiny_estimator):
+    assert tiny_estimator.compile() is tiny_estimator.compile()
+
+
+def test_session_is_lazy_and_cached(tiny_estimator):
+    session = tiny_estimator.session
+    assert session is tiny_estimator.session
+    assert not session.initialized
+
+
+def test_generation_selects_spec(tiny_model, tiny_dataset):
+    assert tiny_model.build_estimator(tiny_dataset, generation="v2").spec is TPU_V2
+    assert tiny_model.build_estimator(tiny_dataset, generation="v3").spec is TPU_V3
+
+
+def test_finalize_before_training_rejected(tiny_estimator):
+    with pytest.raises(SimulationError):
+        tiny_estimator.finalize()
+
+
+def test_train_steps_initializes_lazily(tiny_estimator):
+    executed = tiny_estimator.train_steps(5)
+    assert executed == 5
+    assert tiny_estimator.session.initialized
+    assert tiny_estimator.session.global_step == 5
+
+
+def test_pipeline_config_roundtrip(tiny_estimator):
+    new_config = PipelineConfig(num_parallel_calls=32)
+    tiny_estimator.update_pipeline_config(new_config)
+    assert tiny_estimator.current_pipeline_config() == new_config
+
+
+def test_profile_stub_serves_session_events(tiny_estimator):
+    tiny_estimator.train_steps(5)
+    stub = tiny_estimator.profile_stub()
+    response = stub.request_profile(finished=False)
+    assert response.num_events > 0
+
+
+def test_dataset_shards_uploaded_to_bucket(tiny_estimator):
+    tiny_estimator.session  # forces pipeline creation
+    assert len(tiny_estimator.bucket.list()) > 0
+
+
+def test_v3_run_is_faster_but_not_twice(tiny_model, tiny_dataset):
+    v2 = tiny_model.build_estimator(tiny_dataset, generation="v2").train()
+    v3 = tiny_model.build_estimator(tiny_dataset, generation="v3").train()
+    assert v3.wall_us < v2.wall_us
+    assert v3.wall_us > v2.wall_us / 2  # fill penalty + fixed overheads

@@ -1,0 +1,123 @@
+"""Graph container, ops, and builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import ops as opdefs
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.ops import Operation, op_kind, registered_kinds
+from repro.graph.shapes import TensorShape
+
+
+def test_op_kind_registry():
+    assert op_kind("MatMul") is opdefs.MATMUL
+    assert op_kind("fusion").uses_mxu
+    with pytest.raises(GraphError):
+        op_kind("NotAnOp")
+    assert "Reshape" in registered_kinds()
+
+
+def test_operation_validation():
+    with pytest.raises(GraphError):
+        Operation(name="", kind=opdefs.CONST)
+    with pytest.raises(GraphError):
+        Operation(name="x", kind=opdefs.MATMUL, flops=-1.0)
+
+
+def test_output_bytes():
+    op = Operation("x", opdefs.CONST, shape=TensorShape((4,)))
+    assert op.output_bytes == 16.0
+    assert Operation("y", opdefs.NO_OP).output_bytes == 0.0
+
+
+def _diamond() -> Graph:
+    g = Graph("diamond")
+    g.add(Operation("a", opdefs.CONST, shape=TensorShape((1,))))
+    g.add(Operation("b", opdefs.IDENTITY, inputs=("a",)))
+    g.add(Operation("c", opdefs.IDENTITY, inputs=("a",)))
+    g.add(Operation("d", opdefs.IDENTITY, inputs=("b", "c")))
+    return g
+
+
+def test_duplicate_names_rejected():
+    g = Graph()
+    g.add(Operation("a", opdefs.CONST))
+    with pytest.raises(GraphError):
+        g.add(Operation("a", opdefs.CONST))
+
+
+def test_consumers_and_producers():
+    g = _diamond()
+    assert {op.name for op in g.consumers("a")} == {"b", "c"}
+    assert [op.name for op in g.producers("d")] == ["b", "c"]
+
+
+def test_remove_guards_live_edges():
+    g = _diamond()
+    with pytest.raises(GraphError):
+        g.remove("a")
+    g.remove("d")
+    assert "d" not in g
+
+
+def test_topological_order_respects_edges():
+    order = [op.name for op in _diamond().topological_order()]
+    assert order.index("a") < order.index("b") < order.index("d")
+    assert order.index("a") < order.index("c") < order.index("d")
+
+
+def test_cycle_detected():
+    g = Graph()
+    g.add(Operation("a", opdefs.IDENTITY, inputs=("b",)))
+    g.add(Operation("b", opdefs.IDENTITY, inputs=("a",)))
+    with pytest.raises(GraphError):
+        g.topological_order()
+
+
+def test_unknown_input_detected():
+    g = Graph()
+    g.add(Operation("a", opdefs.IDENTITY, inputs=("ghost",)))
+    with pytest.raises(GraphError):
+        g.validate()
+
+
+def test_total_flops_and_count_kind():
+    g = Graph()
+    g.add(Operation("m", opdefs.MATMUL, flops=100.0))
+    g.add(Operation("m2", opdefs.MATMUL, flops=50.0))
+    assert g.total_flops() == 150.0
+    assert g.count_kind("MatMul") == 2
+
+
+class TestGraphBuilder:
+    def test_unique_naming(self):
+        b = GraphBuilder()
+        first = b.const(TensorShape((1,)))
+        second = b.const(TensorShape((1,)))
+        assert first.name != second.name
+
+    def test_matmul_derives_flops_and_attrs(self):
+        b = GraphBuilder()
+        x = b.infeed(TensorShape((8, 16)))
+        w = b.const(TensorShape((16, 32)))
+        mm = b.matmul(x, w, 8, 16, 32)
+        assert mm.flops == 2 * 8 * 16 * 32
+        assert (mm.attrs["m"], mm.attrs["k"], mm.attrs["n"]) == (8, 16, 32)
+
+    def test_elementwise_requires_shape(self):
+        b = GraphBuilder()
+        shapeless = b.add(opdefs.NO_OP)
+        with pytest.raises(GraphError):
+            b.elementwise(opdefs.RELU, shapeless)
+
+    def test_transpose_reverses_dims(self):
+        b = GraphBuilder()
+        x = b.infeed(TensorShape((2, 3, 4)))
+        assert b.transpose(x).shape.dims == (4, 3, 2)
+
+    def test_build_validates(self):
+        b = GraphBuilder()
+        b.add(opdefs.IDENTITY, inputs=("missing",))
+        with pytest.raises(GraphError):
+            b.build()

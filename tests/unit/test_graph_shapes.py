@@ -1,0 +1,71 @@
+"""Tensor shapes and FLOP accounting."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.shapes import (
+    TensorShape,
+    attention_flops,
+    conv2d_flops,
+    dtype_bytes,
+    matmul_flops,
+)
+
+
+def test_dtype_bytes():
+    assert dtype_bytes("float32") == 4
+    assert dtype_bytes("bfloat16") == 2
+    with pytest.raises(GraphError):
+        dtype_bytes("complex128")
+
+
+def test_shape_element_and_byte_counts():
+    shape = TensorShape((2, 3, 4))
+    assert shape.num_elements == 24
+    assert shape.num_bytes == 96.0
+    assert shape.rank == 3
+
+
+def test_scalar_shape():
+    scalar = TensorShape(())
+    assert scalar.num_elements == 1
+    assert scalar.rank == 0
+
+
+def test_invalid_dims_rejected():
+    with pytest.raises(GraphError):
+        TensorShape((0, 2))
+    with pytest.raises(GraphError):
+        TensorShape((1,), dtype="nope")
+
+
+def test_with_batch():
+    assert TensorShape((3,)).with_batch(8).dims == (8, 3)
+    with pytest.raises(GraphError):
+        TensorShape((3,)).with_batch(0)
+
+
+def test_shape_str():
+    assert str(TensorShape((2, 3), "int32")) == "int32[2,3]"
+
+
+def test_matmul_flops():
+    assert matmul_flops(2, 3, 4) == 48.0
+    assert matmul_flops(2, 3, 4, batch=10) == 480.0
+    with pytest.raises(GraphError):
+        matmul_flops(0, 1, 1)
+
+
+def test_conv2d_flops():
+    # 1x1 conv degenerates to a per-pixel matmul.
+    assert conv2d_flops(1, 4, 4, 8, 16, 1, 1) == 2 * 16 * 8 * 16
+    with pytest.raises(GraphError):
+        conv2d_flops(1, 0, 1, 1, 1, 1, 1)
+
+
+def test_attention_flops_positive_and_scales():
+    small = attention_flops(1, 64, 128, 4)
+    large = attention_flops(1, 128, 128, 4)
+    assert 0 < small < large
+    with pytest.raises(GraphError):
+        attention_flops(0, 1, 1, 1)

@@ -1,0 +1,60 @@
+"""HBM capacity/bandwidth model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.tpu.hbm import HbmModel
+from repro.tpu.specs import TPU_V2, TPU_V3
+
+
+@pytest.fixture
+def hbm():
+    return HbmModel(TPU_V2)
+
+
+def test_transfer_time_at_bandwidth(hbm):
+    # 600 GB at 600 GB/s = 1 second.
+    assert hbm.transfer_time_us(600e9) == pytest.approx(1e6)
+
+
+def test_streams_multiply_traffic(hbm):
+    assert hbm.transfer_time_us(1e9, streams=2) == pytest.approx(
+        2 * hbm.transfer_time_us(1e9)
+    )
+
+
+def test_transfer_validates(hbm):
+    with pytest.raises(ConfigurationError):
+        hbm.transfer_time_us(-1.0)
+    with pytest.raises(ConfigurationError):
+        hbm.transfer_time_us(1.0, streams=0)
+
+
+def test_allocation_tracking(hbm):
+    hbm.allocate(1e9)
+    assert hbm.allocated_bytes == 1e9
+    assert hbm.free_bytes == TPU_V2.hbm_bytes - 1e9
+    hbm.release(1e9)
+    assert hbm.allocated_bytes == 0.0
+
+
+def test_out_of_memory(hbm):
+    hbm.allocate(TPU_V2.hbm_bytes)
+    with pytest.raises(SimulationError):
+        hbm.allocate(1.0)
+
+
+def test_over_release_rejected(hbm):
+    hbm.allocate(100.0)
+    with pytest.raises(SimulationError):
+        hbm.release(200.0)
+
+
+def test_reset_clears_allocations(hbm):
+    hbm.allocate(5e9)
+    hbm.reset()
+    assert hbm.allocated_bytes == 0.0
+
+
+def test_v3_transfers_faster():
+    assert HbmModel(TPU_V3).transfer_time_us(1e9) < HbmModel(TPU_V2).transfer_time_us(1e9)

@@ -1,0 +1,102 @@
+"""Structural censuses of the workload models' graphs.
+
+These pin the architecture-level facts each model claims (layer counts,
+op families, FLOP scales) so a refactor cannot silently turn ResNet-50
+into something else.
+"""
+
+import pytest
+
+from repro.datasets.registry import dataset
+from repro.models.bert import BertModel
+from repro.models.dcgan import DcganModel
+from repro.models.qanet import QanetModel
+from repro.models.resnet import ResNetModel
+from repro.models.retinanet import RetinaNetModel
+
+
+class TestBertCensus:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return BertModel().build_train_graph(32, dataset("mrpc"))
+
+    def test_attention_projections(self, graph):
+        # 12 layers x (Q,K,V,output) projections + scores/context + FFN pairs
+        # + task head + backward dX/dW pairs: MatMul count is large and even.
+        matmuls = graph.count_kind("MatMul")
+        assert matmuls >= 12 * 8
+
+    def test_layout_ops_present(self, graph):
+        # Multi-head split/merge: >=4 reshapes and 1 transpose per layer.
+        assert graph.count_kind("Reshape") >= 12 * 4
+        assert graph.count_kind("Transpose") >= 12
+
+    def test_flops_scale(self, graph):
+        # BERT-base fwd ~22 GFLOP/example; training roughly doubles it.
+        per_example = graph.total_flops() / 32
+        assert 20e9 < per_example < 100e9
+
+
+class TestResNetCensus:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return ResNetModel().build_train_graph(64, dataset("imagenet"))
+
+    def test_fifty_conv_layers(self, graph):
+        # Stem + 16 bottlenecks x 3 = 49 forward convolutions.
+        assert graph.count_kind("Conv2D") == 49
+
+    def test_backward_convs_mirror_forward(self, graph):
+        assert graph.count_kind("Conv2DBackpropFilter") == 49
+        assert graph.count_kind("Conv2DBackpropInput") == 49
+
+    def test_batch_norm_per_conv(self, graph):
+        assert graph.count_kind("FusedBatchNormV3") == 49
+
+    def test_flops_scale(self, graph):
+        # ResNet-50 fwd ~4.1 GFLOP at 224^2; training ~3x.
+        per_example = graph.total_flops() / 64
+        assert 8e9 < per_example < 25e9
+
+
+class TestQanetCensus:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return QanetModel().build_train_graph(32, dataset("squad"))
+
+    def test_encoder_blocks(self, graph):
+        # 1 embedding + 7 model blocks, each with 2 pointwise convs
+        # (as matmuls) + attention (6 matmuls) + FFN (2 matmuls).
+        assert graph.count_kind("MatMul") >= 8 * 10
+
+    def test_narrow_hidden_dimension(self):
+        assert QanetModel().hidden == 128
+
+
+class TestDcganCensus:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return DcganModel().build_train_graph(256, dataset("cifar10"))
+
+    def test_generator_and_two_discriminator_passes(self, graph):
+        # Generator upsampling convs + two discriminator applications.
+        assert graph.count_kind("Conv2D") >= 8
+
+    def test_infeed_feeds_discriminator_only(self, graph):
+        assert graph.count_kind("InfeedDequeueTuple") == 1
+
+
+class TestRetinaNetCensus:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return RetinaNetModel().build_train_graph(8, dataset("coco"))
+
+    def test_backbone_plus_heads(self, graph):
+        convs = graph.count_kind("Conv2D")
+        # 49 backbone + 5 pyramid levels x (1 lateral + 2 subnets x 3).
+        assert convs == 49 + 5 * (1 + 2 * 3)
+
+    def test_compute_dominated_by_heads(self, graph):
+        eval_graph = RetinaNetModel().build_eval_graph(8, dataset("coco"))
+        # The detection heads keep even the eval graph heavyweight.
+        assert eval_graph.total_flops() > 0.2 * graph.total_flops()

@@ -1,0 +1,107 @@
+"""Workload models: graph structure and defaults."""
+
+import pytest
+
+from repro.datasets.registry import dataset
+from repro.graph.ops import Placement
+from repro.models.bert import BertModel
+from repro.models.dcgan import DcganModel
+from repro.models.qanet import QanetModel
+from repro.models.resnet import ResNetModel
+from repro.models.retinanet import RetinaNetModel
+
+MODELS_AND_DATA = [
+    (BertModel(), "mrpc"),
+    (DcganModel(), "mnist"),
+    (QanetModel(), "squad"),
+    (RetinaNetModel(), "coco"),
+    (ResNetModel(), "imagenet"),
+]
+
+
+@pytest.mark.parametrize("model, ds", MODELS_AND_DATA, ids=[m.name for m, _ in MODELS_AND_DATA])
+class TestEveryModel:
+    def test_train_graph_is_valid(self, model, ds):
+        spec = dataset(ds)
+        batch = model.defaults(spec).batch_size
+        graph = model.build_train_graph(batch, spec)
+        graph.validate()
+        assert len(graph) > 10
+
+    def test_train_graph_has_io(self, model, ds):
+        spec = dataset(ds)
+        graph = model.build_train_graph(model.defaults(spec).batch_size, spec)
+        assert graph.count_kind("InfeedDequeueTuple") >= 1
+        assert graph.count_kind("OutfeedEnqueueTuple") >= 1
+
+    def test_train_flops_exceed_eval_flops(self, model, ds):
+        spec = dataset(ds)
+        batch = model.defaults(spec).batch_size
+        train = model.build_train_graph(batch, spec).total_flops()
+        evaluation = model.build_eval_graph(batch, spec).total_flops()
+        assert train > evaluation > 0
+
+    def test_efficiency_calibration_stamped(self, model, ds):
+        spec = dataset(ds)
+        graph = model.build_train_graph(model.defaults(spec).batch_size, spec)
+        mxu_ops = [op for op in graph if op.kind.uses_mxu]
+        assert mxu_ops
+        assert all("mxu_efficiency" in op.attrs for op in mxu_ops)
+
+    def test_graph_is_tpu_resident(self, model, ds):
+        spec = dataset(ds)
+        graph = model.build_train_graph(model.defaults(spec).batch_size, spec)
+        fixed_host = [
+            op for op in graph if op.kind.placement is Placement.HOST
+        ]
+        assert fixed_host == []  # model compute lives on the accelerator
+
+    def test_defaults_sane(self, model, ds):
+        defaults = model.defaults(dataset(ds))
+        assert defaults.batch_size > 0
+        assert 0 < defaults.train_steps <= defaults.paper_train_steps
+
+    def test_pipeline_stages_end_with_transfer(self, model, ds):
+        stages = model.pipeline_stages(dataset(ds))
+        assert stages[-1].name == "transfer"
+        assert stages[0].name == "read"
+
+
+def test_bert_batch_and_seq_match_table1():
+    model = BertModel()
+    assert model.seq_len == 128
+    assert model.defaults(dataset("squad")).batch_size == 32
+
+
+def test_dcgan_batch_matches_table1():
+    assert DcganModel().defaults(dataset("cifar10")).batch_size == 1024
+
+
+def test_resnet_paper_steps_match_table1():
+    assert ResNetModel().defaults(dataset("imagenet")).paper_train_steps == 112_590
+
+
+def test_retinanet_batch_matches_table1():
+    assert RetinaNetModel().defaults(dataset("coco")).batch_size == 64
+
+
+def test_resnet_compute_scales_with_image_size():
+    model = ResNetModel()
+    imagenet = model.build_train_graph(256, dataset("imagenet")).total_flops()
+    cifar = model.build_train_graph(256, dataset("cifar10")).total_flops()
+    assert imagenet > 20 * cifar  # Observation 6's mechanism
+
+
+def test_qanet_host_costs_heavier_than_bert():
+    squad = dataset("squad")
+    qanet_stage = QanetModel().pipeline_stages(squad)[2]
+    bert_stage = BertModel().pipeline_stages(squad)[2]
+    assert qanet_stage.cpu_us_per_example > bert_stage.cpu_us_per_example
+
+
+def test_half_dataset_tightens_cadence():
+    model = RetinaNetModel()
+    full = model.defaults(dataset("coco"))
+    half = model.defaults(dataset("coco-half"))
+    assert half.eval_every < full.eval_every
+    assert half.checkpoint_every < full.checkpoint_every

@@ -1,0 +1,79 @@
+"""MXU timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tpu.mxu import MatmulShape, MxuModel
+from repro.tpu.specs import TPU_V2, TPU_V3
+
+
+@pytest.fixture
+def mxu():
+    return MxuModel(TPU_V2)
+
+
+def test_matmul_flops():
+    shape = MatmulShape(m=128, k=128, n=128)
+    assert shape.flops == 2 * 128**3
+
+
+def test_batched_matmul_flops_scale_with_batch():
+    single = MatmulShape(m=64, k=64, n=64)
+    batched = MatmulShape(m=64, k=64, n=64, batch=8)
+    assert batched.flops == 8 * single.flops
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ConfigurationError):
+        MatmulShape(m=0, k=1, n=1)
+
+
+def test_aligned_shape_reaches_full_efficiency(mxu):
+    assert mxu.shape_efficiency(MatmulShape(128, 128, 128)) == pytest.approx(1.0)
+
+
+def test_ragged_shape_loses_efficiency(mxu):
+    ragged = mxu.shape_efficiency(MatmulShape(129, 128, 128))
+    assert ragged < 0.6  # 129 needs 2 passes of 128 lanes
+
+
+def test_efficiency_floor(mxu):
+    assert mxu.shape_efficiency(MatmulShape(1, 1, 1)) >= 0.01
+
+
+def test_matmul_time_scales_inversely_with_efficiency(mxu):
+    fast = mxu.matmul_time_us(MatmulShape(128, 128, 128, batch=64))
+    slow = mxu.matmul_time_us(MatmulShape(129, 128, 128, batch=64))
+    assert slow > fast
+
+
+def test_compute_time_at_peak(mxu):
+    # 45 TFLOP at full efficiency on a 45 TFLOPS chip = 1 second.
+    assert mxu.compute_time_us(45e12, efficiency=1.0) == pytest.approx(1e6)
+
+
+def test_compute_time_validates_inputs(mxu):
+    with pytest.raises(ConfigurationError):
+        mxu.compute_time_us(-1.0)
+    with pytest.raises(ConfigurationError):
+        mxu.compute_time_us(1.0, efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        mxu.compute_time_us(1.0, efficiency=1.5)
+
+
+def test_utilization_definition(mxu):
+    # Half the peak's worth of FLOPs in one second = 50%.
+    assert mxu.utilization(22.5e12, 1e6) == pytest.approx(0.5)
+
+
+def test_utilization_capped_at_one(mxu):
+    assert mxu.utilization(1e15, 1e6) == 1.0
+
+
+def test_utilization_zero_elapsed(mxu):
+    assert mxu.utilization(1e12, 0.0) == 0.0
+
+
+def test_v3_faster_than_v2_for_same_shape():
+    shape = MatmulShape(128, 768, 768, batch=32)
+    assert MxuModel(TPU_V3).matmul_time_us(shape) < MxuModel(TPU_V2).matmul_time_us(shape)

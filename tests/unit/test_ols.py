@@ -1,0 +1,106 @@
+"""Online linear scan and Equation 1."""
+
+import pytest
+
+from repro.core.analyzer.ols import (
+    DEFAULT_SIMILARITY_THRESHOLD,
+    OnlineLinearScan,
+    ols_labels,
+    step_similarity,
+    sweep_thresholds,
+)
+from repro.core.profiler.record import StepStats
+from repro.errors import AnalyzerError
+from repro.runtime.events import DeviceKind
+
+
+def _step(number, names):
+    step = StepStats(step=number)
+    for name in names:
+        step.observe(name, DeviceKind.TPU, 1.0)
+    return step
+
+
+class TestEquationOne:
+    def test_identical_sets(self):
+        a = frozenset({1, 2, 3})
+        assert step_similarity(a, a) == 1.0
+
+    def test_disjoint_sets(self):
+        assert step_similarity(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_subset_is_fully_similar(self):
+        # min() in the denominator: a subset matches perfectly.
+        small = frozenset({1, 2})
+        large = frozenset({1, 2, 3, 4})
+        assert step_similarity(small, large) == 1.0
+
+    def test_partial_overlap(self):
+        a = frozenset({1, 2, 3})
+        b = frozenset({2, 3, 4, 5})
+        assert step_similarity(a, b) == pytest.approx(2 / 3)
+
+    def test_symmetry(self):
+        a = frozenset({1, 2, 3})
+        b = frozenset({3, 4})
+        assert step_similarity(a, b) == step_similarity(b, a)
+
+    def test_empty_sets(self):
+        assert step_similarity(frozenset(), frozenset()) == 1.0
+        assert step_similarity(frozenset(), frozenset({1})) == 0.0
+
+
+class TestScanner:
+    def test_default_threshold_is_70_percent(self):
+        assert DEFAULT_SIMILARITY_THRESHOLD == 0.70
+
+    def test_similar_steps_merge(self):
+        scanner = OnlineLinearScan(threshold=0.7)
+        for i in range(5):
+            scanner.observe(_step(i, ["a", "b", "c"]))
+        assert scanner.num_phases == 1
+        assert scanner.labels == [0] * 5
+
+    def test_dissimilar_step_opens_phase(self):
+        scanner = OnlineLinearScan(threshold=0.7)
+        scanner.observe(_step(0, ["a", "b", "c"]))
+        scanner.observe(_step(1, ["x", "y", "z"]))
+        scanner.observe(_step(2, ["x", "y", "z"]))
+        assert scanner.labels == [0, 1, 1]
+
+    def test_threshold_zero_merges_everything(self):
+        steps = [_step(0, ["a"]), _step(1, ["b"]), _step(2, ["c"])]
+        assert ols_labels(steps, threshold=0.0).tolist() == [0, 0, 0]
+
+    def test_threshold_one_requires_identical_sets(self):
+        steps = [_step(0, ["a", "b"]), _step(1, ["a", "b", "c"]), _step(2, ["a", "b", "c"])]
+        # Subset similarity is 1.0, so even at 100% the first pair merges.
+        assert ols_labels(steps, threshold=1.0).tolist() == [0, 0, 0]
+        steps = [_step(0, ["a", "b"]), _step(1, ["a", "c"])]
+        assert ols_labels(steps, threshold=1.0).tolist() == [0, 1]
+
+    def test_labels_contiguous_non_decreasing(self):
+        steps = [_step(i, ["a"] if i % 2 else ["b"]) for i in range(6)]
+        labels = ols_labels(steps, threshold=0.9)
+        assert all(b - a in (0, 1) for a, b in zip(labels, labels[1:]))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(AnalyzerError):
+            OnlineLinearScan(threshold=1.5)
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(AnalyzerError):
+            ols_labels([])
+
+    def test_sweep_phase_count_non_decreasing_in_threshold(self):
+        steps = []
+        base = ["a", "b", "c", "d", "e"]
+        for i in range(20):
+            names = list(base)
+            if i % 5 == 0:
+                names = base[:3] + [f"rare{i}", f"rare{i+1}"]
+            steps.append(_step(i, names))
+        sweep = sweep_thresholds(steps, [0.0, 0.4, 0.6, 0.8, 1.0])
+        counts = [sweep[t] for t in sorted(sweep)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        assert counts[0] == 1

@@ -1,0 +1,110 @@
+"""Optimizer components: parameters, detector, quality, instrumentation."""
+
+import pytest
+
+from repro.core.optimizer.detector import CRITICAL_PATTERN, CriticalPhaseDetector
+from repro.core.optimizer.instrument import ProgramInstrumenter
+from repro.core.optimizer.parameters import AdjustableParameter, discover_parameters
+from repro.core.optimizer.quality import OutputSignature, QualityController
+from repro.core.profiler.record import StepStats
+from repro.errors import QualityViolationError
+from repro.host.pipeline import PipelineConfig
+from repro.runtime.events import DeviceKind, StepKind, StepMetadata
+
+
+class TestParameters:
+    def test_discovery_finds_pipeline_knobs(self):
+        names = {p.name for p in discover_parameters(PipelineConfig())}
+        assert {"num_parallel_calls", "prefetch_depth", "infeed_threads"} <= names
+        assert "vectorized_preprocess" in names
+
+    def test_candidates_exclude_current_and_respect_bounds(self):
+        parameter = next(
+            p for p in discover_parameters(PipelineConfig()) if p.name == "num_parallel_calls"
+        )
+        candidates = parameter.candidate_values(1)
+        assert 1 not in candidates
+        assert all(parameter.minimum <= v <= parameter.maximum for v in candidates)
+
+    def test_clamp(self):
+        parameter = AdjustableParameter("x", 1, 8, lambda v: [v * 2])
+        assert parameter.clamp(100) == 8
+        assert parameter.clamp(0) == 1
+
+    def test_boolean_parameter_flips(self):
+        parameter = next(
+            p
+            for p in discover_parameters(PipelineConfig())
+            if p.name == "vectorized_preprocess"
+        )
+        assert parameter.candidate_values(0) == [1]
+        assert parameter.candidate_values(1) == [0]
+
+
+def _step(number, names, elapsed=10.0):
+    step = StepStats(step=number)
+    for name in names:
+        step.observe(name, DeviceKind.TPU, 1.0)
+    step.attach_metadata(
+        StepMetadata(number, StepKind.TRAIN, number * elapsed, (number + 1) * elapsed, 0.0, 0.0)
+    )
+    return step
+
+
+class TestDetector:
+    def test_pattern_triggers(self):
+        detector = CriticalPhaseDetector()
+        critical_ops = ["Reshape", "fusion", "InfeedDequeueTuple"]
+        assert detector.observe(_step(0, critical_ops))
+        assert detector.critical_since_step == 0
+
+    def test_benign_ops_do_not_trigger_pattern(self):
+        detector = CriticalPhaseDetector(time_fraction=2.0)  # disable condition 2
+        for i in range(5):
+            detector.observe(_step(i, ["MatMul", "Relu", "Softmax"]))
+        assert not detector.critical
+
+    def test_time_domination_triggers(self):
+        detector = CriticalPhaseDetector(pattern_hits_required=99)  # disable condition 1
+        detector.observe(_step(0, ["MatMul"], elapsed=1.0))
+        # A new, long phase that accumulates > 50% of total time.
+        for i in range(1, 6):
+            detector.observe(_step(i, ["Relu"], elapsed=50.0))
+        assert detector.critical
+
+    def test_critical_pattern_matches_paper_operators(self):
+        assert {"Reshape", "fusion"} <= CRITICAL_PATTERN
+        assert any("Infeed" in name for name in CRITICAL_PATTERN)
+        assert any("Outfeed" in name for name in CRITICAL_PATTERN)
+
+
+class TestQuality:
+    def test_signature_stable_for_pipeline_changes(self, tiny_estimator):
+        controller = QualityController(tiny_estimator)
+        tiny_estimator.update_pipeline_config(PipelineConfig(num_parallel_calls=32))
+        controller.verify()  # pipeline knobs never violate quality
+
+    def test_signature_violation_detected(self, tiny_estimator):
+        controller = QualityController(tiny_estimator)
+        object.__setattr__(tiny_estimator.plan, "batch_size", 64)
+        with pytest.raises(QualityViolationError):
+            controller.verify()
+
+    def test_signature_of(self, tiny_estimator):
+        signature = OutputSignature.of(tiny_estimator)
+        assert signature.batch_size == tiny_estimator.plan.batch_size
+        assert signature.train_steps == tiny_estimator.plan.train_steps
+
+
+class TestInstrumenter:
+    def test_analyze_is_cached(self, tiny_estimator):
+        instrumenter = ProgramInstrumenter(tiny_estimator)
+        assert instrumenter.analyze() is instrumenter.analyze()
+        assert instrumenter.analyze().parameter_names
+
+    def test_checkpoint_before_segment(self, tiny_estimator):
+        instrumenter = ProgramInstrumenter(tiny_estimator)
+        tiny_estimator.train_steps(7)
+        instrumenter.checkpoint_before_segment()
+        assert instrumenter.analyze().checkpoint_steps == [7]
+        assert tiny_estimator.checkpoint_store.latest().step == 7

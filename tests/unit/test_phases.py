@@ -1,0 +1,139 @@
+"""Phases, coverage, and top-operator tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer.coverage import coverage
+from repro.core.analyzer.operators import (
+    appearance_totals,
+    top_operators_of_longest_phase,
+)
+from repro.core.analyzer.phases import Phase, build_phases, longest_phase
+from repro.core.profiler.record import StepStats
+from repro.errors import AnalyzerError
+from repro.runtime.events import DeviceKind, StepKind, StepMetadata
+
+
+def _step(number, ops, elapsed=10.0, idle=2.0):
+    step = StepStats(step=number)
+    for name, device, duration in ops:
+        step.observe(name, device, duration)
+    step.attach_metadata(
+        StepMetadata(
+            number,
+            StepKind.TRAIN,
+            number * elapsed,
+            number * elapsed + elapsed,
+            idle,
+            1.0,
+        )
+    )
+    return step
+
+
+def _steps(count=6):
+    return [
+        _step(
+            i,
+            [
+                ("MatMul", DeviceKind.TPU, 5.0),
+                ("Reshape", DeviceKind.TPU, 1.0),
+                ("Send", DeviceKind.HOST, 2.0),
+            ],
+        )
+        for i in range(count)
+    ]
+
+
+class TestPhase:
+    def test_empty_phase_rejected(self):
+        with pytest.raises(AnalyzerError):
+            Phase(phase_id=0, steps=[])
+
+    def test_durations_and_bounds(self):
+        phase = Phase(0, _steps(3))
+        assert phase.num_steps == 3
+        assert phase.total_duration_us == pytest.approx(30.0)
+        assert phase.start_us == 0.0
+        assert phase.end_us == 30.0
+        assert phase.idle_fraction == pytest.approx(0.2)
+
+    def test_operator_totals_aggregate(self):
+        phase = Phase(0, _steps(4))
+        totals = {s.name: s for s in phase.operator_totals()}
+        assert totals["MatMul"].total_duration_us == 20.0
+        assert totals["MatMul"].count == 4
+
+    def test_top_operators_sorted_and_filtered(self):
+        phase = Phase(0, _steps(2))
+        tpu_top = phase.top_operators(5, DeviceKind.TPU)
+        assert [s.name for s in tpu_top] == ["MatMul", "Reshape"]
+        host_top = phase.top_operators(5, DeviceKind.HOST)
+        assert [s.name for s in host_top] == ["Send"]
+
+
+class TestBuildPhases:
+    def test_groups_by_label(self):
+        steps = _steps(6)
+        phases = build_phases(steps, np.array([0, 0, 1, 1, 1, 0]))
+        assert len(phases) == 2
+        sizes = sorted(p.num_steps for p in phases)
+        assert sizes == [3, 3]
+
+    def test_sorted_by_duration(self):
+        steps = _steps(6)
+        phases = build_phases(steps, [0, 1, 1, 1, 1, 1])
+        assert phases[0].num_steps == 5
+
+    def test_noise_label_becomes_phase(self):
+        phases = build_phases(_steps(3), [-1, 0, 0])
+        assert {p.phase_id for p in phases} == {-1, 0}
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(AnalyzerError):
+            build_phases(_steps(3), [0, 1])
+
+    def test_longest_phase(self):
+        phases = build_phases(_steps(5), [0, 0, 0, 1, 1])
+        assert longest_phase(phases).phase_id == 0
+        with pytest.raises(AnalyzerError):
+            longest_phase([])
+
+
+class TestCoverage:
+    def test_fractions_sum_to_one(self):
+        phases = build_phases(_steps(6), [0, 0, 0, 1, 1, 2])
+        report = coverage(phases)
+        assert sum(report.fractions) == pytest.approx(1.0)
+        assert report.top(3) == pytest.approx(1.0)
+
+    def test_top_n_with_more_phases(self):
+        phases = build_phases(_steps(8), [0, 0, 0, 0, 1, 2, 3, 4])
+        report = coverage(phases)
+        assert report.top(1) == pytest.approx(0.5)
+        assert report.top(3) == pytest.approx(0.75)
+
+    def test_custom_total(self):
+        phases = build_phases(_steps(2), [0, 0])
+        report = coverage(phases, total_duration_us=40.0)
+        assert report.top(1) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalyzerError):
+            coverage([])
+
+
+class TestTopOperatorTables:
+    def test_table2_cell_structure(self):
+        phases = build_phases(_steps(4), [0, 0, 0, 1])
+        cell = top_operators_of_longest_phase(phases, k=5)
+        assert cell[DeviceKind.TPU].operators == ("MatMul", "Reshape")
+        assert cell[DeviceKind.HOST].operators == ("Send",)
+        assert cell[DeviceKind.TPU].durations_us[0] >= cell[DeviceKind.TPU].durations_us[1]
+
+    def test_appearance_totals(self):
+        phases = build_phases(_steps(4), [0, 0, 0, 1])
+        cell = top_operators_of_longest_phase(phases)
+        totals = appearance_totals([cell, cell, cell])
+        assert totals[DeviceKind.TPU]["MatMul"] == 3
+        assert totals[DeviceKind.HOST]["Send"] == 3

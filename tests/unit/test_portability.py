@@ -1,0 +1,73 @@
+"""Portability: custom accelerator specs through the whole toolchain."""
+
+import pytest
+
+from repro import units
+from repro.core.api import TPUPoint
+from repro.costs import run_cost
+from repro.errors import ConfigurationError
+from repro.tpu.specs import TPU_V2, TpuChipSpec, chip_spec
+
+
+@pytest.fixture
+def npu():
+    return TpuChipSpec(
+        generation="npu-1",
+        mxu_count=1,
+        mxu_dim=256,
+        peak_flops=15e12,
+        hbm_bytes=units.gib(8.0),
+        hbm_bandwidth=300e9,
+        clock_hz=800e6,
+        tdp_watts=120.0,
+        infeed_bandwidth=5e9,
+    )
+
+
+def test_chip_spec_passthrough(npu):
+    assert chip_spec(npu) is npu
+    assert chip_spec(TPU_V2) is TPU_V2
+
+
+def test_estimator_accepts_custom_spec(tiny_model, tiny_dataset, npu):
+    estimator = tiny_model.build_estimator(tiny_dataset, generation=npu)
+    assert estimator.spec is npu
+    summary = estimator.train()
+    assert summary.peak_flops == npu.peak_flops
+
+
+def test_slower_accelerator_runs_longer(tiny_model, tiny_dataset, npu):
+    v2 = tiny_model.build_estimator(tiny_dataset, generation="v2").train()
+    custom = tiny_model.build_estimator(tiny_dataset, generation=npu).train()
+    assert custom.wall_us > v2.wall_us  # a third of the peak FLOPS
+
+
+def test_full_toolchain_on_custom_spec(tiny_model, tiny_dataset, npu):
+    estimator = tiny_model.build_estimator(tiny_dataset, generation=npu)
+    tpupoint = TPUPoint(estimator)
+    tpupoint.Start(analyzer=True)
+    summary = estimator.train()
+    tpupoint.Stop()
+    result = tpupoint.analyzer().ols_phases()
+    assert result.num_phases >= 1
+    cost = run_cost(summary, npu, hourly_usd=1.75)
+    assert cost.tpu_dollars > 0
+
+
+def test_custom_spec_requires_explicit_price(tiny_model, tiny_dataset, npu):
+    summary = tiny_model.build_estimator(tiny_dataset, generation=npu).train()
+    with pytest.raises(ConfigurationError):
+        run_cost(summary, npu)
+
+
+def test_v3_penalty_not_applied_to_custom_specs(tiny_model, tiny_dataset, npu):
+    from repro.runtime.master import compile_graph
+
+    graph = tiny_model.build_train_graph(32, tiny_dataset)
+    program = compile_graph(graph, npu)
+    compute = next(w for w in program.tpu_schedule if w.uses_mxu)
+    # The fill penalty is a v3-specific calibration, not a generic tax.
+    graph_v2 = tiny_model.build_train_graph(32, tiny_dataset)
+    program_v2 = compile_graph(graph_v2, chip_spec("v2"))
+    compute_v2 = next(w for w in program_v2.tpu_schedule if w.uses_mxu)
+    assert compute.efficiency == pytest.approx(compute_v2.efficiency)

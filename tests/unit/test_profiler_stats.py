@@ -1,0 +1,55 @@
+"""Profiler work statistics and the compare CLI."""
+
+import pytest
+
+from repro.core.profiler import ProfilerStats, TPUPointProfiler
+
+
+class TestProfilerStats:
+    def test_counts_match_run(self, tiny_run):
+        estimator, _, records = tiny_run
+        # Rebuild a profiler view from the fixture's records.
+        stats = ProfilerStats(
+            requests_served=len(records),
+            records_kept=len(records),
+            events_reduced=sum(
+                s.count
+                for r in records
+                for step in r.steps.values()
+                for s in step.operators.values()
+            ),
+            operator_entries=sum(
+                len(step.operators) for r in records for step in r.steps.values()
+            ),
+            bytes_persisted=0.0,
+        )
+        assert stats.events_reduced == estimator.session.log.num_events
+        assert stats.compression_ratio > 1.0
+
+    def test_live_profiler_stats(self, tiny_estimator):
+        profiler = TPUPointProfiler(tiny_estimator)
+        profiler.start(analyzer=True)
+        tiny_estimator.train()
+        profiler.stop()
+        stats = profiler.stats()
+        assert stats.records_kept == len(profiler.records)
+        assert stats.requests_served >= stats.records_kept
+        assert stats.events_reduced == tiny_estimator.session.log.num_events
+        assert stats.bytes_persisted > 0.0
+        # Statistical reduction genuinely compresses.
+        assert stats.compression_ratio > 1.0
+
+    def test_zero_division_guard(self):
+        empty = ProfilerStats(0, 0, 0, 0, 0.0)
+        assert empty.compression_ratio == 0.0
+
+
+class TestCompareCli:
+    def test_compare_command(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["compare", "bert-mrpc"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup (A/B wall)" in out
+        assert "biggest operator movers" in out
+        assert "TPUv2 bill" in out and "TPUv3 bill" in out

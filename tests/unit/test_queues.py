@@ -1,0 +1,71 @@
+"""Infeed/outfeed transfer queues."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.tpu.queues import TransferQueue
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        TransferQueue(capacity=0)
+
+
+def test_fifo_order():
+    queue = TransferQueue(capacity=4)
+    queue.push(10.0, 1.0)
+    queue.push(20.0, 2.0)
+    _, first = queue.pop(0.0)
+    _, second = queue.pop(0.0)
+    assert (first.num_bytes, second.num_bytes) == (1.0, 2.0)
+
+
+def test_pop_waits_for_ready_item():
+    queue = TransferQueue(capacity=2)
+    queue.push(100.0, 1.0)
+    obtained_at, _ = queue.pop(ask_at_us=30.0)
+    assert obtained_at == 100.0
+    assert queue.total_stall_us == 70.0
+
+
+def test_pop_immediate_when_ready():
+    queue = TransferQueue(capacity=2)
+    queue.push(5.0, 1.0)
+    obtained_at, _ = queue.pop(ask_at_us=50.0)
+    assert obtained_at == 50.0
+    assert queue.total_stall_us == 0.0
+
+
+def test_full_queue_rejects_push():
+    queue = TransferQueue(capacity=1)
+    queue.push(1.0, 1.0)
+    assert queue.full
+    with pytest.raises(SimulationError):
+        queue.push(2.0, 1.0)
+
+
+def test_pop_empty_rejected():
+    with pytest.raises(SimulationError):
+        TransferQueue(capacity=1).pop(0.0)
+
+
+def test_non_monotonic_ready_times_rejected():
+    queue = TransferQueue(capacity=3)
+    queue.push(10.0, 1.0)
+    with pytest.raises(SimulationError):
+        queue.push(5.0, 1.0)
+
+
+def test_negative_bytes_rejected():
+    queue = TransferQueue(capacity=1)
+    with pytest.raises(ConfigurationError):
+        queue.push(1.0, -1.0)
+
+
+def test_counters_and_reset():
+    queue = TransferQueue(capacity=2)
+    queue.push(1.0, 1.0)
+    queue.pop(0.0)
+    assert (queue.total_pushed, queue.total_popped) == (1, 1)
+    queue.reset()
+    assert (queue.total_pushed, queue.total_popped, len(queue)) == (0, 0, 0)

@@ -1,0 +1,87 @@
+"""Workload registry and run specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.naive import NaiveVariant, naive_pipeline_config
+from repro.models.registry import (
+    OPTIMIZER_WORKLOADS,
+    PAPER_WORKLOADS,
+    SMALL_DATASET_WORKLOADS,
+    all_workloads,
+    model,
+    workload,
+)
+from repro.workloads.spec import WorkloadSpec
+
+
+def test_nine_paper_workloads():
+    assert len(PAPER_WORKLOADS) == 9
+    assert len(all_workloads()) == 9
+
+
+def test_workload_resolution():
+    entry = workload("bert-mrpc")
+    assert entry.model.name == "BERT"
+    assert entry.dataset.name == "MRPC"
+    assert entry.display_name == "BERT-MRPC"
+
+
+def test_workload_half_dataset():
+    entry = workload("qanet-squad-half")
+    assert entry.dataset.name == "SQuAD-half"
+
+
+def test_naive_prefix():
+    entry = workload("naive-qanet-squad")
+    assert isinstance(entry.model, NaiveVariant)
+    assert entry.model.name == "NaiveQANet"
+    assert entry.model.default_pipeline_config() == naive_pipeline_config()
+
+
+def test_naive_preserves_compute(tiny_dataset):
+    base = model("dcgan")
+    naive = model("naive-dcgan")
+    from repro.datasets.registry import dataset
+
+    spec = dataset("mnist")
+    assert (
+        naive.build_train_graph(64, spec).total_flops()
+        == base.build_train_graph(64, spec).total_flops()
+    )
+
+
+def test_naive_config_is_untuned():
+    config = naive_pipeline_config()
+    assert config.prefetch_depth == 0
+    assert config.num_parallel_calls == 1
+    assert config.num_parallel_reads == 1
+
+
+def test_unknown_model_and_malformed_keys():
+    with pytest.raises(ConfigurationError):
+        model("transformer")
+    with pytest.raises(ConfigurationError):
+        workload("justonename")
+
+
+def test_small_dataset_workloads_resolve():
+    for key in SMALL_DATASET_WORKLOADS:
+        workload(key)
+
+
+def test_optimizer_workloads_are_long_running():
+    assert set(OPTIMIZER_WORKLOADS) == {"qanet-squad", "retinanet-coco"}
+
+
+class TestWorkloadSpec:
+    def test_display_name_includes_generation(self):
+        spec = WorkloadSpec("bert-cola", generation="v3")
+        assert "TPUv3" in spec.display_name
+
+    def test_with_generation(self):
+        spec = WorkloadSpec("bert-cola", seed=42)
+        other = spec.with_generation("v3")
+        assert other.generation == "v3"
+        assert other.seed == 42
+        assert other.key == spec.key

@@ -1,0 +1,115 @@
+"""gRPC-style profile service caps and windowing."""
+
+import pytest
+
+from repro.errors import ProfileServiceError
+from repro.runtime.events import DeviceKind, EventLog, StepKind, StepMetadata, TraceEvent
+from repro.runtime.rpc import (
+    MAX_EVENTS_PER_PROFILE,
+    MAX_PROFILE_DURATION_MS,
+    ProfileRequest,
+    ProfileService,
+    ProfileStub,
+)
+
+
+def _log_with_events(count=10, spacing_us=1000.0):
+    log = EventLog()
+    for i in range(count):
+        log.append_event(
+            TraceEvent("op", DeviceKind.TPU, step=i, start_us=i * spacing_us, duration_us=500.0)
+        )
+        log.append_step(
+            StepMetadata(
+                step=i,
+                kind=StepKind.TRAIN,
+                start_us=i * spacing_us,
+                end_us=i * spacing_us + 500.0,
+                tpu_idle_us=0.0,
+                mxu_flops=1.0,
+            )
+        )
+    return log
+
+
+def test_caps_match_paper():
+    assert MAX_EVENTS_PER_PROFILE == 1_000_000
+    assert MAX_PROFILE_DURATION_MS == 60_000.0
+
+
+def test_request_validation():
+    with pytest.raises(ProfileServiceError):
+        ProfileRequest(max_events=0)
+    with pytest.raises(ProfileServiceError):
+        ProfileRequest(max_duration_ms=0.0)
+
+
+def test_serve_everything_when_under_caps():
+    service = ProfileService(_log_with_events(10))
+    response = service.serve(ProfileRequest(), finished=True)
+    assert response.num_events == 10
+    assert response.final
+    assert not response.truncated
+    assert len(response.step_metadata) == 10
+
+
+def test_event_cap_truncates():
+    service = ProfileService(_log_with_events(10))
+    response = service.serve(ProfileRequest(max_events=4), finished=False)
+    assert response.num_events == 4
+    assert response.truncated
+    follow_up = service.serve(ProfileRequest(), finished=True)
+    assert follow_up.num_events == 6
+    assert follow_up.final
+
+
+def test_duration_cap_truncates():
+    # Events end at 0.5, 1.5, 2.5 ms...; a 2.6ms window fits the first three.
+    service = ProfileService(_log_with_events(10, spacing_us=1000.0))
+    response = service.serve(ProfileRequest(max_duration_ms=2.6), finished=False)
+    assert response.num_events == 3
+    assert response.truncated
+
+
+def test_windows_are_contiguous():
+    service = ProfileService(_log_with_events(10))
+    first = service.serve(ProfileRequest(max_events=5), finished=False)
+    second = service.serve(ProfileRequest(), finished=True)
+    assert second.window_start_us == first.window_end_us
+
+
+def test_requests_clamped_to_service_caps():
+    service = ProfileService(_log_with_events(3))
+    response = service.serve(
+        ProfileRequest(max_events=10**9, max_duration_ms=10**9), finished=True
+    )
+    assert response.num_events == 3
+
+
+def test_empty_log_serves_empty_final():
+    service = ProfileService(EventLog())
+    response = service.serve(ProfileRequest(), finished=True)
+    assert response.num_events == 0
+    assert response.final
+
+
+def test_not_final_while_running():
+    service = ProfileService(_log_with_events(2))
+    response = service.serve(ProfileRequest(), finished=False)
+    assert not response.final
+
+
+def test_stub_delegates():
+    service = ProfileService(_log_with_events(4))
+    stub = ProfileStub(service)
+    response = stub.request_profile(finished=True)
+    assert response.num_events == 4
+    assert service.requests_served == 1
+
+
+def test_duration_ms_property():
+    service = ProfileService(_log_with_events(10))
+    response = service.serve(ProfileRequest(), finished=True)
+    assert response.duration_ms == pytest.approx(
+        (response.window_end_us - response.window_start_us) / 1000.0
+    )

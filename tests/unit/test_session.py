@@ -1,0 +1,151 @@
+"""Training-session behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.host.pipeline import PipelineConfig
+from repro.runtime.events import DeviceKind, StepKind
+from repro.runtime.session import SessionPlan
+
+
+class TestSessionPlan:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionPlan(train_steps=0, batch_size=1)
+        with pytest.raises(ConfigurationError):
+            SessionPlan(train_steps=1, batch_size=1, eval_every=5, eval_steps=0)
+        with pytest.raises(ConfigurationError):
+            SessionPlan(train_steps=1, batch_size=1, incidental_scale=-1.0)
+
+
+class TestLifecycle:
+    def test_run_completes_plan(self, tiny_estimator):
+        summary = tiny_estimator.train()
+        assert tiny_estimator.session.finished
+        assert tiny_estimator.session.global_step == tiny_estimator.plan.train_steps
+        assert summary.wall_us > 0
+
+    def test_double_initialize_rejected(self, tiny_estimator):
+        session = tiny_estimator.session
+        session.initialize()
+        with pytest.raises(SimulationError):
+            session.initialize()
+
+    def test_run_steps_before_initialize_rejected(self, tiny_estimator):
+        with pytest.raises(SimulationError):
+            tiny_estimator.session.run_steps(1)
+
+    def test_finalize_requires_all_steps(self, tiny_estimator):
+        session = tiny_estimator.session
+        session.initialize()
+        session.run_steps(1)
+        with pytest.raises(SimulationError):
+            session.finalize()
+
+    def test_partial_then_resume(self, tiny_estimator):
+        assert tiny_estimator.train_steps(10) == 10
+        summary = tiny_estimator.train()
+        assert summary.steps_executed > 0
+        assert tiny_estimator.session.finished
+
+    def test_run_steps_caps_at_plan(self, tiny_estimator):
+        executed = tiny_estimator.train_steps(10_000)
+        assert executed == tiny_estimator.plan.train_steps
+
+
+class TestEventsAndSteps:
+    def test_step_metadata_kinds(self, tiny_estimator):
+        tiny_estimator.train()
+        kinds = [m.kind for m in tiny_estimator.session.log.steps]
+        assert kinds[0] is StepKind.INIT
+        assert kinds[-1] is StepKind.SHUTDOWN
+        assert kinds.count(StepKind.TRAIN) == tiny_estimator.plan.train_steps
+
+    def test_checkpoints_written_on_cadence(self, tiny_estimator):
+        tiny_estimator.train()
+        steps = [c.step for c in tiny_estimator.checkpoint_store.checkpoints]
+        assert steps == [15, 30, 40]  # every 15 of 40, plus the final save
+
+    def test_checkpoints_have_no_step_metadata(self, tiny_estimator):
+        tiny_estimator.train()
+        kinds = {m.kind for m in tiny_estimator.session.log.steps}
+        assert StepKind.CHECKPOINT not in kinds
+
+    def test_save_events_attributed_to_last_step(self, tiny_estimator):
+        tiny_estimator.train()
+        log = tiny_estimator.session.log
+        save_events = [e for e in log.events if e.name == "SaveV2"]
+        assert len(save_events) == 3
+        step_numbers = {m.step for m in log.steps}
+        assert all(e.step in step_numbers for e in save_events)
+
+    def test_loop_boundary_emits_rungraph(self, tiny_estimator):
+        tiny_estimator.train()
+        names = [e.name for e in tiny_estimator.session.log.events]
+        assert names.count("RunGraph") == 4  # 40 steps / iterations_per_loop 10
+
+    def test_monotone_step_metadata(self, tiny_estimator):
+        tiny_estimator.train()
+        steps = tiny_estimator.session.log.steps
+        assert all(b.step > a.step for a, b in zip(steps, steps[1:]))
+        assert all(b.start_us >= a.start_us for a, b in zip(steps, steps[1:]))
+
+    def test_host_and_tpu_events_present(self, tiny_estimator):
+        tiny_estimator.train()
+        devices = {e.device for e in tiny_estimator.session.log.events}
+        assert devices == {DeviceKind.HOST, DeviceKind.TPU}
+
+
+class TestTimingModel:
+    def test_prefetch_zero_serializes(self, tiny_model, tiny_dataset):
+        overlapped = tiny_model.build_estimator(
+            tiny_dataset, pipeline_config=PipelineConfig(prefetch_depth=2, jitter=0.0)
+        ).train()
+        serial = tiny_model.build_estimator(
+            tiny_dataset, pipeline_config=PipelineConfig(prefetch_depth=0, jitter=0.0)
+        ).train()
+        assert serial.wall_us > overlapped.wall_us
+        assert serial.tpu_idle_fraction > overlapped.tpu_idle_fraction
+
+    def test_summary_consistency(self, tiny_estimator):
+        summary = tiny_estimator.train()
+        assert 0.0 <= summary.tpu_idle_fraction <= 1.0
+        assert 0.0 <= summary.mxu_utilization <= 1.0
+        assert summary.tpu_busy_us <= summary.wall_us
+
+    def test_checkpoint_now(self, tiny_estimator):
+        session = tiny_estimator.session
+        session.initialize()
+        session.run_steps(7)
+        session.checkpoint_now()
+        assert session.checkpoint_store.latest().step == 7
+        # Idempotent at the same step.
+        session.checkpoint_now()
+        assert len(session.checkpoint_store) == 1
+
+    def test_checkpoint_now_requires_live_session(self, tiny_estimator):
+        with pytest.raises(SimulationError):
+            tiny_estimator.session.checkpoint_now()
+
+
+class TestStepHooks:
+    def test_hooks_fire_per_step(self, tiny_estimator):
+        seen = []
+        tiny_estimator.add_step_hook(lambda session, meta: seen.append(meta.step))
+        tiny_estimator.train()
+        assert len(seen) == len(tiny_estimator.session.log.steps)
+        assert seen == sorted(seen)
+
+
+class TestDeterminism:
+    def test_same_seed_same_timeline(self, tiny_model, tiny_dataset):
+        a = tiny_model.build_estimator(tiny_dataset, rng=np.random.default_rng(9)).train()
+        b = tiny_model.build_estimator(tiny_dataset, rng=np.random.default_rng(9)).train()
+        assert a.wall_us == b.wall_us
+        assert a.events_recorded == b.events_recorded
+
+    def test_different_seed_different_timeline(self, tiny_model, tiny_dataset):
+        a = tiny_model.build_estimator(tiny_dataset, rng=np.random.default_rng(1)).train()
+        b = tiny_model.build_estimator(tiny_dataset, rng=np.random.default_rng(2)).train()
+        assert a.wall_us != b.wall_us

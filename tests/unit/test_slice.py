@@ -1,0 +1,121 @@
+"""Multi-chip TPU slices."""
+
+import pytest
+
+from repro.costs import TPU_HOURLY_USD, run_cost
+from repro.errors import ConfigurationError
+from repro.host.pipeline import PipelineConfig
+from repro.tpu.slice import (
+    TpuSliceSpec,
+    ring_hops,
+    scaling_efficiency,
+    tpu_slice,
+    tree_depth,
+)
+from repro.tpu.specs import TPU_V2, TpuGeneration
+
+
+class TestSliceSpec:
+    def test_constructor_and_name(self):
+        board = tpu_slice("v2", 4)
+        assert board.chip is TPU_V2
+        assert board.num_chips == 4
+        assert board.name == "v2-8"  # 2 cores per chip
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TpuSliceSpec(chip=TPU_V2, num_chips=0)
+        with pytest.raises(ConfigurationError):
+            TpuSliceSpec(chip=TPU_V2, num_chips=2, ici_bandwidth=0.0)
+
+    def test_aggregate_scales_linearly(self):
+        aggregate = tpu_slice("v2", 4).aggregate_chip_spec()
+        assert aggregate.peak_flops == 4 * TPU_V2.peak_flops
+        assert aggregate.hbm_bytes == 4 * TPU_V2.hbm_bytes
+        assert aggregate.infeed_bandwidth == 4 * TPU_V2.infeed_bandwidth
+        assert aggregate.generation is TpuGeneration.V2
+
+    def test_all_reduce_cost(self):
+        board = tpu_slice("v2", 4)
+        assert board.all_reduce_us(0.0) > 0.0  # latency term remains
+        assert tpu_slice("v2", 1).all_reduce_us(1e9) == 0.0
+        small = board.all_reduce_us(1e6)
+        large = board.all_reduce_us(1e9)
+        assert large > small
+
+    def test_all_reduce_grows_with_chips(self):
+        byte_count = 100e6
+        costs = [tpu_slice("v2", n).all_reduce_us(byte_count) for n in (2, 4, 8)]
+        assert costs == sorted(costs)
+
+    def test_helpers(self):
+        assert ring_hops(4) == 6
+        assert tree_depth(8) == 3
+        assert tree_depth(1) == 0
+        assert scaling_efficiency(100.0, 50.0, 2) == pytest.approx(1.0)
+        assert scaling_efficiency(100.0, 50.0, 4) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            scaling_efficiency(1.0, 0.0, 2)
+
+
+class TestSliceExecution:
+    def test_single_chip_slice_matches_single_device(self, tiny_model, tiny_dataset):
+        single = tiny_model.build_estimator(tiny_dataset, generation="v2").train()
+        board = tiny_model.build_estimator(
+            tiny_dataset, generation=tpu_slice("v2", 1)
+        ).train()
+        # A 1-chip slice differs only by the (zero-cost) all-reduce lowering.
+        assert board.wall_us == pytest.approx(single.wall_us, rel=0.01)
+
+    def test_two_chips_speed_up_compute_bound_workload(self, tiny_model, tiny_dataset):
+        single = tiny_model.build_estimator(tiny_dataset, generation="v2").train()
+        board = tiny_model.build_estimator(
+            tiny_dataset, generation=tpu_slice("v2", 2)
+        ).train()
+        assert board.wall_us < single.wall_us
+
+    def test_scaling_hits_the_host_wall(self, tiny_model, tiny_dataset):
+        """More chips shift the bottleneck to the shared host pipeline."""
+        from dataclasses import replace
+
+        heavy = replace(tiny_dataset, decode_cpu_us=200.0, preprocess_cpu_us=100.0)
+        config = PipelineConfig(jitter=0.0)
+        results = {}
+        for chips in (1, 4):
+            spec = tpu_slice("v2", chips)
+            summary = tiny_model.build_estimator(
+                heavy, generation=spec, pipeline_config=config
+            ).train()
+            results[chips] = summary
+        assert results[4].tpu_idle_fraction > results[1].tpu_idle_fraction
+        assert results[4].mxu_utilization < results[1].mxu_utilization
+
+    def test_toolchain_runs_on_slices(self, tiny_model, tiny_dataset):
+        from repro.core.api import TPUPoint
+
+        estimator = tiny_model.build_estimator(tiny_dataset, generation=tpu_slice("v2", 2))
+        tpupoint = TPUPoint(estimator)
+        tpupoint.Start(analyzer=True)
+        estimator.train()
+        tpupoint.Stop()
+        assert tpupoint.analyzer().ols_phases().num_phases >= 1
+
+
+class TestSliceCosts:
+    def test_billing_scales_with_chips(self):
+        from repro.runtime.session import SessionSummary
+
+        summary = SessionSummary(
+            wall_us=3600e6,
+            tpu_busy_us=1800e6,
+            mxu_flops=1e15,
+            peak_flops=45e12,
+            steps_executed=1,
+            events_recorded=1,
+        )
+        one = run_cost(summary, tpu_slice("v2", 1))
+        four = run_cost(summary, tpu_slice("v2", 4))
+        assert one.tpu_dollars == pytest.approx(TPU_HOURLY_USD[TpuGeneration.V2])
+        assert four.tpu_dollars == pytest.approx(4 * one.tpu_dollars)
+        # Energy scales with the aggregate TDP too.
+        assert four.tpu_energy_joules == pytest.approx(4 * one.tpu_energy_joules)

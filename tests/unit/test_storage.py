@@ -1,0 +1,89 @@
+"""Buckets, objects, and shards."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.bucket import Bucket
+from repro.storage.objects import DatasetShard, StorageObject, shard_dataset
+
+
+def test_object_validation():
+    with pytest.raises(ConfigurationError):
+        StorageObject("", 1.0)
+    with pytest.raises(ConfigurationError):
+        StorageObject("x", -1.0)
+
+
+def test_shard_bytes_per_example():
+    shard = DatasetShard("s", num_bytes=1000.0, num_examples=10)
+    assert shard.bytes_per_example == 100.0
+    assert DatasetShard("e", num_bytes=10.0, num_examples=0).bytes_per_example == 0.0
+
+
+def test_shard_dataset_conserves_examples():
+    shards = shard_dataset("data", total_bytes=1e9, total_examples=1003, num_shards=10)
+    assert len(shards) == 10
+    assert sum(s.num_examples for s in shards) == 1003
+    assert sum(s.num_bytes for s in shards) == pytest.approx(1e9)
+
+
+def test_shard_names_are_tfrecord_style():
+    shards = shard_dataset("data", 1e6, 100, 3)
+    assert shards[0].name == "data-00000-of-00003"
+
+
+def test_shard_dataset_rejects_zero_shards():
+    with pytest.raises(ConfigurationError):
+        shard_dataset("d", 1.0, 1, 0)
+
+
+@pytest.fixture
+def bucket():
+    return Bucket("test", read_bandwidth=100e6, write_bandwidth=50e6, request_latency_us=1000.0)
+
+
+def test_put_get_roundtrip(bucket):
+    obj = StorageObject("a/b", 1e6)
+    write_us = bucket.put(obj)
+    assert write_us == pytest.approx(1000.0 + 1e6 / 50e6 * 1e6)
+    assert bucket.get("a/b") is obj
+    assert bucket.exists("a/b")
+
+
+def test_get_missing_raises(bucket):
+    with pytest.raises(StorageError):
+        bucket.get("nope")
+
+
+def test_delete(bucket):
+    bucket.put(StorageObject("x", 1.0))
+    bucket.delete("x")
+    assert not bucket.exists("x")
+    with pytest.raises(StorageError):
+        bucket.delete("x")
+
+
+def test_list_prefix_sorted(bucket):
+    for name in ("b/2", "a/1", "b/1"):
+        bucket.put(StorageObject(name, 1.0))
+    assert [o.name for o in bucket.list("b/")] == ["b/1", "b/2"]
+    assert len(bucket.list()) == 3
+
+
+def test_read_time_and_stats(bucket):
+    bucket.put(StorageObject("x", 100e6))
+    read_us = bucket.read_time_us("x")
+    assert read_us == pytest.approx(1000.0 + 1e6)
+    assert bucket.stats.reads == 1
+    assert bucket.stats.bytes_read == 100e6
+
+
+def test_read_bytes_time(bucket):
+    assert bucket.read_bytes_time_us(100e6) == pytest.approx(1000.0 + 1e6)
+    with pytest.raises(ConfigurationError):
+        bucket.read_bytes_time_us(-1.0)
+
+
+def test_invalid_bucket_config():
+    with pytest.raises(ConfigurationError):
+        Bucket("b", read_bandwidth=0.0)

@@ -1,0 +1,109 @@
+"""StepStream assembly and online OLS during recording."""
+
+import pytest
+
+from repro.core.analyzer import TPUPointAnalyzer, ols_labels
+from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+from repro.core.profiler.record import ProfileRecord, StepStats
+from repro.core.profiler.streaming import StepStream
+from repro.errors import ConfigurationError, ProfilerError
+from repro.runtime.events import DeviceKind
+
+
+def _record(index, step_ops):
+    """step_ops: {step: [(name, duration), ...]}"""
+    record = ProfileRecord(index=index, window_start_us=0.0, window_end_us=1.0)
+    for number, ops in step_ops.items():
+        step = StepStats(step=number)
+        for name, duration in ops:
+            step.observe(name, DeviceKind.TPU, duration)
+        record.steps[number] = step
+    return record
+
+
+class TestStepStream:
+    def test_withholds_newest_step(self):
+        stream = StepStream()
+        released = list(stream.submit(_record(0, {1: [("a", 1.0)], 2: [("a", 1.0)]})))
+        assert [s.step for s in released] == [1]
+        assert stream.pending_steps == 1
+
+    def test_merges_split_steps(self):
+        stream = StepStream()
+        list(stream.submit(_record(0, {1: [("a", 1.0)]})))
+        list(stream.submit(_record(1, {1: [("a", 2.0)]})))
+        released = list(stream.submit(_record(2, {2: [("b", 1.0)]})))
+        assert len(released) == 1
+        assert released[0].operators[("a", "tpu")].total_duration_us == 3.0
+        assert released[0].operators[("a", "tpu")].count == 2
+
+    def test_flush_releases_pending(self):
+        stream = StepStream()
+        list(stream.submit(_record(0, {5: [("a", 1.0)]})))
+        flushed = list(stream.flush())
+        assert [s.step for s in flushed] == [5]
+        assert stream.pending_steps == 0
+
+    def test_rejects_revisited_steps(self):
+        stream = StepStream()
+        list(stream.submit(_record(0, {1: [("a", 1.0)], 2: [("a", 1.0)]})))
+        with pytest.raises(ProfilerError):
+            list(stream.submit(_record(1, {1: [("a", 1.0)]})))
+
+    def test_releases_in_order(self):
+        stream = StepStream()
+        released = list(
+            stream.submit(_record(0, {3: [("a", 1.0)], 1: [("a", 1.0)], 2: [("a", 1.0)]}))
+        )
+        assert [s.step for s in released] == [1, 2]
+
+    def test_empty_record_is_noop(self):
+        stream = StepStream()
+        assert list(stream.submit(_record(0, {}))) == []
+
+
+class TestOnlinePhases:
+    def _profiled(self, tiny_model, tiny_dataset, **options):
+        estimator = tiny_model.build_estimator(tiny_dataset)
+        profiler = TPUPointProfiler(
+            estimator,
+            ProfilerOptions(request_interval_ms=150.0, online_phases=True, **options),
+        )
+        profiler.start(analyzer=True)
+        estimator.train()
+        records = profiler.stop()
+        return profiler, records
+
+    def test_online_matches_offline_exactly(self, tiny_model, tiny_dataset):
+        profiler, records = self._profiled(tiny_model, tiny_dataset)
+        analyzer = TPUPointAnalyzer(records)
+        offline = dict(
+            zip(
+                [s.step for s in analyzer.steps],
+                ols_labels(analyzer.steps, 0.70).tolist(),
+            )
+        )
+        assert profiler.online_phase_labels == offline
+
+    def test_online_count_matches_offline(self, tiny_model, tiny_dataset):
+        profiler, records = self._profiled(tiny_model, tiny_dataset)
+        result = TPUPointAnalyzer(records).ols_phases(0.70)
+        assert profiler.online_phase_count == result.num_phases
+
+    def test_custom_threshold(self, tiny_model, tiny_dataset):
+        profiler, records = self._profiled(
+            tiny_model, tiny_dataset, online_phase_threshold=0.0
+        )
+        assert profiler.online_phase_count == 1
+
+    def test_disabled_by_default(self, tiny_run):
+        estimator, _, _ = tiny_run
+        profiler = TPUPointProfiler(estimator)
+        with pytest.raises(ProfilerError):
+            profiler.online_phase_labels
+        with pytest.raises(ProfilerError):
+            profiler.online_phase_count
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProfilerOptions(online_phase_threshold=1.5)

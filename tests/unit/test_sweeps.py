@@ -1,0 +1,92 @@
+"""Experiment-sweep driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.host.pipeline import PipelineConfig
+from repro.models.naive import naive_pipeline_config
+from repro.sweeps import METRICS, sweep
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep(
+        ["bert-mrpc", "dcgan-mnist"],
+        generations=("v2", "v3"),
+    )
+
+
+class TestSweepExecution:
+    def test_grid_size(self, small_sweep):
+        assert len(small_sweep) == 4  # 2 workloads x 2 generations
+
+    def test_cell_lookup(self, small_sweep):
+        cell = small_sweep.cell("bert-mrpc", "v3")
+        assert cell.generation == "v3"
+        assert cell.run.summary.wall_us > 0
+
+    def test_missing_cell_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.cell("resnet-imagenet", "v2")
+
+    def test_metrics_extractors(self, small_sweep):
+        cell = small_sweep.cells[0]
+        for name in METRICS:
+            assert cell.metric(name) >= 0.0
+        with pytest.raises(ConfigurationError):
+            cell.metric("nonsense")
+
+    def test_column_and_mean(self, small_sweep):
+        idle = small_sweep.column("idle_fraction")
+        assert len(idle) == 4
+        assert small_sweep.mean("idle_fraction", generation="v3") > small_sweep.mean(
+            "idle_fraction", generation="v2"
+        )
+
+    def test_mean_empty_filter_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.mean("idle_fraction", generation="v99")
+
+
+class TestSweepRendering:
+    def test_table(self, small_sweep):
+        table = small_sweep.table()
+        assert "bert-mrpc" in table
+        assert "idle_fraction" in table
+        assert len(table.splitlines()) == 5  # header + 4 cells
+
+    def test_csv_export(self, small_sweep, tmp_path):
+        path = small_sweep.to_csv(tmp_path / "sweep.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("workload,generation,config")
+        assert len(lines) == 5
+
+
+class TestConfigAxis:
+    def test_config_labels(self):
+        result = sweep(
+            ["dcgan-mnist"],
+            configs={"default": None, "naive": naive_pipeline_config()},
+        )
+        assert len(result) == 2
+        default = result.cell("dcgan-mnist", "v2", "default")
+        naive = result.cell("dcgan-mnist", "v2", "naive")
+        assert naive.run.wall_seconds > default.run.wall_seconds
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sweep([])
+        with pytest.raises(ConfigurationError):
+            sweep(["bert-mrpc"], generations=())
+
+    def test_seed_override_changes_run(self):
+        a = sweep(["dcgan-mnist"], seed=1).cells[0].run
+        b = sweep(["dcgan-mnist"], seed=2).cells[0].run
+        assert a.summary.wall_us != b.summary.wall_us
+
+    def test_explicit_config_object(self):
+        result = sweep(
+            ["dcgan-mnist"],
+            configs={"wide": PipelineConfig(num_parallel_calls=32)},
+        )
+        assert result.cells[0].config_label == "wide"

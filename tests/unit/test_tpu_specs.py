@@ -1,0 +1,67 @@
+"""TPU generation specs."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.tpu.specs import TPU_V2, TPU_V3, TpuChipSpec, TpuGeneration, chip_spec
+
+
+def test_v2_matches_paper_section_ii():
+    assert TPU_V2.mxu_count == 2
+    assert TPU_V2.peak_flops == 45e12
+    assert TPU_V2.hbm_bytes == units.gib(16.0)
+
+
+def test_v3_doubles_mxus_and_hbm():
+    assert TPU_V3.mxu_count == 2 * TPU_V2.mxu_count
+    assert TPU_V3.hbm_bytes == 2 * TPU_V2.hbm_bytes
+    assert TPU_V3.peak_flops == 90e12
+
+
+def test_peak_flops_per_mxu():
+    assert TPU_V2.peak_flops_per_mxu == pytest.approx(22.5e12)
+
+
+@pytest.mark.parametrize("name", ["v2", "V2", "tpuv2", "TPUv2"])
+def test_chip_spec_accepts_string_forms(name):
+    assert chip_spec(name) is TPU_V2
+
+
+def test_chip_spec_accepts_enum():
+    assert chip_spec(TpuGeneration.V3) is TPU_V3
+
+
+def test_chip_spec_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        chip_spec("v4")
+
+
+def test_generation_str():
+    assert str(TpuGeneration.V2) == "TPUv2"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mxu_count": 0},
+        {"peak_flops": 0.0},
+        {"hbm_bytes": -1.0},
+        {"hbm_bandwidth": 0.0},
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    base = dict(
+        generation=TpuGeneration.V2,
+        mxu_count=2,
+        mxu_dim=128,
+        peak_flops=45e12,
+        hbm_bytes=units.gib(16),
+        hbm_bandwidth=600e9,
+        clock_hz=700e6,
+        tdp_watts=225.0,
+        infeed_bandwidth=5e9,
+    )
+    base.update(kwargs)
+    with pytest.raises(ConfigurationError):
+        TpuChipSpec(**base)

@@ -1,0 +1,142 @@
+"""Hill-climbing tuner and the optimizer orchestration."""
+
+import pytest
+
+from repro.core.optimizer.optimizer import OptimizerOptions, TPUPointOptimizer
+from repro.core.optimizer.parameters import discover_parameters
+from repro.core.optimizer.quality import QualityController
+from repro.core.optimizer.tuner import HillClimbTuner
+from repro.errors import OptimizerError
+from repro.host.pipeline import PipelineConfig
+from repro.models.naive import naive_pipeline_config
+
+
+def _slow_estimator(tiny_model, tiny_dataset):
+    """A tiny workload throttled by a naive pipeline (tunable headroom).
+
+    The dataset's per-example CPU cost is inflated so the single-threaded,
+    unprefetched naive pipeline genuinely bounds the step time.
+    """
+    from dataclasses import replace
+
+    heavy = replace(tiny_dataset, decode_cpu_us=400.0, preprocess_cpu_us=200.0)
+    return tiny_model.build_estimator(
+        heavy,
+        pipeline_config=naive_pipeline_config().with_updates(jitter=0.0),
+    )
+
+
+class TestTuner:
+    def test_validation(self, tiny_estimator):
+        with pytest.raises(OptimizerError):
+            HillClimbTuner(
+                tiny_estimator,
+                [],
+                QualityController(tiny_estimator),
+                trial_steps=0,
+            )
+
+    def test_tune_respects_step_budget(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        estimator.train_steps(1)
+        tuner = HillClimbTuner(
+            estimator,
+            discover_parameters(estimator.current_pipeline_config()),
+            QualityController(estimator),
+            trial_steps=5,
+            step_budget=10,
+        )
+        report = tuner.tune()
+        assert report.steps_consumed <= 10
+
+    def test_tuning_improves_naive_pipeline(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        estimator.train_steps(1)
+        tuner = HillClimbTuner(
+            estimator,
+            discover_parameters(estimator.current_pipeline_config()),
+            QualityController(estimator),
+            trial_steps=4,
+        )
+        report = tuner.tune()
+        assert report.improvement > 1.0
+        assert report.best_config != report.initial_config
+        # The estimator ends up running the best configuration.
+        assert estimator.current_pipeline_config() == report.best_config
+
+    def test_accepted_trials_marked(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        estimator.train_steps(1)
+        tuner = HillClimbTuner(
+            estimator,
+            discover_parameters(estimator.current_pipeline_config()),
+            QualityController(estimator),
+            trial_steps=4,
+        )
+        report = tuner.tune()
+        accepted = [t for t in report.trials if t.accepted]
+        assert accepted
+        assert all(t.parameter != "baseline" for t in accepted)
+
+    def test_overhead_charged_per_trial(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        estimator.train_steps(1)
+        tuner = HillClimbTuner(
+            estimator,
+            discover_parameters(estimator.current_pipeline_config()),
+            QualityController(estimator),
+            trial_steps=4,
+            overhead_us_per_trial=12_345.0,
+        )
+        report = tuner.tune()
+        events = [
+            e
+            for e in estimator.session.log.events
+            if e.name == "TPUPointOptimizerPostProcess"
+        ]
+        assert len(events) == len(report.trials)
+        assert all(e.duration_us == 12_345.0 for e in events)
+
+
+class TestOptimizerOptions:
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            OptimizerOptions(trial_steps=0)
+        with pytest.raises(OptimizerError):
+            OptimizerOptions(max_tuning_fraction=0.0)
+
+
+class TestOptimizerRun:
+    def test_full_run_completes_plan(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        result = TPUPointOptimizer(
+            estimator, OptimizerOptions(detection_chunk_steps=5, trial_steps=3)
+        ).run()
+        assert estimator.session.finished
+        assert estimator.session.global_step == estimator.plan.train_steps
+        assert result.summary.wall_us > 0
+
+    def test_naive_workload_gets_tuned(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        result = TPUPointOptimizer(
+            estimator, OptimizerOptions(detection_chunk_steps=5, trial_steps=3)
+        ).run()
+        assert result.detector_triggered_at_step is not None
+        assert result.tuned
+        assert result.improvement > 1.0
+
+    def test_optimized_beats_untouched_naive_run(self, tiny_model, tiny_dataset):
+        baseline = _slow_estimator(tiny_model, tiny_dataset).train()
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        result = TPUPointOptimizer(
+            estimator, OptimizerOptions(detection_chunk_steps=5, trial_steps=3)
+        ).run()
+        assert result.summary.wall_us < baseline.wall_us
+
+    def test_instrumentation_checkpoint_written(self, tiny_model, tiny_dataset):
+        estimator = _slow_estimator(tiny_model, tiny_dataset)
+        result = TPUPointOptimizer(
+            estimator, OptimizerOptions(detection_chunk_steps=5, trial_steps=3)
+        ).run()
+        if result.tuning is not None:
+            assert result.instrumentation.checkpoint_steps

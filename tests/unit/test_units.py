@@ -1,0 +1,58 @@
+"""Unit helpers: conversions and formatting."""
+
+import pytest
+
+from repro import units
+
+
+def test_byte_units_are_binary():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+    assert units.TIB == 1024**4
+
+
+def test_mib_gib_round_trip():
+    assert units.mib(1.0) == units.MIB
+    assert units.gib(2.0) == 2 * units.GIB
+
+
+def test_time_units_canonical_microseconds():
+    assert units.seconds(1.0) == 1_000_000.0
+    assert units.milliseconds(1.0) == 1_000.0
+    assert units.minutes(1.0) == 60_000_000.0
+
+
+def test_time_round_trips():
+    assert units.us_to_seconds(units.seconds(3.5)) == pytest.approx(3.5)
+    assert units.us_to_ms(units.milliseconds(7.25)) == pytest.approx(7.25)
+
+
+def test_tflops():
+    assert units.tflops(45.0) == 45e12
+
+
+@pytest.mark.parametrize(
+    "num_bytes, expected",
+    [
+        (500, "500 B"),
+        (2048, "2.00 KiB"),
+        (422.27 * units.MIB, "422.27 MiB"),
+        (48.49 * units.GIB, "48.49 GiB"),
+    ],
+)
+def test_format_bytes(num_bytes, expected):
+    assert units.format_bytes(num_bytes) == expected
+
+
+@pytest.mark.parametrize(
+    "duration_us, expected",
+    [
+        (5.0, "5.0 us"),
+        (1500.0, "1.50 ms"),
+        (2.5e6, "2.50 s"),
+        (90e6, "1.50 min"),
+    ],
+)
+def test_format_duration(duration_us, expected):
+    assert units.format_duration(duration_us) == expected

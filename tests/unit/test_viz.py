@@ -1,0 +1,132 @@
+"""SVG chart backend and figure generation."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.figures import FIGURES, FigureData, generate_figures
+from repro.viz.svg import PALETTE, SvgCanvas, bar_chart, line_chart
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_render_is_valid_svg(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, "#fff")
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2, "#000")
+        canvas.polyline([(0, 0), (5, 5)], "#000")
+        canvas.text(1, 1, "hi & bye <tag>")
+        root = _parse(canvas.render())
+        assert root.tag.endswith("svg")
+        assert root.get("width") == "100"
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(0, 0, "<script>")
+        assert "<script>" not in canvas.render()
+        _parse(canvas.render())
+
+
+class TestBarChart:
+    def test_structure(self):
+        svg = bar_chart(
+            "t", ["a", "b"], {"s1": [1.0, 2.0], "s2": [2.0, 1.0]}, percent=False
+        )
+        root = _parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # Background + 4 bars + 2 legend swatches.
+        assert len(rects) == 7
+
+    def test_percent_axis(self):
+        svg = bar_chart("t", ["a"], {"s": [0.5]}, percent=True)
+        assert "%" in svg
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", [], {"s": []})
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", ["a"], {"s": [1.0, 2.0]})
+
+
+class TestLineChart:
+    def test_structure(self):
+        svg = line_chart("t", [1.0, 2.0, 3.0], {"s1": [1, 2, 3], "s2": [3, 2, 1]})
+        root = _parse(svg)
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 2
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == 6
+
+    def test_log_scale(self):
+        svg = line_chart("t", [1.0, 2.0], {"s": [1.0, 1000.0]}, log_y=True, ylabel="y")
+        assert "(log)" in svg
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart("t", [], {})
+
+    def test_palette_distinct(self):
+        assert len(set(PALETTE)) == len(PALETTE)
+
+
+class TestFigureGeneration:
+    @pytest.fixture(scope="class")
+    def figure_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("figs")
+        written = generate_figures(
+            out,
+            workloads=("bert-mrpc", "dcgan-mnist"),
+            names=("fig06", "fig07", "fig10", "fig11"),
+        )
+        return out, written
+
+    def test_requested_figures_written(self, figure_dir):
+        _, written = figure_dir
+        assert set(written) == {"fig06", "fig07", "fig10", "fig11"}
+
+    def test_outputs_are_valid_svg(self, figure_dir):
+        _, written = figure_dir
+        for path in written.values():
+            root = ET.parse(path).getroot()
+            assert root.tag.endswith("svg")
+
+    def test_figures_registry_covers_key_plots(self):
+        assert {"fig04", "fig05", "fig06", "fig07", "fig10", "fig11", "fig14"} <= set(
+            FIGURES
+        )
+
+    def test_figure_data_caches(self):
+        data = FigureData(("bert-mrpc",))
+        assert data.run("bert-mrpc") is data.run("bert-mrpc")
+        assert data.analyzer("bert-mrpc") is data.analyzer("bert-mrpc")
+
+
+class TestTimeline:
+    def test_figure3_structure(self, tiny_run):
+        import xml.etree.ElementTree as ET
+
+        from repro.core.analyzer import TPUPointAnalyzer
+        from repro.viz.timeline import phase_timeline_svg
+
+        _, _, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        phases = analyzer.ols_phases().phases
+        svg = phase_timeline_svg(records, phases)
+        root = ET.fromstring(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # Background + one span per record + one per phase.
+        assert len(rects) >= 1 + len(records) + len(phases)
+        assert "Profile Breakdown" in svg
+        assert "Phase Breakdown" in svg
+
+    def test_timeline_validation(self):
+        from repro.errors import ConfigurationError
+        from repro.viz.timeline import phase_timeline_svg
+
+        with pytest.raises(ConfigurationError):
+            phase_timeline_svg([], [])
