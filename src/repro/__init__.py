@@ -34,6 +34,13 @@ from repro.models.registry import (
     workload,
 )
 from repro.runtime.estimator import TPUEstimator
+from repro.serve import (
+    FleetService,
+    FleetServiceOptions,
+    FleetSnapshot,
+    JobSnapshot,
+    run_fleet,
+)
 from repro.sweeps import SweepCell, SweepResult, sweep
 from repro.runtime.session import SessionPlan, SessionSummary
 from repro.tpu.specs import TpuGeneration
@@ -53,10 +60,15 @@ __all__ = [
     "PipelineConfig",
     "ProfileRecord",
     "ProfilerOptions",
+    "FleetService",
+    "FleetServiceOptions",
+    "FleetSnapshot",
+    "JobSnapshot",
     "RunComparison",
     "RunCost",
     "compare_runs",
     "run_cost",
+    "run_fleet",
     "SessionPlan",
     "SessionSummary",
     "TPUEstimator",

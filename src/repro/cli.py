@@ -13,6 +13,9 @@ Subcommands mirror the toolchain:
   characterization report.
 * ``tpupoint optimize <workload>`` — run the workload under
   TPUPoint-Optimizer and report the speedup against an untouched run.
+* ``tpupoint fleet`` — drive N concurrent workloads through the
+  multi-tenant live profiling service (:mod:`repro.serve`) and print
+  each job's live phases plus the fleet rollup.
 """
 
 from __future__ import annotations
@@ -45,6 +48,12 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
     )
+    profile.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="OLS step-similarity threshold in [0, 1] (default 0.70)",
+    )
     profile.add_argument("--out", default=None, help="directory for trace/CSV exports")
     profile.add_argument(
         "--save-records", default=None, help="directory to persist raw profile records"
@@ -60,6 +69,12 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
     )
+    analyze.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="OLS step-similarity threshold in [0, 1] (default 0.70)",
+    )
     analyze.add_argument("--out", default=None, help="directory for trace/CSV exports")
 
     report = subparsers.add_parser(
@@ -72,6 +87,28 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize = subparsers.add_parser("optimize", help="run a workload under the optimizer")
     optimize.add_argument("workload", help="workload key, e.g. naive-qanet-squad")
     optimize.add_argument("--generation", default="v2", choices=["v2", "v3"])
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run N concurrent workloads through the live fleet profiling service",
+    )
+    fleet.add_argument("--jobs", type=int, default=4, help="number of concurrent jobs")
+    fleet.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workload keys to cycle over (default: a fast Table I mix)",
+    )
+    fleet.add_argument("--generation", default="v2", choices=["v2", "v3"])
+    fleet.add_argument(
+        "--chunk", type=int, default=16, help="train steps per scheduling quantum"
+    )
+    fleet.add_argument(
+        "--queue-capacity", type=int, default=64, help="per-job ingest queue bound"
+    )
+    fleet.add_argument(
+        "--threshold", type=float, default=0.70, help="live OLS similarity threshold"
+    )
 
     compare = subparsers.add_parser(
         "compare", help="profile a workload on both generations and diff the runs"
@@ -109,6 +146,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _detector_params(args: argparse.Namespace) -> dict:
+    """Per-method keyword arguments from the CLI flags."""
+    from repro.errors import ConfigurationError
+
+    if args.threshold is None:
+        return {}
+    if args.method != "ols":
+        raise ConfigurationError("--threshold applies only to --method ols")
+    if not 0.0 <= args.threshold <= 1.0:
+        raise ConfigurationError("--threshold must be in [0, 1]")
+    return {"threshold": args.threshold}
+
+
 def _cmd_list() -> int:
     print(f"{'key':22s} {'model':12s} {'dataset':10s} {'type':22s} {'size':>12s}")
     for key in PAPER_WORKLOADS:
@@ -125,6 +175,7 @@ def _cmd_list() -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.profiler import ProfilerOptions
 
+    detector_params = _detector_params(args)  # flag conflicts fail before the run
     spec = WorkloadSpec(args.workload, generation=args.generation)
     estimator = build_estimator(spec)
     options = ProfilerOptions(breakpoint_step=args.breakpoint)
@@ -150,7 +201,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
           f"({cost.idle_dollar_fraction:.0%} paid for idle time)")
 
     analyzer: TPUPointAnalyzer = tpupoint.analyzer()
-    result = analyzer.analyze(args.method)
+    result = analyzer.analyze(args.method, **detector_params)
     report = result.coverage()
     print(f"\nphases ({args.method}, params {result.params}): {result.num_phases}")
     print(f"top-3 phase coverage: {report.top(3):.1%}")
@@ -193,12 +244,48 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.serve import (
+        DEFAULT_FLEET_WORKLOADS,
+        FleetServiceOptions,
+        run_fleet,
+    )
+
+    if args.jobs <= 0:
+        raise ConfigurationError("--jobs must be positive")
+    keys = tuple(args.workloads) if args.workloads else DEFAULT_FLEET_WORKLOADS
+    workloads = [keys[i % len(keys)] for i in range(args.jobs)]
+    options = FleetServiceOptions(
+        queue_capacity=args.queue_capacity, threshold=args.threshold
+    )
+    result = run_fleet(
+        workloads,
+        generation=args.generation,
+        chunk_steps=args.chunk,
+        service_options=options,
+    )
+
+    print(f"== fleet of {len(workloads)} jobs on TPU{args.generation} "
+          f"({result.rounds} scheduling rounds) ==")
+    for job in result.jobs:
+        for line in job.snapshot.format():
+            print(line)
+    print("\n-- fleet rollup --")
+    for line in result.rollup.format():
+        print(line)
+    print("\n-- service metrics --")
+    for line in result.service.metrics.format():
+        print(line)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.profiler.serialize import load_records
 
     records = load_records(args.records)
     analyzer = TPUPointAnalyzer(records)
-    result = analyzer.analyze(args.method)
+    result = analyzer.analyze(args.method, **_detector_params(args))
     report = result.coverage()
     print(f"records  : {len(records)} ({len(analyzer.steps)} steps)")
     print(f"phases ({args.method}, params {result.params}): {result.num_phases}")
@@ -311,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": lambda: _cmd_analyze(args),
         "report": lambda: _cmd_report(args),
         "optimize": lambda: _cmd_optimize(args),
+        "fleet": lambda: _cmd_fleet(args),
         "compare": lambda: _cmd_compare(args),
         "evaluate": lambda: _cmd_evaluate(args),
         "figures": lambda: _cmd_figures(args),

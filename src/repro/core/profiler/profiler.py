@@ -70,6 +70,7 @@ class TPUPointProfiler:
         self._online_scanner = None
         self._online_stream = None
         self._online_steps: list[int] = []
+        self._record_hooks: list = []
 
     # --- lifecycle ---------------------------------------------------------
 
@@ -101,6 +102,15 @@ class TPUPointProfiler:
             self._online_stream = StepStream()
         self._next_request_us = self.options.request_interval_ms * 1000.0
         self.estimator.add_step_hook(self._on_step)
+
+    def add_record_hook(self, hook) -> None:
+        """Register a callback invoked with each record as it is kept.
+
+        This is the live hand-off consumers like :mod:`repro.serve` use:
+        hooks fire during the run, in record order, before Stop() —
+        unlike :attr:`records`, which is a post-hoc batch view.
+        """
+        self._record_hooks.append(hook)
 
     @property
     def breakpoint_hit(self) -> bool:
@@ -173,6 +183,8 @@ class TPUPointProfiler:
                 for step in self._online_stream.submit(record):
                     self._online_scanner.observe(step)
                     self._online_steps.append(step.step)
+            for hook in self._record_hooks:
+                hook(record)
         return response
 
     # --- results ---------------------------------------------------------------

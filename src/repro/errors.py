@@ -52,6 +52,10 @@ class ClusteringError(AnalyzerError):
     """A clustering algorithm was invoked with invalid hyper-parameters."""
 
 
+class ServeError(ReproError):
+    """Fleet profiling service misuse (unknown job, bad lifecycle move)."""
+
+
 class OptimizerError(ReproError):
     """TPUPoint-Optimizer misuse or tuning failure."""
 

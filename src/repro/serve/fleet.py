@@ -1,0 +1,122 @@
+"""Fleet driver: many concurrent workloads through one service.
+
+Simulates a multi-tenant deployment: N training jobs, each with its own
+estimator and profiler, are scheduled round-robin in bounded step
+quanta, and every profiler hands its records to the shared
+:class:`FleetService` as they are produced. Because the drain loop runs
+between quanta, snapshot queries taken mid-flight observe genuinely
+partial runs — the live-analysis property the offline analyzer cannot
+provide. The CLI's ``tpupoint fleet`` and the fleet bench both drive
+this entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.profiler import ProfilerOptions
+from repro.errors import ServeError
+from repro.serve.query import FleetSnapshot, JobSnapshot
+from repro.serve.service import FleetService, FleetServiceOptions
+from repro.workloads.runner import attach_record_sink, build_estimator
+from repro.workloads.spec import WorkloadSpec
+
+#: Fast Table I workloads the CLI cycles through when none are given.
+DEFAULT_FLEET_WORKLOADS = ("bert-mrpc", "dcgan-mnist", "dcgan-cifar10", "bert-cola")
+
+#: Invoked after every scheduling round with (service, round_index).
+RoundHook = Callable[[FleetService, int], None]
+
+
+@dataclass(frozen=True)
+class FleetJobResult:
+    """One job's outcome after the fleet run finished."""
+
+    job_id: str
+    spec: WorkloadSpec
+    summary: object
+    records: tuple = ()
+    snapshot: JobSnapshot | None = None
+
+
+@dataclass(frozen=True)
+class FleetRunResult:
+    """Outcome of one fleet run."""
+
+    service: FleetService
+    jobs: tuple[FleetJobResult, ...]
+    rollup: FleetSnapshot
+    rounds: int
+
+
+@dataclass
+class _FleetJob:
+    job_id: str
+    spec: WorkloadSpec
+    estimator: object
+    profiler: object
+    done: bool = False
+    summary: object = None
+
+
+def run_fleet(
+    workloads: Sequence[str],
+    generation: str = "v2",
+    chunk_steps: int = 16,
+    service: FleetService | None = None,
+    service_options: FleetServiceOptions | None = None,
+    profiler_options: ProfilerOptions | None = None,
+    on_round: RoundHook | None = None,
+) -> FleetRunResult:
+    """Run every workload to completion through a shared fleet service."""
+    if not workloads:
+        raise ServeError("fleet run needs at least one workload")
+    if chunk_steps <= 0:
+        raise ServeError("chunk_steps must be positive")
+    if service is None:
+        service = FleetService(options=service_options or FleetServiceOptions())
+
+    jobs: list[_FleetJob] = []
+    for key in workloads:
+        spec = WorkloadSpec(key, generation=generation)
+        info = service.register(key, generation=generation)
+        estimator = build_estimator(spec)
+        profiler = attach_record_sink(
+            estimator, service.sink(info.job_id), options=profiler_options
+        )
+        jobs.append(
+            _FleetJob(job_id=info.job_id, spec=spec, estimator=estimator, profiler=profiler)
+        )
+
+    rounds = 0
+    while any(not job.done for job in jobs):
+        for job in jobs:
+            if job.done:
+                continue
+            job.estimator.train_steps(chunk_steps)
+            session = job.estimator.session
+            if session.global_step >= job.estimator.plan.train_steps:
+                job.summary = job.estimator.finalize()
+                job.profiler.stop()
+                service.pump(job.job_id)
+                service.complete(job.job_id)
+                job.done = True
+        service.pump()
+        rounds += 1
+        if on_round is not None:
+            on_round(service, rounds)
+
+    results = tuple(
+        FleetJobResult(
+            job_id=job.job_id,
+            spec=job.spec,
+            summary=job.summary,
+            records=tuple(job.profiler.records),
+            snapshot=service.job_snapshot(job.job_id),
+        )
+        for job in jobs
+    )
+    return FleetRunResult(
+        service=service, jobs=results, rollup=service.fleet_snapshot(), rounds=rounds
+    )

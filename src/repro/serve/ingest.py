@@ -1,0 +1,89 @@
+"""Bounded per-job ingestion queues.
+
+Producers (training jobs) and the analysis drain run at different rates,
+so each job gets a bounded queue between them. Overflow policy is
+*drop-oldest*: a full queue admits the new record and discards the
+stalest one, because for live phase detection the most recent window is
+always the most valuable — exactly the trade the paper's profiler makes
+when it caps profile windows rather than stalling the run.
+
+Dropping a record is safe for :class:`~repro.core.profiler.streaming.StepStream`:
+records only ever carry steps at or after the newest step already seen,
+so a gap never triggers the revisit guard — the affected steps are
+simply observed with partial statistics (lossy, never corrupt).
+
+Backpressure is explicit: :meth:`IngestQueue.offer` reports whether the
+queue had to shed load, and producers can consult
+:attr:`IngestQueue.remaining_capacity` to throttle before that happens.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.profiler.record import ProfileRecord
+from repro.errors import ServeError
+
+DEFAULT_QUEUE_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class IngestAck:
+    """Outcome of one record submission."""
+
+    job_id: str
+    accepted: bool
+    dropped: int
+    depth: int
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the producer should back off."""
+        return self.dropped > 0
+
+
+@dataclass
+class IngestQueue:
+    """A bounded FIFO of profile records for one job."""
+
+    job_id: str
+    capacity: int = DEFAULT_QUEUE_CAPACITY
+    _records: deque[ProfileRecord] = field(default_factory=deque)
+    submitted: int = 0
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ServeError("ingest queue capacity must be positive")
+
+    @property
+    def depth(self) -> int:
+        """Records currently waiting to be drained."""
+        return len(self._records)
+
+    @property
+    def remaining_capacity(self) -> int:
+        """Free slots before the next offer sheds the oldest record."""
+        return self.capacity - self.depth
+
+    def offer(self, record: ProfileRecord) -> IngestAck:
+        """Enqueue one record, shedding the oldest on overflow."""
+        self.submitted += 1
+        shed = 0
+        if self.depth >= self.capacity:
+            self._records.popleft()
+            self.dropped += 1
+            shed = 1
+        self._records.append(record)
+        return IngestAck(
+            job_id=self.job_id, accepted=True, dropped=shed, depth=self.depth
+        )
+
+    def drain(self, max_records: int | None = None) -> Iterator[ProfileRecord]:
+        """Pop queued records in FIFO order (all of them by default)."""
+        popped = 0
+        while self._records and (max_records is None or popped < max_records):
+            popped += 1
+            yield self._records.popleft()

@@ -1,0 +1,181 @@
+"""Incremental per-job analysis state.
+
+Folds completed steps into the online linear scan as records arrive and
+maintains running phase tables, operator totals, and idle/MXU aggregates
+— the live counterpart of :class:`~repro.core.analyzer.analyzer.TPUPointAnalyzer`.
+The same statistical-summary discipline as the paper's recorder applies:
+raw :class:`StepStats` are folded into per-phase accumulators and
+discarded, so a job's live state is O(phases x operator vocabulary)
+regardless of run length, and queries read the accumulators directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD, OnlineLinearScan
+from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
+from repro.core.profiler.streaming import StepStream
+from repro.errors import ServeError
+from repro.runtime.events import DeviceKind
+
+
+@dataclass
+class LivePhase:
+    """Running accumulator for one detected phase."""
+
+    phase_id: int
+    num_steps: int = 0
+    first_step: int = -1
+    last_step: int = -1
+    duration_us: float = 0.0
+    tpu_idle_us: float = 0.0
+    mxu_flops: float = 0.0
+    operators: dict[tuple[str, str], OperatorStats] = field(default_factory=dict)
+
+    def fold(self, step: StepStats) -> None:
+        """Accumulate one completed step; the step is not retained."""
+        if self.num_steps == 0:
+            self.first_step = step.step
+        self.num_steps += 1
+        self.last_step = step.step
+        self.duration_us += step.elapsed_us
+        self.tpu_idle_us += step.tpu_idle_us
+        self.mxu_flops += step.mxu_flops
+        for key, stats in step.operators.items():
+            existing = self.operators.get(key)
+            if existing is None:
+                self.operators[key] = OperatorStats(
+                    name=stats.name,
+                    device=stats.device,
+                    count=stats.count,
+                    total_duration_us=stats.total_duration_us,
+                )
+            else:
+                existing.merge(stats)
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.duration_us <= 0:
+            return 0.0
+        return min(self.tpu_idle_us / self.duration_us, 1.0)
+
+    def top_operators(
+        self, k: int = 5, device: DeviceKind | None = None
+    ) -> list[OperatorStats]:
+        """The k most time-consuming operators folded into this phase."""
+        totals = [
+            stats
+            for stats in self.operators.values()
+            if device is None or stats.device is device
+        ]
+        totals.sort(key=lambda stats: -stats.total_duration_us)
+        return totals[:k]
+
+
+@dataclass
+class LiveJobAnalysis:
+    """All live analysis state for one job."""
+
+    threshold: float = DEFAULT_SIMILARITY_THRESHOLD
+    peak_flops: float = 0.0
+    _stream: StepStream = field(default_factory=StepStream)
+    _scanner: OnlineLinearScan | None = None
+    phases: dict[int, LivePhase] = field(default_factory=dict)
+    steps_seen: int = 0
+    records_seen: int = 0
+    total_duration_us: float = 0.0
+    tpu_idle_us: float = 0.0
+    mxu_flops: float = 0.0
+    _step_numbers: list[int] = field(default_factory=list)
+    finished: bool = False
+
+    def __post_init__(self) -> None:
+        if self._scanner is None:
+            self._scanner = OnlineLinearScan(threshold=self.threshold)
+
+    # --- folding -----------------------------------------------------------
+
+    def ingest(self, record: ProfileRecord) -> int:
+        """Fold one record in; returns the number of steps completed by it."""
+        if self.finished:
+            raise ServeError("job analysis already finished")
+        self.records_seen += 1
+        folded = 0
+        for step in self._stream.submit(record):
+            self._fold(step)
+            folded += 1
+        return folded
+
+    def finish(self) -> int:
+        """Flush the step stream (end of run); returns steps released."""
+        if self.finished:
+            return 0
+        folded = 0
+        for step in self._stream.flush():
+            self._fold(step)
+            folded += 1
+        self.finished = True
+        return folded
+
+    def _fold(self, step: StepStats) -> None:
+        label = self._scanner.observe(step)
+        phase = self.phases.get(label)
+        if phase is None:
+            phase = LivePhase(phase_id=label)
+            self.phases[label] = phase
+        phase.fold(step)
+        self.steps_seen += 1
+        self.total_duration_us += step.elapsed_us
+        self.tpu_idle_us += step.tpu_idle_us
+        self.mxu_flops += step.mxu_flops
+        self._step_numbers.append(step.step)
+
+    # --- live queries ------------------------------------------------------
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def pending_steps(self) -> int:
+        """Steps withheld by the assembler (not yet attributed to a phase)."""
+        return self._stream.pending_steps
+
+    @property
+    def labels(self) -> list[int]:
+        """Phase label per folded step, in step order (parity surface)."""
+        return list(self._scanner.labels)
+
+    @property
+    def phase_labels(self) -> dict[int, int]:
+        """Step number -> phase label for every folded step."""
+        return dict(zip(self._step_numbers, self._scanner.labels))
+
+    @property
+    def idle_fraction(self) -> float:
+        """Running TPU idle fraction over all folded steps."""
+        if self.total_duration_us <= 0:
+            return 0.0
+        return min(self.tpu_idle_us / self.total_duration_us, 1.0)
+
+    @property
+    def mxu_utilization(self) -> float:
+        """Running MXU utilization against the job's chip peak."""
+        if self.total_duration_us <= 0 or self.peak_flops <= 0:
+            return 0.0
+        achieved = self.mxu_flops / (self.total_duration_us / 1e6)
+        return min(achieved / self.peak_flops, 1.0)
+
+    def coverage(self, n: int = 3) -> float:
+        """Fraction of folded execution time in the n longest phases."""
+        if self.total_duration_us <= 0:
+            return 0.0
+        durations = sorted(
+            (phase.duration_us for phase in self.phases.values()), reverse=True
+        )
+        return min(sum(durations[:n]) / self.total_duration_us, 1.0)
+
+    def phases_by_duration(self) -> list[LivePhase]:
+        """Phases ordered by descending accumulated duration."""
+        return sorted(self.phases.values(), key=lambda phase: -phase.duration_us)

@@ -1,0 +1,83 @@
+"""Service observability counters and gauges.
+
+The fleet service profiles other programs; these metrics make the
+service itself observable — ingestion volume, shed load, assembly
+progress, and query latency — in the spirit of the paper's own
+profiler-overhead accounting (Section V). Counters are plain integers
+(the simulation is single-threaded); query latency is real wall time
+from :func:`time.perf_counter`, the one deliberately non-deterministic
+measurement here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters/gauges for one fleet service instance."""
+
+    jobs_registered: int = 0
+    jobs_completed: int = 0
+    jobs_evicted: int = 0
+    records_submitted: int = 0
+    records_dropped: int = 0
+    records_ingested: int = 0
+    steps_assembled: int = 0
+    queries_served: int = 0
+    query_seconds_total: float = 0.0
+    query_seconds_max: float = 0.0
+    dropped_by_job: dict[str, int] = field(default_factory=dict)
+
+    # --- recording ---------------------------------------------------------
+
+    def record_drop(self, job_id: str, count: int) -> None:
+        """Count records shed by one job's queue."""
+        if count <= 0:
+            return
+        self.records_dropped += count
+        self.dropped_by_job[job_id] = self.dropped_by_job.get(job_id, 0) + count
+
+    @contextmanager
+    def time_query(self):
+        """Measure one snapshot query's latency."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.queries_served += 1
+            self.query_seconds_total += elapsed
+            self.query_seconds_max = max(self.query_seconds_max, elapsed)
+
+    # --- reading -----------------------------------------------------------
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of submitted records shed before analysis."""
+        if self.records_submitted == 0:
+            return 0.0
+        return self.records_dropped / self.records_submitted
+
+    @property
+    def mean_query_seconds(self) -> float:
+        if self.queries_served == 0:
+            return 0.0
+        return self.query_seconds_total / self.queries_served
+
+    def format(self) -> list[str]:
+        """Human-readable counter lines (the CLI's metrics block)."""
+        return [
+            f"jobs registered/completed/evicted : "
+            f"{self.jobs_registered}/{self.jobs_completed}/{self.jobs_evicted}",
+            f"records submitted/ingested/dropped: "
+            f"{self.records_submitted}/{self.records_ingested}/{self.records_dropped}"
+            f" ({self.drop_fraction:.1%} shed)",
+            f"steps assembled                   : {self.steps_assembled}",
+            f"queries served                    : {self.queries_served} "
+            f"(mean {self.mean_query_seconds * 1e6:.0f} us, "
+            f"max {self.query_seconds_max * 1e6:.0f} us)",
+        ]

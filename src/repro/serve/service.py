@@ -1,0 +1,183 @@
+"""The multi-tenant fleet profiling service.
+
+:class:`FleetService` ties the pieces together: the job registry
+(lifecycle + metadata), one bounded ingest queue and one live analysis
+state per job, service-level metrics, and the snapshot query surface.
+Producers push :class:`ProfileRecord` streams in; a cooperative drain
+loop (:meth:`pump`) feeds each job's step assembler and folds completed
+steps into the online linear scan — so per-job phases and fleet rollups
+are answerable *while runs are in flight*, unlike the offline analyzer
+which requires the run to have ended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
+from repro.core.profiler.record import ProfileRecord
+from repro.errors import ServeError
+from repro.serve.ingest import DEFAULT_QUEUE_CAPACITY, IngestAck, IngestQueue
+from repro.serve.live import LiveJobAnalysis
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.query import FleetSnapshot, JobSnapshot, fleet_snapshot, job_snapshot
+from repro.serve.registry import JobInfo, JobRegistry, JobState
+from repro.tpu.specs import TpuGeneration
+
+
+@dataclass(frozen=True)
+class FleetServiceOptions:
+    """Configuration of one fleet service instance."""
+
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY
+    threshold: float = DEFAULT_SIMILARITY_THRESHOLD
+    max_jobs: int | None = None
+    snapshot_phases: int = 5
+    snapshot_operators: int = 3
+
+
+@dataclass
+class FleetService:
+    """Ingestion + live analysis for many concurrent training jobs."""
+
+    options: FleetServiceOptions = field(default_factory=FleetServiceOptions)
+    metrics: ServiceMetrics = field(default_factory=ServiceMetrics)
+
+    def __post_init__(self) -> None:
+        self.registry = JobRegistry(max_jobs=self.options.max_jobs)
+        self._queues: dict[str, IngestQueue] = {}
+        self._analyses: dict[str, LiveJobAnalysis] = {}
+
+    # --- tenancy -----------------------------------------------------------
+
+    def register(
+        self,
+        workload: str,
+        generation: TpuGeneration | str = TpuGeneration.V2,
+        job_id: str | None = None,
+        start_step: int = 0,
+    ) -> JobInfo:
+        """Admit one job and allocate its queue + live analysis state."""
+        info = self.registry.register(
+            workload, generation=generation, job_id=job_id, start_step=start_step
+        )
+        self._queues[info.job_id] = IngestQueue(
+            job_id=info.job_id, capacity=self.options.queue_capacity
+        )
+        self._analyses[info.job_id] = LiveJobAnalysis(
+            threshold=self.options.threshold, peak_flops=info.peak_flops
+        )
+        self.metrics.jobs_registered += 1
+        return info
+
+    def sink(self, job_id: str) -> Callable[[ProfileRecord], None]:
+        """A record callback bound to one job (the producer hand-off)."""
+        self.registry.get(job_id)
+
+        def _submit(record: ProfileRecord) -> None:
+            self.submit(job_id, record)
+
+        return _submit
+
+    # --- ingestion ---------------------------------------------------------
+
+    def submit(self, job_id: str, record: ProfileRecord) -> IngestAck:
+        """Enqueue one record for a job; first record activates it."""
+        info = self.registry.get(job_id)
+        if not info.live:
+            raise ServeError(f"job {job_id!r} is {info.state.value}; cannot ingest")
+        if info.state is JobState.REGISTERED:
+            self.registry.activate(job_id)
+        ack = self._queues[job_id].offer(record)
+        self.metrics.records_submitted += 1
+        self.metrics.record_drop(job_id, ack.dropped)
+        return ack
+
+    def pump(self, job_id: str | None = None, max_records: int | None = None) -> int:
+        """Drain queued records into the live analyses.
+
+        Returns the number of steps newly assembled. With ``job_id`` the
+        drain is restricted to one tenant; ``max_records`` bounds the
+        work done in one call so the loop can be scheduled fairly.
+        """
+        if job_id is not None:
+            queues = [self._queue(job_id)]
+        else:
+            queues = [self._queues[info.job_id] for info in self.registry.jobs() if info.live]
+        assembled = 0
+        for queue in queues:
+            analysis = self._analyses[queue.job_id]
+            for record in queue.drain(max_records):
+                self.metrics.records_ingested += 1
+                assembled += analysis.ingest(record)
+        self.metrics.steps_assembled += assembled
+        return assembled
+
+    def complete(self, job_id: str) -> JobInfo:
+        """Drain what is queued, flush the assembler, close the job."""
+        info = self.registry.get(job_id)
+        if info.state is JobState.REGISTERED:
+            # A job that never produced a record still completes cleanly.
+            self.registry.activate(job_id)
+        self.pump(job_id)
+        flushed = self._analyses[job_id].finish()
+        self.metrics.steps_assembled += flushed
+        info = self.registry.complete(job_id)
+        self.metrics.jobs_completed += 1
+        return info
+
+    def evict(self, job_id: str) -> JobInfo:
+        """Discard a job's live state; its registry entry remains."""
+        info = self.registry.evict(job_id)
+        self._queues.pop(job_id, None)
+        self._analyses.pop(job_id, None)
+        self.metrics.jobs_evicted += 1
+        return info
+
+    # --- queries -----------------------------------------------------------
+
+    def queue_depth(self, job_id: str) -> int:
+        return self._queue(job_id).depth
+
+    def analysis(self, job_id: str) -> LiveJobAnalysis:
+        """Direct access to one job's live state (parity tests use this)."""
+        analysis = self._analyses.get(job_id)
+        if analysis is None:
+            raise ServeError(f"job {job_id!r} holds no live state")
+        return analysis
+
+    def job_snapshot(self, job_id: str) -> JobSnapshot:
+        """Freeze one job's live view; never mutates service state."""
+        with self.metrics.time_query():
+            info = self.registry.get(job_id)
+            return job_snapshot(
+                info,
+                self.analysis(job_id),
+                self._queue(job_id),
+                max_phases=self.options.snapshot_phases,
+                top_operators=self.options.snapshot_operators,
+            )
+
+    def fleet_snapshot(self) -> FleetSnapshot:
+        """Roll every non-evicted job into the fleet view."""
+        with self.metrics.time_query():
+            snapshots = [
+                job_snapshot(
+                    info,
+                    self._analyses[info.job_id],
+                    self._queues[info.job_id],
+                    max_phases=self.options.snapshot_phases,
+                    top_operators=self.options.snapshot_operators,
+                )
+                for info in self.registry.jobs()
+                if info.job_id in self._analyses
+            ]
+            return fleet_snapshot(snapshots)
+
+    def _queue(self, job_id: str) -> IngestQueue:
+        self.registry.get(job_id)
+        queue = self._queues.get(job_id)
+        if queue is None:
+            raise ServeError(f"job {job_id!r} holds no live state")
+        return queue

@@ -10,11 +10,14 @@ fully deterministic in the spec.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.rng import RngFactory
 from repro.runtime.estimator import TPUEstimator
 from repro.runtime.session import SessionSummary
 from repro.workloads.spec import WorkloadSpec
+
+RecordSink = Callable[["object"], None]
 
 
 @dataclass(frozen=True)
@@ -54,8 +57,32 @@ def build_estimator(spec: WorkloadSpec) -> TPUEstimator:
     )
 
 
-def run_workload(spec: WorkloadSpec) -> WorkloadRun:
-    """Run a workload to completion."""
+def attach_record_sink(estimator: TPUEstimator, sink: RecordSink, options=None):
+    """Profile a run and hand each record to ``sink`` as it is produced.
+
+    Starts a :class:`TPUPointProfiler` whose records flow to the sink
+    live (the hand-off :mod:`repro.serve` ingests from); the caller owns
+    the run and must call ``stop()`` on the returned profiler after it.
+    """
+    from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+
+    profiler = TPUPointProfiler(estimator, options or ProfilerOptions())
+    profiler.add_record_hook(sink)
+    profiler.start(analyzer=True)
+    return profiler
+
+
+def run_workload(spec: WorkloadSpec, record_sink: RecordSink | None = None) -> WorkloadRun:
+    """Run a workload to completion.
+
+    With ``record_sink``, the run executes under the profiler and every
+    statistical record is handed to the sink as it is produced.
+    """
     estimator = build_estimator(spec)
-    summary = estimator.train()
+    if record_sink is None:
+        summary = estimator.train()
+    else:
+        profiler = attach_record_sink(estimator, record_sink)
+        summary = estimator.train()
+        profiler.stop()
     return WorkloadRun(spec=spec, estimator=estimator, summary=summary)

@@ -1,0 +1,312 @@
+"""The fleet profiling service: registry, ingestion, live analysis, queries."""
+
+import pytest
+
+from repro.core.analyzer.ols import ols_labels
+from repro.core.profiler.record import ProfileRecord, StepStats
+from repro.errors import ServeError
+from repro.runtime.events import DeviceKind, StepKind
+from repro.serve import (
+    FleetService,
+    FleetServiceOptions,
+    IngestQueue,
+    JobRegistry,
+    JobState,
+    LiveJobAnalysis,
+)
+
+
+def _step(number, ops, duration_us=100.0, idle_us=20.0, mxu_flops=1e6):
+    step = StepStats(step=number)
+    for name in ops:
+        step.observe(name, DeviceKind.TPU, 10.0)
+    step.kind = StepKind.TRAIN
+    step.start_us = number * duration_us
+    step.end_us = (number + 1) * duration_us
+    step.tpu_idle_us = idle_us
+    step.mxu_flops = mxu_flops
+    return step
+
+
+def _record(index, steps):
+    record = ProfileRecord(index=index, window_start_us=0.0, window_end_us=1.0)
+    for step in steps:
+        record.steps[step.step] = step
+    return record
+
+
+#: Two clearly distinct behaviours, so OLS opens a phase boundary.
+_OPS_A = ["matmul", "fusion", "relu"]
+_OPS_B = ["conv", "pool", "softmax"]
+
+
+def _stream_of_records(num_steps=8, flip_at=4):
+    """One record per step; behaviour flips halfway -> 2 phases."""
+    return [
+        _record(i, [_step(i, _OPS_A if i < flip_at else _OPS_B)])
+        for i in range(num_steps)
+    ]
+
+
+class TestJobRegistry:
+    def test_register_and_lookup(self):
+        registry = JobRegistry()
+        info = registry.register("bert-mrpc", generation="v3")
+        assert info.job_id == "bert-mrpc/0"
+        assert info.generation == "v3"
+        assert info.peak_flops > 0
+        assert info.state is JobState.REGISTERED
+        assert registry.get(info.job_id) is info
+        assert info.job_id in registry and len(registry) == 1
+
+    def test_sequence_orders_jobs(self):
+        registry = JobRegistry()
+        first = registry.register("a")
+        second = registry.register("b")
+        assert [info.job_id for info in registry.jobs()] == [first.job_id, second.job_id]
+
+    def test_duplicate_id_rejected(self):
+        registry = JobRegistry()
+        registry.register("a", job_id="j")
+        with pytest.raises(ServeError):
+            registry.register("b", job_id="j")
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(ServeError):
+            JobRegistry().get("nope")
+
+    def test_lifecycle_transitions(self):
+        registry = JobRegistry()
+        info = registry.register("a")
+        registry.activate(info.job_id)
+        assert info.state is JobState.ACTIVE
+        registry.complete(info.job_id)
+        assert info.state is JobState.COMPLETED
+        registry.evict(info.job_id)
+        assert info.state is JobState.EVICTED
+
+    def test_invalid_transitions_rejected(self):
+        registry = JobRegistry()
+        info = registry.register("a")
+        with pytest.raises(ServeError):  # registered -> completed skips active
+            registry.complete(info.job_id)
+        registry.activate(info.job_id)
+        with pytest.raises(ServeError):  # active -> active
+            registry.activate(info.job_id)
+        registry.evict(info.job_id)
+        with pytest.raises(ServeError):  # evicted is terminal
+            registry.evict(info.job_id)
+
+    def test_max_jobs_admission_control(self):
+        registry = JobRegistry(max_jobs=1)
+        info = registry.register("a")
+        with pytest.raises(ServeError):
+            registry.register("b")
+        registry.activate(info.job_id)
+        registry.evict(info.job_id)
+        registry.register("b")  # eviction frees the slot
+
+
+class TestIngestQueue:
+    def test_capacity_validated(self):
+        with pytest.raises(ServeError):
+            IngestQueue(job_id="j", capacity=0)
+
+    def test_fifo_within_capacity(self):
+        queue = IngestQueue(job_id="j", capacity=4)
+        records = _stream_of_records(3)
+        for record in records:
+            ack = queue.offer(record)
+            assert ack.accepted and not ack.overloaded
+        assert queue.depth == 3 and queue.remaining_capacity == 1
+        assert [r.index for r in queue.drain()] == [0, 1, 2]
+        assert queue.depth == 0
+
+    def test_overflow_drops_oldest(self):
+        queue = IngestQueue(job_id="j", capacity=2)
+        records = _stream_of_records(3)
+        queue.offer(records[0])
+        queue.offer(records[1])
+        ack = queue.offer(records[2])
+        assert ack.overloaded and ack.dropped == 1
+        assert queue.dropped == 1 and queue.submitted == 3
+        assert [r.index for r in queue.drain()] == [1, 2]
+
+    def test_bounded_drain(self):
+        queue = IngestQueue(job_id="j", capacity=8)
+        for record in _stream_of_records(5):
+            queue.offer(record)
+        assert len(list(queue.drain(max_records=2))) == 2
+        assert queue.depth == 3
+
+
+class TestLiveJobAnalysis:
+    def test_incremental_fold_matches_offline_ols(self):
+        analysis = LiveJobAnalysis(threshold=0.70, peak_flops=1e12)
+        records = _stream_of_records(8, flip_at=4)
+        for record in records:
+            analysis.ingest(record)
+        analysis.finish()
+        steps = [_step(i, _OPS_A if i < 4 else _OPS_B) for i in range(8)]
+        assert analysis.labels == ols_labels(steps, 0.70).tolist()
+        assert analysis.num_phases == 2
+        assert analysis.phase_labels == {i: (0 if i < 4 else 1) for i in range(8)}
+
+    def test_aggregates_without_retaining_steps(self):
+        analysis = LiveJobAnalysis(peak_flops=1e12)
+        for record in _stream_of_records(8):
+            analysis.ingest(record)
+        analysis.finish()
+        assert analysis.steps_seen == 8
+        assert analysis.total_duration_us == pytest.approx(800.0)
+        assert analysis.idle_fraction == pytest.approx(0.2)
+        # 8 * 1e6 FLOP over 800 us against a 1e12 FLOP/s chip.
+        assert analysis.mxu_utilization == pytest.approx((8e6 / 800e-6) / 1e12)
+        assert analysis.coverage(3) == pytest.approx(1.0)
+
+    def test_phase_table_accumulates_operators(self):
+        analysis = LiveJobAnalysis()
+        for record in _stream_of_records(6, flip_at=3):
+            analysis.ingest(record)
+        analysis.finish()
+        longest = analysis.phases_by_duration()[0]
+        tops = [stats.name for stats in longest.top_operators(2, DeviceKind.TPU)]
+        assert len(tops) == 2 and set(tops) <= set(_OPS_A + _OPS_B)
+        assert longest.first_step <= longest.last_step
+
+    def test_withholds_newest_until_finish(self):
+        analysis = LiveJobAnalysis()
+        analysis.ingest(_record(0, [_step(0, _OPS_A)]))
+        assert analysis.steps_seen == 0 and analysis.pending_steps == 1
+        assert analysis.finish() == 1
+        assert analysis.steps_seen == 1 and analysis.finished
+
+    def test_ingest_after_finish_rejected(self):
+        analysis = LiveJobAnalysis()
+        analysis.finish()
+        with pytest.raises(ServeError):
+            analysis.ingest(_record(0, [_step(0, _OPS_A)]))
+
+
+class TestFleetService:
+    def _service(self, **options):
+        return FleetService(options=FleetServiceOptions(**options))
+
+    def test_submit_requires_registration(self):
+        service = self._service()
+        with pytest.raises(ServeError):
+            service.submit("ghost", _record(0, [_step(0, _OPS_A)]))
+
+    def test_first_record_activates(self):
+        service = self._service()
+        info = service.register("tiny")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        assert info.state is JobState.ACTIVE
+
+    def test_pump_assembles_and_counts(self):
+        service = self._service()
+        info = service.register("tiny")
+        for record in _stream_of_records(5):
+            service.submit(info.job_id, record)
+        assert service.queue_depth(info.job_id) == 5
+        assembled = service.pump()
+        assert assembled == 4  # newest step withheld until complete()
+        assert service.metrics.records_ingested == 5
+        assert service.metrics.steps_assembled == 4
+        service.complete(info.job_id)
+        assert service.metrics.steps_assembled == 5
+
+    def test_queue_overflow_observable_via_metrics(self):
+        service = self._service(queue_capacity=2)
+        info = service.register("tiny")
+        for record in _stream_of_records(5):
+            ack = service.submit(info.job_id, record)
+        assert ack.overloaded
+        assert service.metrics.records_dropped == 3
+        assert service.metrics.dropped_by_job[info.job_id] == 3
+        service.complete(info.job_id)
+        snapshot = service.job_snapshot(info.job_id)
+        assert snapshot.records_dropped == 3
+        assert snapshot.records_submitted == 5
+        # Only the two surviving records' steps were ever analyzed.
+        assert snapshot.steps_seen == 2
+        assert service.metrics.drop_fraction == pytest.approx(3 / 5)
+
+    def test_drop_oldest_keeps_stream_consistent(self):
+        # Shedding old records must never trip StepStream's revisit guard.
+        service = self._service(queue_capacity=1)
+        info = service.register("tiny")
+        for record in _stream_of_records(6):
+            service.submit(info.job_id, record)
+            service.pump(info.job_id)
+        service.complete(info.job_id)
+        assert service.job_snapshot(info.job_id).steps_seen > 0
+
+    def test_job_snapshot_fields(self):
+        service = self._service()
+        info = service.register("tiny", generation="v2")
+        for record in _stream_of_records(8, flip_at=4):
+            service.submit(info.job_id, record)
+        service.pump()
+        snapshot = service.job_snapshot(info.job_id)
+        assert snapshot.state == "active"
+        assert snapshot.steps_seen == 7 and snapshot.pending_steps == 1
+        assert snapshot.num_phases == 2
+        assert 0.0 < snapshot.idle_fraction < 1.0
+        assert snapshot.phases[0].num_steps >= snapshot.phases[-1].num_steps
+        assert snapshot.format()
+
+    def test_fleet_rollup(self):
+        service = self._service()
+        first = service.register("a")
+        second = service.register("b", generation="v3")
+        for record in _stream_of_records(8):
+            service.submit(first.job_id, record)
+            service.submit(second.job_id, record)
+        service.pump()
+        service.complete(first.job_id)
+        rollup = service.fleet_snapshot()
+        assert rollup.num_jobs == 2
+        assert rollup.completed_jobs == 1 and rollup.active_jobs == 1
+        assert rollup.total_steps == 8 + 7
+        assert 0.0 < rollup.idle_fraction < 1.0
+        assert 0.0 < rollup.mxu_utilization <= 1.0
+        assert sum(rollup.phase_histogram.values()) == 2
+        assert rollup.format()
+
+    def test_evict_discards_live_state(self):
+        service = self._service()
+        info = service.register("tiny")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        service.evict(info.job_id)
+        assert service.metrics.jobs_evicted == 1
+        with pytest.raises(ServeError):
+            service.submit(info.job_id, _record(1, [_step(1, _OPS_A)]))
+        with pytest.raises(ServeError):
+            service.job_snapshot(info.job_id)
+        assert service.fleet_snapshot().num_jobs == 0
+
+    def test_complete_without_records(self):
+        service = self._service()
+        info = service.register("idle-tenant")
+        service.complete(info.job_id)
+        assert info.state is JobState.COMPLETED
+        assert service.job_snapshot(info.job_id).steps_seen == 0
+
+    def test_sink_binds_job(self):
+        service = self._service()
+        info = service.register("tiny")
+        sink = service.sink(info.job_id)
+        sink(_record(0, [_step(0, _OPS_A)]))
+        assert service.queue_depth(info.job_id) == 1
+        with pytest.raises(ServeError):
+            service.sink("ghost")
+
+    def test_query_metrics_recorded(self):
+        service = self._service()
+        info = service.register("tiny")
+        service.job_snapshot(info.job_id)
+        service.fleet_snapshot()
+        assert service.metrics.queries_served == 2
+        assert service.metrics.query_seconds_total >= 0.0
+        assert service.metrics.format()

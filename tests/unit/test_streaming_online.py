@@ -61,6 +61,76 @@ class TestStepStream:
         stream = StepStream()
         assert list(stream.submit(_record(0, {}))) == []
 
+    def test_flush_releases_final_partial_step(self):
+        # The newest step is withheld even when split across records;
+        # flush() must release it with all partial views merged.
+        stream = StepStream()
+        list(stream.submit(_record(0, {1: [("a", 1.0)], 2: [("b", 2.0)]})))
+        list(stream.submit(_record(1, {2: [("b", 3.0)]})))
+        flushed = list(stream.flush())
+        assert [s.step for s in flushed] == [2]
+        assert flushed[0].operators[("b", "tpu")].total_duration_us == 5.0
+        assert flushed[0].operators[("b", "tpu")].count == 2
+
+    def test_flush_on_empty_stream_yields_nothing(self):
+        stream = StepStream()
+        assert list(stream.flush()) == []
+
+    def test_revisit_after_flush_rejected(self):
+        stream = StepStream()
+        list(stream.submit(_record(0, {3: [("a", 1.0)]})))
+        list(stream.flush())
+        with pytest.raises(ProfilerError):
+            list(stream.submit(_record(1, {3: [("a", 1.0)]})))
+
+    def test_stream_continues_after_flush(self):
+        stream = StepStream()
+        list(stream.submit(_record(0, {1: [("a", 1.0)]})))
+        list(stream.flush())
+        released = list(stream.submit(_record(1, {2: [("a", 1.0)], 3: [("a", 1.0)]})))
+        assert [s.step for s in released] == [2]
+        assert stream.pending_steps == 1
+
+    def test_empty_record_between_steps_preserves_state(self):
+        stream = StepStream()
+        list(stream.submit(_record(0, {1: [("a", 1.0)], 2: [("a", 1.0)]})))
+        assert list(stream.submit(_record(1, {}))) == []
+        released = list(stream.submit(_record(2, {3: [("a", 1.0)]})))
+        assert [s.step for s in released] == [2]
+
+    def test_gap_after_dropped_record_is_tolerated(self):
+        # repro.serve may shed a whole record under queue overflow; the
+        # assembler must treat the resulting step gap as lossy, not an
+        # error.
+        stream = StepStream()
+        list(stream.submit(_record(0, {1: [("a", 1.0)], 2: [("a", 1.0)]})))
+        # Record 1 (steps 3-4) was dropped; record 2 arrives next.
+        released = list(stream.submit(_record(2, {5: [("a", 1.0)], 6: [("a", 1.0)]})))
+        assert [s.step for s in released] == [2, 5]
+
+
+class TestRecordHandOff:
+    def test_hooks_fire_live_and_in_order(self, tiny_model, tiny_dataset):
+        from repro.workloads.runner import attach_record_sink
+
+        estimator = tiny_model.build_estimator(tiny_dataset)
+        seen = []
+        profiler = attach_record_sink(estimator, seen.append)
+        estimator.train()
+        during_run = len(seen)
+        records = profiler.stop()
+        assert during_run > 0  # hand-off happens while the run is in flight
+        assert [r.index for r in seen] == sorted(r.index for r in seen)
+        assert [r.index for r in seen] == [r.index for r in records]
+
+    def test_run_workload_forwards_records(self):
+        from repro.workloads.runner import run_workload
+        from repro.workloads.spec import WorkloadSpec
+
+        seen = []
+        run = run_workload(WorkloadSpec("dcgan-mnist"), record_sink=seen.append)
+        assert seen and run.summary.steps_executed > 0
+
 
 class TestOnlinePhases:
     def _profiled(self, tiny_model, tiny_dataset, **options):
