@@ -16,6 +16,13 @@ Subcommands mirror the toolchain:
 * ``tpupoint fleet`` — drive N concurrent workloads through the
   multi-tenant live profiling service (:mod:`repro.serve`) and print
   each job's live phases plus the fleet rollup.
+* ``tpupoint obs <files>`` — validate and summarize observability dumps
+  (toolchain/workload chrome traces, Prometheus or JSON metrics).
+
+``profile``, ``analyze``, and ``fleet`` accept ``--trace-out`` /
+``--metrics-out`` to dump the toolchain's own spans (chrome://tracing
+JSON) and metrics snapshot (Prometheus text, or JSON for ``.json``
+paths) — see :mod:`repro.obs` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--breakpoint", type=int, default=None, help="stop profiling at this global step"
     )
+    _add_obs_flags(profile)
 
     analyze = subparsers.add_parser(
         "analyze", help="analyze previously saved profile records"
@@ -76,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="OLS step-similarity threshold in [0, 1] (default 0.70)",
     )
     analyze.add_argument("--out", default=None, help="directory for trace/CSV exports")
+    _add_obs_flags(analyze)
 
     report = subparsers.add_parser(
         "report", help="profile a workload and write a Markdown report"
@@ -108,6 +117,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--threshold", type=float, default=0.70, help="live OLS similarity threshold"
+    )
+    _add_obs_flags(fleet)
+
+    obs_cmd = subparsers.add_parser(
+        "obs",
+        help="validate and summarize observability dumps (traces, metrics)",
+    )
+    obs_cmd.add_argument(
+        "files",
+        nargs="+",
+        help="files written by --trace-out / --metrics-out (or analyzer exports)",
     )
 
     compare = subparsers.add_parser(
@@ -144,6 +164,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Self-observability dump flags shared by profile/analyze/fleet."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the toolchain's own spans as chrome://tracing JSON",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the toolchain metrics snapshot (.prom/.txt text, .json JSON)",
+    )
+
+
+def _dump_obs(args: argparse.Namespace, extra_registries=()) -> None:
+    """Write the --trace-out / --metrics-out files, if requested."""
+    from repro import obs
+
+    if getattr(args, "trace_out", None):
+        path = obs.write_trace(args.trace_out)
+        print(f"wrote toolchain trace: {path}")
+    if getattr(args, "metrics_out", None):
+        obs.ensure_core_metrics()
+        registries = [obs.default_registry(), *extra_registries]
+        path = obs.write_metrics(args.metrics_out, registries)
+        print(f"wrote toolchain metrics: {path}")
 
 
 def _detector_params(args: argparse.Namespace) -> dict:
@@ -221,6 +269,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         paths = analyzer.export(args.out, result)
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
+    _dump_obs(args)
     return 0
 
 
@@ -277,6 +326,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print("\n-- service metrics --")
     for line in result.service.metrics.format():
         print(line)
+    _dump_obs(args, extra_registries=[result.service.metrics.registry])
     return 0
 
 
@@ -298,6 +348,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         paths = analyzer.export(args.out, result)
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
+    _dump_obs(args)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    for path in args.files:
+        for line in obs.summarize(path):
+            print(line)
     return 0
 
 
@@ -399,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": lambda: _cmd_report(args),
         "optimize": lambda: _cmd_optimize(args),
         "fleet": lambda: _cmd_fleet(args),
+        "obs": lambda: _cmd_obs(args),
         "compare": lambda: _cmd_compare(args),
         "evaluate": lambda: _cmd_evaluate(args),
         "figures": lambda: _cmd_figures(args),

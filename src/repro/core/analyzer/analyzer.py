@@ -15,10 +15,12 @@ workloads while OLS — which holds only two steps of state — never does.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.analyzer import dbscan as dbscan_mod
 from repro.core.analyzer import kmeans as kmeans_mod
 from repro.core.analyzer import ols as ols_mod
@@ -30,7 +32,20 @@ from repro.core.analyzer.pca import PCA
 from repro.core.analyzer.phases import Phase, build_phases
 from repro.core.analyzer.visualize import write_chrome_trace
 from repro.core.profiler.record import ProfileRecord, StepStats
-from repro.errors import AnalyzerError
+from repro.errors import AnalyzerError, ClusteringError
+
+_DURATION_SECONDS = obs.histogram(
+    "repro_analyzer_duration_seconds",
+    "Wall time of one phase-detection run, by algorithm.",
+    labels=("algorithm",),
+    buckets=obs.ALGORITHM_BUCKETS,
+)
+_SWEEP_SECONDS = obs.histogram(
+    "repro_analyzer_sweep_seconds",
+    "Wall time of one parameter sweep, by algorithm.",
+    labels=("algorithm",),
+    buckets=obs.ALGORITHM_BUCKETS,
+)
 
 
 class AnalyzerMemoryError(AnalyzerError):
@@ -119,7 +134,9 @@ class TPUPointAnalyzer:
     def steps(self) -> list[StepStats]:
         """All profiled steps, merged across records, in step order."""
         if self._steps is None:
-            self._steps = merge_records(self.records)
+            with obs.trace("analyzer.merge_records", records=len(self.records)) as span:
+                self._steps = merge_records(self.records)
+                span.set(steps=len(self._steps))
             if not self._steps:
                 raise AnalyzerError("profile records contain no steps")
         return self._steps
@@ -128,7 +145,8 @@ class TPUPointAnalyzer:
     def features(self) -> FeatureMatrix:
         """Frequency-vector representation of the steps."""
         if self._features is None:
-            self._features = build_features(self.steps)
+            with obs.trace("analyzer.build_features", steps=len(self.steps)):
+                self._features = build_features(self.steps)
         return self._features
 
     def reduced_matrix(self) -> np.ndarray:
@@ -136,8 +154,12 @@ class TPUPointAnalyzer:
         if self._reduced is None:
             combined = self.features.combined(standardize=True)
             self._check_memory(combined.nbytes, "k-means feature matrix")
-            pca = PCA(max_components=self.max_pca_dims)
-            self._reduced = pca.fit_transform(combined)
+            with obs.trace(
+                "analyzer.pca", rows=combined.shape[0], dims=combined.shape[1]
+            ) as span:
+                pca = PCA(max_components=self.max_pca_dims)
+                self._reduced = pca.fit_transform(combined)
+                span.set(reduced_dims=self._reduced.shape[1])
         return self._reduced
 
     def _check_memory(self, required_bytes: float, what: str) -> None:
@@ -149,11 +171,36 @@ class TPUPointAnalyzer:
 
     # --- k-means ------------------------------------------------------------
 
-    def kmeans_sweep(self, k_values: range | list[int] = range(1, 16)) -> dict[int, float]:
-        """SSD per k (Figure 4's series)."""
+    def _kmeans_results(
+        self, k_values: range | list[int]
+    ) -> dict[int, kmeans_mod.KMeansResult]:
+        """Instrumented k sweep: one nested span per per-k fit.
+
+        Mirrors :func:`repro.core.analyzer.kmeans.sweep_k` (same rng
+        sequence, same infeasible-k handling) but records the sweep and
+        each fit as toolchain spans plus a sweep-duration histogram.
+        """
         matrix = self.reduced_matrix()
         rng = np.random.default_rng(self.seed)
-        results = kmeans_mod.sweep_k(matrix, k_values, rng)
+        began = time.perf_counter()
+        with obs.trace("analyzer.kmeans_sweep", steps=matrix.shape[0]) as span:
+            results: dict[int, kmeans_mod.KMeansResult] = {}
+            for k in k_values:
+                if k > matrix.shape[0]:
+                    break
+                with obs.trace("analyzer.kmeans_fit", k=k) as fit_span:
+                    result = kmeans_mod.kmeans(matrix, k, rng)
+                    fit_span.set(inertia=result.inertia, iterations=result.iterations)
+                results[k] = result
+            if not results:
+                raise ClusteringError("no feasible k values for the sample count")
+            span.set(k_count=len(results))
+        _SWEEP_SECONDS.labels(algorithm="kmeans").observe(time.perf_counter() - began)
+        return results
+
+    def kmeans_sweep(self, k_values: range | list[int] = range(1, 16)) -> dict[int, float]:
+        """SSD per k (Figure 4's series)."""
+        results = self._kmeans_results(k_values)
         return {k: result.inertia for k, result in results.items()}
 
     def choose_k(
@@ -167,25 +214,28 @@ class TPUPointAnalyzer:
         if criterion == "bic":
             from repro.core.analyzer.bic import choose_k_bic
 
-            matrix = self.reduced_matrix()
-            rng = np.random.default_rng(self.seed)
-            results = kmeans_mod.sweep_k(matrix, k_values, rng)
-            return choose_k_bic(matrix, results)
+            return choose_k_bic(self.reduced_matrix(), self._kmeans_results(k_values))
         raise AnalyzerError(f"unknown k-selection criterion {criterion!r}")
 
     def kmeans_phases(self, k: int | None = None) -> AnalysisResult:
         """Detect phases with k-means (elbow-selected k by default)."""
-        if k is None:
-            k = self.choose_k()
-        matrix = self.reduced_matrix()
-        rng = np.random.default_rng(self.seed)
-        result = kmeans_mod.kmeans(matrix, k, rng)
-        return AnalysisResult(
-            method="kmeans",
-            params={"k": k, "inertia": result.inertia},
-            labels=result.labels,
-            phases=build_phases(self.steps, result.labels),
-        )
+        began = time.perf_counter()
+        with obs.trace("analyzer.kmeans_phases") as span:
+            if k is None:
+                k = self.choose_k()
+            matrix = self.reduced_matrix()
+            rng = np.random.default_rng(self.seed)
+            with obs.trace("analyzer.kmeans_fit", k=k):
+                result = kmeans_mod.kmeans(matrix, k, rng)
+            span.set(k=k, phases=len(set(result.labels.tolist())))
+            analysis = AnalysisResult(
+                method="kmeans",
+                params={"k": k, "inertia": result.inertia},
+                labels=result.labels,
+                phases=build_phases(self.steps, result.labels),
+            )
+        _DURATION_SECONDS.labels(algorithm="kmeans").observe(time.perf_counter() - began)
+        return analysis
 
     # --- DBSCAN ---------------------------------------------------------------
 
@@ -195,7 +245,11 @@ class TPUPointAnalyzer:
         """Noise ratio per min_samples (Figure 5's series)."""
         matrix = self.reduced_matrix()
         self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
-        results = dbscan_mod.sweep_min_samples(matrix, min_samples_values)
+        began = time.perf_counter()
+        with obs.trace("analyzer.dbscan_sweep", steps=matrix.shape[0]) as span:
+            results = dbscan_mod.sweep_min_samples(matrix, min_samples_values)
+            span.set(sweep_points=len(results))
+        _SWEEP_SECONDS.labels(algorithm="dbscan").observe(time.perf_counter() - began)
         return {ms: result.noise_ratio for ms, result in results.items()}
 
     def choose_min_samples(
@@ -210,38 +264,52 @@ class TPUPointAnalyzer:
 
     def dbscan_phases(self, min_samples: int = 30) -> AnalysisResult:
         """Detect phases with DBSCAN; noise forms its own phase."""
-        matrix = self.reduced_matrix()
-        self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
-        eps = dbscan_mod.default_eps(matrix)
-        result = dbscan_mod.dbscan(matrix, eps, min_samples)
-        return AnalysisResult(
-            method="dbscan",
-            params={
-                "min_samples": min_samples,
-                "eps": eps,
-                "noise_ratio": result.noise_ratio,
-            },
-            labels=result.labels,
-            phases=build_phases(self.steps, result.labels),
-        )
+        began = time.perf_counter()
+        with obs.trace("analyzer.dbscan_phases", min_samples=min_samples) as span:
+            matrix = self.reduced_matrix()
+            self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
+            eps = dbscan_mod.default_eps(matrix)
+            result = dbscan_mod.dbscan(matrix, eps, min_samples)
+            span.set(eps=eps, noise_ratio=result.noise_ratio)
+            analysis = AnalysisResult(
+                method="dbscan",
+                params={
+                    "min_samples": min_samples,
+                    "eps": eps,
+                    "noise_ratio": result.noise_ratio,
+                },
+                labels=result.labels,
+                phases=build_phases(self.steps, result.labels),
+            )
+        _DURATION_SECONDS.labels(algorithm="dbscan").observe(time.perf_counter() - began)
+        return analysis
 
     # --- OLS ---------------------------------------------------------------------
 
     def ols_sweep(self, thresholds: list[float]) -> dict[float, int]:
         """Phase count per similarity threshold (Figure 6's series)."""
-        return ols_mod.sweep_thresholds(self.steps, thresholds)
+        began = time.perf_counter()
+        with obs.trace("analyzer.ols_sweep", thresholds=len(thresholds)):
+            sweep = ols_mod.sweep_thresholds(self.steps, thresholds)
+        _SWEEP_SECONDS.labels(algorithm="ols").observe(time.perf_counter() - began)
+        return sweep
 
     def ols_phases(
         self, threshold: float = ols_mod.DEFAULT_SIMILARITY_THRESHOLD
     ) -> AnalysisResult:
         """Detect phases with the online linear scan."""
-        labels = ols_mod.ols_labels(self.steps, threshold)
-        return AnalysisResult(
-            method="ols",
-            params={"threshold": threshold},
-            labels=labels,
-            phases=build_phases(self.steps, labels),
-        )
+        began = time.perf_counter()
+        with obs.trace("analyzer.ols_phases", threshold=threshold) as span:
+            labels = ols_mod.ols_labels(self.steps, threshold)
+            span.set(phases=len(set(labels.tolist())))
+            analysis = AnalysisResult(
+                method="ols",
+                params={"threshold": threshold},
+                labels=labels,
+                phases=build_phases(self.steps, labels),
+            )
+        _DURATION_SECONDS.labels(algorithm="ols").observe(time.perf_counter() - began)
+        return analysis
 
     # --- dispatch + export ----------------------------------------------------------
 
@@ -260,6 +328,10 @@ class TPUPointAnalyzer:
         from pathlib import Path
 
         directory = Path(directory)
+        with obs.trace("analyzer.export", method=result.method):
+            return self._export(directory, result)
+
+    def _export(self, directory, result: AnalysisResult) -> dict[str, str]:
         trace = write_chrome_trace(
             directory / f"{result.method}_trace.json", self.records, result.phases
         )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.optimizer.detector import CriticalPhaseDetector
 from repro.core.optimizer.instrument import InstrumentationReport, ProgramInstrumenter
 from repro.core.optimizer.tuner import HillClimbTuner, TuningReport
@@ -101,50 +102,59 @@ class TPUPointOptimizer:
 
     def run(self) -> OptimizationResult:
         """Execute the full workload with online tuning."""
-        instrumentation = self.instrumenter.analyze()
-        profiler = TPUPointProfiler(
-            self.estimator,
-            ProfilerOptions(
-                request_interval_ms=self.options.profile_interval_ms,
-                record_to_storage=False,
-            ),
-        )
-        profiler.start(analyzer=False)
-
-        plan_steps = self.estimator.plan.train_steps
-        steps_before_tuning = 0
-        # Phase 1: run with defaults until the critical phase is entered.
-        while self.estimator.session.global_step < plan_steps:
-            executed = self.estimator.train_steps(self.options.detection_chunk_steps)
-            steps_before_tuning += executed
-            if executed == 0:
-                break
-            self._feed_detector(profiler)
-            if self.detector.critical:
-                break
-
-        tuning: TuningReport | None = None
-        remaining = plan_steps - self.estimator.session.global_step
-        if self.detector.critical and remaining > self.options.trial_steps * 2:
-            # Phase 2: checkpoint, then tune online.
-            self.instrumenter.checkpoint_before_segment()
-            budget = int(remaining * self.options.max_tuning_fraction)
-            tuner = HillClimbTuner(
-                estimator=self.estimator,
-                parameters=instrumentation.parameters,
-                quality=self.instrumenter.quality,
-                trial_steps=self.options.trial_steps,
-                overhead_us_per_trial=self.options.overhead_us_per_trial,
-                step_budget=budget,
+        with obs.trace("optimizer.run") as run_span:
+            instrumentation = self.instrumenter.analyze()
+            profiler = TPUPointProfiler(
+                self.estimator,
+                ProfilerOptions(
+                    request_interval_ms=self.options.profile_interval_ms,
+                    record_to_storage=False,
+                ),
             )
-            tuning = tuner.tune()
+            profiler.start(analyzer=False)
 
-        # Phase 3: finish the run under the best configuration found.
-        remaining = plan_steps - self.estimator.session.global_step
-        if remaining > 0:
-            self.estimator.train_steps(remaining)
-        summary = self.estimator.finalize()
-        profiler.stop()
+            plan_steps = self.estimator.plan.train_steps
+            steps_before_tuning = 0
+            # Phase 1: run with defaults until the critical phase is entered.
+            with obs.trace("optimizer.detect") as span:
+                while self.estimator.session.global_step < plan_steps:
+                    executed = self.estimator.train_steps(
+                        self.options.detection_chunk_steps
+                    )
+                    steps_before_tuning += executed
+                    if executed == 0:
+                        break
+                    self._feed_detector(profiler)
+                    if self.detector.critical:
+                        break
+                span.set(
+                    steps=steps_before_tuning, critical=self.detector.critical
+                )
+
+            tuning: TuningReport | None = None
+            remaining = plan_steps - self.estimator.session.global_step
+            if self.detector.critical and remaining > self.options.trial_steps * 2:
+                # Phase 2: checkpoint, then tune online.
+                self.instrumenter.checkpoint_before_segment()
+                budget = int(remaining * self.options.max_tuning_fraction)
+                tuner = HillClimbTuner(
+                    estimator=self.estimator,
+                    parameters=instrumentation.parameters,
+                    quality=self.instrumenter.quality,
+                    trial_steps=self.options.trial_steps,
+                    overhead_us_per_trial=self.options.overhead_us_per_trial,
+                    step_budget=budget,
+                )
+                tuning = tuner.tune()
+
+            # Phase 3: finish the run under the best configuration found.
+            remaining = plan_steps - self.estimator.session.global_step
+            with obs.trace("optimizer.finish", steps=max(remaining, 0)):
+                if remaining > 0:
+                    self.estimator.train_steps(remaining)
+                summary = self.estimator.finalize()
+                profiler.stop()
+            run_span.set(tuned=tuning is not None)
         return OptimizationResult(
             summary=summary,
             instrumentation=instrumentation,

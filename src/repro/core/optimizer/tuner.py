@@ -11,8 +11,10 @@ that the paper observes as the tool's cost on fast devices.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.optimizer.parameters import AdjustableParameter
 from repro.core.optimizer.quality import QualityController
 from repro.errors import OptimizerError, QualityViolationError
@@ -22,6 +24,19 @@ from repro.runtime.estimator import TPUEstimator
 # Accept a move only when it clears this relative improvement, so jitter
 # does not walk the configuration randomly.
 _MIN_IMPROVEMENT = 1.02
+
+_TRIALS_TOTAL = obs.counter(
+    "repro_optimizer_trials_total",
+    "Tuning trials measured, by acceptance outcome.",
+    labels=("accepted",),
+)
+_TRIAL_SECONDS = obs.histogram(
+    "repro_optimizer_trial_seconds", "Real wall time of one tuning trial measurement."
+).labels()
+_TUNE_IMPROVEMENT = obs.gauge(
+    "repro_optimizer_improvement_ratio",
+    "Tuned over baseline throughput from the last tuning pass.",
+).labels()
 
 
 @dataclass(frozen=True)
@@ -100,13 +115,16 @@ class HillClimbTuner:
         """Run one trial window under the current config; None when out of steps."""
         if self.step_budget is not None and consumed + self.trial_steps > self.step_budget:
             return None
+        began = time.perf_counter()
         session = self.estimator.session
-        start = session.clock.now_us
-        executed = self.estimator.train_steps(self.trial_steps)
-        if executed == 0:
-            return None
-        elapsed = session.clock.now_us - start
-        self._charge_overhead()
+        with obs.trace("optimizer.trial", parameter=parameter_name, value=str(value)):
+            start = session.clock.now_us
+            executed = self.estimator.train_steps(self.trial_steps)
+            if executed == 0:
+                return None
+            elapsed = session.clock.now_us - start
+            self._charge_overhead()
+        _TRIAL_SECONDS.observe(time.perf_counter() - began)
         return TuningTrial(
             parameter=parameter_name,
             value=value,
@@ -119,6 +137,19 @@ class HillClimbTuner:
 
     def tune(self) -> TuningReport:
         """Run the full one-parameter-at-a-time hill climb."""
+        with obs.trace("optimizer.tune", parameters=len(self.parameters)) as span:
+            report = self._tune()
+            span.set(
+                trials=len(report.trials),
+                steps_consumed=report.steps_consumed,
+                improvement=report.improvement,
+            )
+        for trial in report.trials:
+            _TRIALS_TOTAL.labels(accepted="true" if trial.accepted else "false").inc()
+        _TUNE_IMPROVEMENT.set(report.improvement)
+        return report
+
+    def _tune(self) -> TuningReport:
         initial = self.estimator.current_pipeline_config()
         best = initial
         report = TuningReport(

@@ -15,11 +15,28 @@ ending with a final drain at Stop()) while keeping runs deterministic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.profiler.options import ProfilerOptions
 from repro.core.profiler.record import ProfileRecord
 from repro.core.profiler.recorder import RecordingThread
+
+_REQUESTS_TOTAL = obs.counter(
+    "repro_profiler_requests_total", "Profile requests sent to the profile service."
+).labels()
+_RECORDS_KEPT_TOTAL = obs.counter(
+    "repro_profiler_records_kept_total", "Statistical records kept after reduction."
+).labels()
+_REQUEST_SECONDS = obs.histogram(
+    "repro_profiler_request_seconds",
+    "Real wall time of one profile request + statistical reduction.",
+).labels()
+_OVERHEAD_FRACTION = obs.gauge(
+    "repro_profiler_overhead_fraction",
+    "Real wall time spent inside profiler code over the whole run.",
+).labels()
 
 
 @dataclass(frozen=True)
@@ -71,6 +88,10 @@ class TPUPointProfiler:
         self._online_stream = None
         self._online_steps: list[int] = []
         self._record_hooks: list = []
+        # Section V overhead accounting, applied to ourselves: real wall
+        # time spent inside profiler code vs. the run it observes.
+        self._wall_start = 0.0
+        self._self_seconds = 0.0
 
     # --- lifecycle ---------------------------------------------------------
 
@@ -87,6 +108,7 @@ class TPUPointProfiler:
         if self._started:
             raise ProfilerError("profiler already started")
         self._started = True
+        self._wall_start = time.perf_counter()
         self._stub = self.estimator.profile_stub()
         if analyzer and self.options.record_to_storage:
             self._recorder = RecordingThread(bucket=self.estimator.bucket)
@@ -129,11 +151,22 @@ class TPUPointProfiler:
             raise ProfilerError("profiler already stopped")
         self._stopped = True
         if self._breakpoint_hit:
+            self._publish_overhead()
             return list(self._records)
-        self._drain_and_close()
+        began = time.perf_counter()
+        with obs.trace("profiler.stop", records=len(self._records)):
+            self._drain_and_close()
+        self._self_seconds += time.perf_counter() - began
+        self._publish_overhead()
         if self._recorder is not None:
             return list(self._recorder.records)
         return list(self._records)
+
+    def _publish_overhead(self) -> None:
+        """Expose the profiler's own wall-time share as a gauge."""
+        total = time.perf_counter() - self._wall_start
+        if total > 0:
+            _OVERHEAD_FRACTION.set(min(self._self_seconds / total, 1.0))
 
     def _drain_and_close(self) -> None:
         # Final drain: keep requesting until the service marks the
@@ -157,17 +190,22 @@ class TPUPointProfiler:
         del metadata
         if self._stopped or self._breakpoint_hit:
             return
-        while session.clock.now_us >= self._next_request_us:
-            self._request(finished=False)
-            self._next_request_us += self.options.request_interval_ms * 1000.0
-        breakpoint_step = self.options.breakpoint_step
-        if breakpoint_step is not None and session.global_step >= breakpoint_step:
-            self._breakpoint_hit = True
-            self._drain_and_close()
+        began = time.perf_counter()
+        try:
+            while session.clock.now_us >= self._next_request_us:
+                self._request(finished=False)
+                self._next_request_us += self.options.request_interval_ms * 1000.0
+            breakpoint_step = self.options.breakpoint_step
+            if breakpoint_step is not None and session.global_step >= breakpoint_step:
+                self._breakpoint_hit = True
+                self._drain_and_close()
+        finally:
+            self._self_seconds += time.perf_counter() - began
 
     def _request(self, finished: bool):
         if self._stub is None:
             raise ProfilerError("profiler not started")
+        began = time.perf_counter()
         response = self._stub.request_profile(
             max_events=self.options.max_events_per_profile,
             max_duration_ms=self.options.max_profile_duration_ms,
@@ -175,8 +213,10 @@ class TPUPointProfiler:
         )
         record = ProfileRecord.from_response(self._record_index, response)
         self._record_index += 1
+        _REQUESTS_TOTAL.inc()
         if record.num_steps or record.truncated or record.final:
             self._records.append(record)
+            _RECORDS_KEPT_TOTAL.inc()
             if self._recorder is not None:
                 self._recorder.submit(record)
             if self._online_stream is not None and record.num_steps:
@@ -185,6 +225,7 @@ class TPUPointProfiler:
                     self._online_steps.append(step.step)
             for hook in self._record_hooks:
                 hook(record)
+        _REQUEST_SECONDS.observe(time.perf_counter() - began)
         return response
 
     # --- results ---------------------------------------------------------------

@@ -56,6 +56,10 @@ class ServeError(ReproError):
     """Fleet profiling service misuse (unknown job, bad lifecycle move)."""
 
 
+class ObsError(ReproError):
+    """Self-observability misuse (bad metric name, unparseable dump)."""
+
+
 class OptimizerError(ReproError):
     """TPUPoint-Optimizer misuse or tuning failure."""
 

@@ -1,0 +1,122 @@
+"""repro.obs — self-observability for the TPUPoint toolchain.
+
+TPUPoint characterizes opaque accelerator workloads; this package turns
+the same lens on the toolchain itself, in the spirit of the paper's
+Section V overhead accounting: every hot path (profiler poll/record
+cycles, analyzer sweeps, optimizer trials, the fleet service) records
+spans into a process-wide :class:`Tracer` and counts into a
+:class:`MetricsRegistry`, so "where did the analyzer spend its time?"
+and "how much overhead does the profiler add?" are answerable from a
+chrome://tracing file and a Prometheus snapshot rather than guesswork.
+
+Surface area:
+
+* ``trace("analyzer.kmeans_sweep", ...)`` — nested, thread-safe spans;
+  :func:`write_trace` exports chrome://tracing JSON (same viewer as the
+  workload traces the analyzer emits).
+* :func:`counter` / :func:`gauge` / :func:`histogram` — named families
+  on the default registry; :func:`write_metrics` exports Prometheus
+  text or JSON.
+* ``tpupoint profile/analyze/fleet --trace-out/--metrics-out`` and
+  ``tpupoint obs`` on the CLI.
+
+Naming convention: ``repro_<subsystem>_<name>_<unit>`` (see
+``docs/observability.md``).
+"""
+
+from repro.obs.inspect import (
+    load_metrics,
+    load_trace,
+    parse_prometheus,
+    summarize,
+    summarize_metrics,
+    summarize_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    default_tracer,
+    set_tracing_enabled,
+    trace,
+    write_trace,
+)
+
+#: Seconds-scale buckets for per-algorithm analyzer durations.
+ALGORITHM_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+def ensure_core_metrics() -> None:
+    """Register the toolchain's headline families on the default registry.
+
+    Exposition should always include the metrics dashboards key on —
+    profiler overhead, per-algorithm durations — even in a process where
+    that subsystem never ran (e.g. ``tpupoint analyze`` never starts a
+    profiler), so the families are declared here with the same names the
+    instrumented modules use and render as zero-valued until touched.
+    """
+    gauge(
+        "repro_profiler_overhead_fraction",
+        "Real wall time spent inside profiler code over the whole run.",
+    )
+    histogram(
+        "repro_analyzer_duration_seconds",
+        "Wall time of one phase-detection run, by algorithm.",
+        labels=("algorithm",),
+        buckets=ALGORITHM_BUCKETS,
+    )
+    histogram(
+        "repro_analyzer_sweep_seconds",
+        "Wall time of one parameter sweep, by algorithm.",
+        labels=("algorithm",),
+        buckets=ALGORITHM_BUCKETS,
+    )
+    counter(
+        "repro_optimizer_trials_total",
+        "Tuning trials measured, by acceptance outcome.",
+        labels=("accepted",),
+    )
+    counter(
+        "repro_workloads_runs_total",
+        "Workload runs driven by the runner, by workload key.",
+        labels=("workload",),
+    )
+
+
+__all__ = [
+    "ALGORITHM_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "counter",
+    "default_registry",
+    "default_tracer",
+    "ensure_core_metrics",
+    "gauge",
+    "histogram",
+    "load_metrics",
+    "load_trace",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_tracing_enabled",
+    "summarize",
+    "summarize_metrics",
+    "summarize_trace",
+    "trace",
+    "write_metrics",
+    "write_trace",
+]

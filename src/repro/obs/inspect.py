@@ -1,0 +1,141 @@
+"""Parse and summarize observability dumps.
+
+The read side of the exposition formats: ``tpupoint obs`` (and the CI
+smoke job) feed the files written by ``--trace-out`` / ``--metrics-out``
+back through these parsers, so a malformed dump fails loudly instead of
+silently producing a file no viewer can load.
+
+* :func:`load_trace` validates chrome://tracing JSON (the Trace Event
+  Format both the workload and toolchain exporters emit).
+* :func:`parse_prometheus` validates text exposition (``# HELP`` /
+  ``# TYPE`` headers and ``name{labels} value`` samples).
+
+Both raise :class:`~repro.errors.ObsError` on malformed input; the
+``summarize_*`` helpers return the human-readable lines the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.errors import ObsError
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load a chrome://tracing file; returns its event list."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ObsError(f"cannot read trace {path}: {error}") from error
+    if isinstance(payload, list):
+        events = payload
+    elif isinstance(payload, dict) and isinstance(payload.get("traceEvents"), list):
+        events = payload["traceEvents"]
+    else:
+        raise ObsError(f"{path} is not Trace Event Format (no traceEvents array)")
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ObsError(f"{path} holds a malformed trace event: {event!r}")
+        if event["ph"] == "X" and ("ts" not in event or "dur" not in event):
+            raise ObsError(f"{path}: complete event without ts/dur: {event!r}")
+    return events
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse text exposition into ``{metric: [(labels, value), ...]}``."""
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObsError(f"metrics line {number} is not exposition format: {line!r}")
+        raw = match.group("value")
+        try:
+            value = float("inf") if raw == "+Inf" else float(raw)
+        except ValueError as error:
+            raise ObsError(f"metrics line {number} has a bad value: {line!r}") from error
+        labels = dict(_LABEL_PAIR_RE.findall(match.group("labels") or ""))
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples
+
+
+def load_metrics(path: str | Path) -> dict[str, list[tuple[dict, float]]]:
+    """Load a metrics dump (``.prom``/``.txt`` text or ``.json``)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ObsError(f"cannot read metrics {path}: {error}") from error
+    if path.suffix == ".json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ObsError(f"{path} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ObsError(f"{path} is not a metrics snapshot object")
+        samples: dict[str, list[tuple[dict, float]]] = {}
+        for name, family in payload.items():
+            for sample in family.get("samples", []):
+                value = sample.get("value", sample.get("count", 0))
+                samples.setdefault(name, []).append(
+                    (dict(sample.get("labels", {})), float(value))
+                )
+        return samples
+    return parse_prometheus(text)
+
+
+def summarize_trace(path: str | Path) -> list[str]:
+    """Human-readable summary lines for one trace file."""
+    events = load_trace(path)
+    complete = [e for e in events if e.get("ph") == "X"]
+    names = sorted({e["name"] for e in complete})
+    with_parent = sum(1 for e in complete if "parent_id" in e.get("args", {}))
+    lines = [
+        f"{path}: chrome://tracing, {len(events)} events "
+        f"({len(complete)} spans, {with_parent} nested, {len(names)} names)",
+    ]
+    for event in sorted(complete, key=lambda e: -float(e.get("dur", 0.0)))[:5]:
+        lines.append(f"  {float(event['dur']) / 1e3:10.3f} ms  {event['name']}")
+    return lines
+
+
+def summarize_metrics(path: str | Path) -> list[str]:
+    """Human-readable summary lines for one metrics file."""
+    samples = load_metrics(path)
+    total = sum(len(entries) for entries in samples.values())
+    lines = [f"{path}: {len(samples)} metrics, {total} samples"]
+    for name in sorted(samples):
+        entries = samples[name]
+        if len(entries) == 1 and not entries[0][0]:
+            lines.append(f"  {name} = {entries[0][1]:g}")
+        else:
+            lines.append(f"  {name} ({len(entries)} series)")
+    return lines
+
+
+def summarize(path: str | Path) -> list[str]:
+    """Dispatch on file shape: trace JSON, metrics JSON, or exposition."""
+    path = Path(path)
+    if path.suffix == ".json":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ObsError(f"cannot read {path}: {error}") from error
+        if isinstance(payload, list) or (
+            isinstance(payload, dict) and "traceEvents" in payload
+        ):
+            return summarize_trace(path)
+        return summarize_metrics(path)
+    return summarize_metrics(path)

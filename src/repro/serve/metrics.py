@@ -3,34 +3,129 @@
 The fleet service profiles other programs; these metrics make the
 service itself observable — ingestion volume, shed load, assembly
 progress, and query latency — in the spirit of the paper's own
-profiler-overhead accounting (Section V). Counters are plain integers
-(the simulation is single-threaded); query latency is real wall time
-from :func:`time.perf_counter`, the one deliberately non-deterministic
+profiler-overhead accounting (Section V).
+
+Since the :mod:`repro.obs` layer landed, :class:`ServiceMetrics` is a
+facade over a :class:`~repro.obs.MetricsRegistry`: every counter is
+backed by a ``repro_serve_*`` family, so the same numbers export as
+Prometheus text or JSON (``tpupoint fleet --metrics-out``) while the
+original attribute API (``metrics.jobs_registered``, ``+=`` included)
+keeps working. Each instance owns its registry, so concurrent services
+in one process never mix counts. Query latency is real wall time from
+:func:`time.perf_counter`, the one deliberately non-deterministic
 measurement here.
+
+Per-job drop counts stay bounded: when a job is evicted,
+:meth:`record_eviction` folds its entry into the ``evicted_drops``
+total instead of retaining per-job keys forever.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+
+from repro.obs import MetricsRegistry
+
+#: Snapshot queries are in-process dictionary assembly: microseconds to
+#: low milliseconds.
+_QUERY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+_JOB_EVENTS = ("registered", "completed", "evicted")
+_RECORD_EVENTS = ("submitted", "ingested", "dropped")
 
 
-@dataclass
+def _counter_property(family_attr: str, event: str):
+    """An int-like read/write property over one labeled counter child."""
+
+    def getter(self) -> int:
+        return int(getattr(self, family_attr).labels(event=event).value)
+
+    def setter(self, value: int) -> None:
+        child = getattr(self, family_attr).labels(event=event)
+        child.inc(value - child.value)  # negative deltas raise: counters go up
+
+    return property(getter, setter)
+
+
 class ServiceMetrics:
     """Counters/gauges for one fleet service instance."""
 
-    jobs_registered: int = 0
-    jobs_completed: int = 0
-    jobs_evicted: int = 0
-    records_submitted: int = 0
-    records_dropped: int = 0
-    records_ingested: int = 0
-    steps_assembled: int = 0
-    queries_served: int = 0
-    query_seconds_total: float = 0.0
-    query_seconds_max: float = 0.0
-    dropped_by_job: dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._jobs = self.registry.counter(
+            "repro_serve_jobs_total", "Job lifecycle events.", labels=("event",)
+        )
+        self._records = self.registry.counter(
+            "repro_serve_records_total", "Record ingestion events.", labels=("event",)
+        )
+        self._job_drops = self.registry.counter(
+            "repro_serve_job_dropped_records_total",
+            "Records shed from one live job's queue.",
+            labels=("job",),
+        )
+        self._evicted_drops = self.registry.counter(
+            "repro_serve_evicted_dropped_records_total",
+            "Shed-record counts folded in from evicted jobs.",
+        ).labels()
+        self._steps = self.registry.counter(
+            "repro_serve_steps_assembled_total",
+            "Steps assembled from ingested records.",
+        ).labels()
+        self._query = self.registry.histogram(
+            "repro_serve_query_seconds",
+            "Snapshot query latency.",
+            buckets=_QUERY_BUCKETS,
+        ).labels()
+        # Zero-value samples for every known label keep exposition stable
+        # (a fresh service exposes jobs_total{event="registered"} 0, not
+        # a missing series).
+        for event in _JOB_EVENTS:
+            self._jobs.labels(event=event)
+        for event in _RECORD_EVENTS:
+            self._records.labels(event=event)
+
+    # --- the original attribute API ----------------------------------------
+
+    jobs_registered = _counter_property("_jobs", "registered")
+    jobs_completed = _counter_property("_jobs", "completed")
+    jobs_evicted = _counter_property("_jobs", "evicted")
+    records_submitted = _counter_property("_records", "submitted")
+    records_ingested = _counter_property("_records", "ingested")
+    records_dropped = _counter_property("_records", "dropped")
+
+    @property
+    def steps_assembled(self) -> int:
+        return int(self._steps.value)
+
+    @steps_assembled.setter
+    def steps_assembled(self, value: int) -> None:
+        self._steps.inc(value - self._steps.value)
+
+    @property
+    def dropped_by_job(self) -> dict[str, int]:
+        """Shed counts per *live* job (evicted jobs fold into a total)."""
+        return {
+            child.label_values["job"]: int(child.value)
+            for child in self._job_drops.children()
+        }
+
+    @property
+    def evicted_drops(self) -> int:
+        """Shed records attributed to jobs since evicted."""
+        return int(self._evicted_drops.value)
+
+    @property
+    def queries_served(self) -> int:
+        return self._query.count
+
+    @property
+    def query_seconds_total(self) -> float:
+        return self._query.sum
+
+    @property
+    def query_seconds_max(self) -> float:
+        return self._query.max
 
     # --- recording ---------------------------------------------------------
 
@@ -39,7 +134,18 @@ class ServiceMetrics:
         if count <= 0:
             return
         self.records_dropped += count
-        self.dropped_by_job[job_id] = self.dropped_by_job.get(job_id, 0) + count
+        self._job_drops.labels(job=job_id).inc(count)
+
+    def record_eviction(self, job_id: str) -> None:
+        """Fold an evicted job's drop count into the bounded total.
+
+        Keeps the per-job series from growing without bound as tenants
+        churn: the job's labeled counter is removed and its value lands
+        in ``evicted_drops`` (``records_dropped`` already includes it).
+        """
+        child = self._job_drops.remove(job=job_id)
+        if child is not None and child.value > 0:
+            self._evicted_drops.inc(child.value)
 
     @contextmanager
     def time_query(self):
@@ -48,10 +154,7 @@ class ServiceMetrics:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.queries_served += 1
-            self.query_seconds_total += elapsed
-            self.query_seconds_max = max(self.query_seconds_max, elapsed)
+            self._query.observe(time.perf_counter() - start)
 
     # --- reading -----------------------------------------------------------
 
@@ -64,20 +167,44 @@ class ServiceMetrics:
 
     @property
     def mean_query_seconds(self) -> float:
-        if self.queries_served == 0:
-            return 0.0
-        return self.query_seconds_total / self.queries_served
+        return self._query.mean
+
+    def to_dict(self) -> dict:
+        """The snapshot every render path shares (one source of truth).
+
+        :meth:`format`, the ``tpupoint fleet`` output, and the registry
+        exposition all derive from these counters, so the CLI can never
+        drift from what ``--metrics-out`` exports.
+        """
+        return {
+            "jobs_registered": self.jobs_registered,
+            "jobs_completed": self.jobs_completed,
+            "jobs_evicted": self.jobs_evicted,
+            "records_submitted": self.records_submitted,
+            "records_ingested": self.records_ingested,
+            "records_dropped": self.records_dropped,
+            "drop_fraction": self.drop_fraction,
+            "steps_assembled": self.steps_assembled,
+            "queries_served": self.queries_served,
+            "query_seconds_total": self.query_seconds_total,
+            "query_seconds_mean": self.mean_query_seconds,
+            "query_seconds_max": self.query_seconds_max,
+            "dropped_by_job": self.dropped_by_job,
+            "evicted_drops": self.evicted_drops,
+        }
 
     def format(self) -> list[str]:
         """Human-readable counter lines (the CLI's metrics block)."""
+        snap = self.to_dict()
         return [
             f"jobs registered/completed/evicted : "
-            f"{self.jobs_registered}/{self.jobs_completed}/{self.jobs_evicted}",
+            f"{snap['jobs_registered']}/{snap['jobs_completed']}/{snap['jobs_evicted']}",
             f"records submitted/ingested/dropped: "
-            f"{self.records_submitted}/{self.records_ingested}/{self.records_dropped}"
-            f" ({self.drop_fraction:.1%} shed)",
-            f"steps assembled                   : {self.steps_assembled}",
-            f"queries served                    : {self.queries_served} "
-            f"(mean {self.mean_query_seconds * 1e6:.0f} us, "
-            f"max {self.query_seconds_max * 1e6:.0f} us)",
+            f"{snap['records_submitted']}/{snap['records_ingested']}/{snap['records_dropped']}"
+            f" ({snap['drop_fraction']:.1%} shed)",
+            f"steps assembled                   : {snap['steps_assembled']}",
+            f"queries served                    : {snap['queries_served']} "
+            f"(mean {snap['query_seconds_mean'] * 1e6:.0f} us, "
+            f"max {snap['query_seconds_max'] * 1e6:.0f} us)",
+            f"evicted-job dropped records       : {snap['evicted_drops']}",
         ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
 from repro.core.profiler.record import ProfileRecord
 from repro.errors import ServeError
@@ -101,38 +102,53 @@ class FleetService:
         drain is restricted to one tenant; ``max_records`` bounds the
         work done in one call so the loop can be scheduled fairly.
         """
-        if job_id is not None:
-            queues = [self._queue(job_id)]
-        else:
-            queues = [self._queues[info.job_id] for info in self.registry.jobs() if info.live]
-        assembled = 0
-        for queue in queues:
-            analysis = self._analyses[queue.job_id]
-            for record in queue.drain(max_records):
-                self.metrics.records_ingested += 1
-                assembled += analysis.ingest(record)
-        self.metrics.steps_assembled += assembled
+        with obs.trace("serve.pump", job=job_id or "all") as span:
+            if job_id is not None:
+                queues = [self._queue(job_id)]
+            else:
+                queues = [
+                    self._queues[info.job_id]
+                    for info in self.registry.jobs()
+                    if info.live
+                ]
+            assembled = 0
+            drained = 0
+            for queue in queues:
+                analysis = self._analyses[queue.job_id]
+                for record in queue.drain(max_records):
+                    drained += 1
+                    self.metrics.records_ingested += 1
+                    assembled += analysis.ingest(record)
+            self.metrics.steps_assembled += assembled
+            span.set(records=drained, steps=assembled)
         return assembled
 
     def complete(self, job_id: str) -> JobInfo:
         """Drain what is queued, flush the assembler, close the job."""
-        info = self.registry.get(job_id)
-        if info.state is JobState.REGISTERED:
-            # A job that never produced a record still completes cleanly.
-            self.registry.activate(job_id)
-        self.pump(job_id)
-        flushed = self._analyses[job_id].finish()
-        self.metrics.steps_assembled += flushed
-        info = self.registry.complete(job_id)
-        self.metrics.jobs_completed += 1
-        return info
+        with obs.trace("serve.complete", job=job_id):
+            info = self.registry.get(job_id)
+            if info.state is JobState.REGISTERED:
+                # A job that never produced a record still completes cleanly.
+                self.registry.activate(job_id)
+            self.pump(job_id)
+            flushed = self._analyses[job_id].finish()
+            self.metrics.steps_assembled += flushed
+            info = self.registry.complete(job_id)
+            self.metrics.jobs_completed += 1
+            return info
 
     def evict(self, job_id: str) -> JobInfo:
-        """Discard a job's live state; its registry entry remains."""
+        """Discard a job's live state; its registry entry remains.
+
+        The job's per-key drop count folds into the bounded
+        ``evicted_drops`` total so metrics stay O(live jobs), not
+        O(all jobs ever).
+        """
         info = self.registry.evict(job_id)
         self._queues.pop(job_id, None)
         self._analyses.pop(job_id, None)
         self.metrics.jobs_evicted += 1
+        self.metrics.record_eviction(job_id)
         return info
 
     # --- queries -----------------------------------------------------------
@@ -161,7 +177,8 @@ class FleetService:
 
     def fleet_snapshot(self) -> FleetSnapshot:
         """Roll every non-evicted job into the fleet view."""
-        with self.metrics.time_query():
+        with obs.trace("serve.fleet_snapshot", jobs=len(self.registry)), \
+                self.metrics.time_query():
             snapshots = [
                 job_snapshot(
                     info,

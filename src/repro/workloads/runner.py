@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.rng import RngFactory
 from repro.runtime.estimator import TPUEstimator
 from repro.runtime.session import SessionSummary
@@ -46,15 +47,16 @@ class WorkloadRun:
 
 def build_estimator(spec: WorkloadSpec) -> TPUEstimator:
     """Assemble the estimator for a spec without running it."""
-    entry = spec.resolve()
-    rngs = RngFactory(spec.seed)
-    return entry.model.build_estimator(
-        dataset=entry.dataset,
-        generation=spec.generation,
-        plan=spec.plan,
-        pipeline_config=spec.pipeline_config,
-        rng=rngs.stream(f"runner:{spec.key}:{spec.generation}"),
-    )
+    with obs.trace("workloads.build_estimator", workload=spec.key):
+        entry = spec.resolve()
+        rngs = RngFactory(spec.seed)
+        return entry.model.build_estimator(
+            dataset=entry.dataset,
+            generation=spec.generation,
+            plan=spec.plan,
+            pipeline_config=spec.pipeline_config,
+            rng=rngs.stream(f"runner:{spec.key}:{spec.generation}"),
+        )
 
 
 def attach_record_sink(estimator: TPUEstimator, sink: RecordSink, options=None):
@@ -78,11 +80,20 @@ def run_workload(spec: WorkloadSpec, record_sink: RecordSink | None = None) -> W
     With ``record_sink``, the run executes under the profiler and every
     statistical record is handed to the sink as it is produced.
     """
-    estimator = build_estimator(spec)
-    if record_sink is None:
-        summary = estimator.train()
-    else:
-        profiler = attach_record_sink(estimator, record_sink)
-        summary = estimator.train()
-        profiler.stop()
+    with obs.trace(
+        "workloads.run", workload=spec.key, generation=spec.generation
+    ) as span:
+        estimator = build_estimator(spec)
+        if record_sink is None:
+            summary = estimator.train()
+        else:
+            profiler = attach_record_sink(estimator, record_sink)
+            summary = estimator.train()
+            profiler.stop()
+        span.set(steps=estimator.session.global_step)
+    obs.counter(
+        "repro_workloads_runs_total",
+        "Workload runs driven by the runner, by workload key.",
+        labels=("workload",),
+    ).labels(workload=spec.key).inc()
     return WorkloadRun(spec=spec, estimator=estimator, summary=summary)

@@ -1,0 +1,286 @@
+"""The self-observability layer: span tracer, metrics registry, exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_basic_span_records_timing_and_attributes(self):
+        tracer = Tracer()
+        with tracer.trace("work", phase="setup") as span:
+            span.set(items=3)
+        spans = tracer.spans()
+        assert len(spans) == 1
+        assert spans[0].name == "work"
+        assert spans[0].finished and spans[0].duration_us >= 0.0
+        assert spans[0].attributes == {"phase": "setup", "items": 3}
+        assert spans[0].parent_id is None
+
+    def test_nested_spans_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.trace("outer") as outer:
+            with tracer.trace("middle") as middle:
+                with tracer.trace("inner"):
+                    assert tracer.active_depth() == 3
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["inner"].parent_id == middle.span_id
+        assert by_name["middle"].parent_id == outer.span_id
+        assert by_name["outer"].parent_id is None
+        # Children finish (and are appended) before their parents.
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "middle", "outer"]
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.trace("outer"):
+                with tracer.trace("doomed"):
+                    raise ValueError("boom")
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["doomed"].finished
+        assert spans["doomed"].attributes["error"] == "ValueError"
+        assert spans["outer"].attributes["error"] == "ValueError"
+        # The stack unwound completely: a new span is again a root.
+        with tracer.trace("fresh"):
+            pass
+        assert {s.name: s for s in tracer.spans()}["fresh"].parent_id is None
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+        workers = 8
+        barrier = threading.Barrier(workers)
+
+        def worker(index):
+            barrier.wait()
+            for repeat in range(5):
+                with tracer.trace(f"outer-{index}"):
+                    with tracer.trace(f"inner-{index}", repeat=repeat):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        spans = tracer.spans()
+        assert len(spans) == workers * 5 * 2
+        assert len({s.span_id for s in spans}) == len(spans)  # ids unique
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.name.startswith("inner"):
+                parent = by_id[span.parent_id]
+                # Parent is the same thread's outer span, never another thread's.
+                assert parent.thread_id == span.thread_id
+                assert parent.name == f"outer-{span.name.split('-')[1]}"
+            else:
+                assert span.parent_id is None
+
+    def test_disabled_tracer_yields_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.trace("ignored") as span:
+            assert span is NULL_SPAN
+            span.set(anything="goes")
+        assert tracer.spans() == []
+
+    def test_chrome_trace_round_trips_through_inspect(self, tmp_path):
+        tracer = Tracer()
+        with tracer.trace("sweep", steps=10):
+            with tracer.trace("fit", k=2):
+                pass
+        path = tracer.write(tmp_path / "trace.json")
+        events = obs.load_trace(path)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"sweep", "fit"}
+        fit = next(e for e in complete if e["name"] == "fit")
+        sweep = next(e for e in complete if e["name"] == "sweep")
+        assert fit["args"]["parent_id"] == sweep["args"]["span_id"]
+        assert fit["args"]["k"] == 2
+        # Containment holds, so chrome://tracing renders the nesting.
+        assert sweep["ts"] <= fit["ts"]
+        assert fit["ts"] + fit["dur"] <= sweep["ts"] + sweep["dur"] + 1e-6
+        assert any(e["ph"] == "M" for e in events)  # process/thread names
+
+    def test_non_json_attributes_export_as_strings(self, tmp_path):
+        from repro.tpu.specs import TpuGeneration
+
+        tracer = Tracer()
+        with tracer.trace("run", generation=TpuGeneration.V2, where=tmp_path):
+            pass
+        events = obs.load_trace(tracer.write(tmp_path / "trace.json"))
+        args = next(e for e in events if e["ph"] == "X")["args"]
+        assert isinstance(args["generation"], str)
+        assert isinstance(args["where"], str)
+
+    def test_reset_clears_spans(self):
+        tracer = Tracer()
+        with tracer.trace("gone"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+
+
+class TestMetricsRegistry:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        child = registry.counter("repro_test_total", "help").labels()
+        child.inc()
+        child.inc(4)
+        assert child.value == 5
+        with pytest.raises(ObsError):
+            child.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_test_gauge", "help").labels()
+        gauge.set(2.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(3.0)
+
+    def test_labels_create_independent_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_test_total", "help", labels=("algo",))
+        family.labels(algo="ols").inc(2)
+        family.labels(algo="kmeans").inc(3)
+        assert family.labels(algo="ols").value == 2
+        assert family.labels(algo="kmeans").value == 3
+        with pytest.raises(ObsError):
+            family.labels(wrong="name")
+
+    def test_registration_is_idempotent_but_type_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "help")
+        assert registry.counter("repro_test_total") is first
+        with pytest.raises(ObsError):
+            registry.gauge("repro_test_total")
+        with pytest.raises(ObsError):
+            registry.counter("repro_test_total", labels=("other",))
+        with pytest.raises(ObsError):
+            registry.counter("0bad name")
+
+    def test_histogram_bucket_boundaries_are_inclusive(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_test_seconds", "help", buckets=(0.01, 0.1, 1.0)
+        ).labels()
+        for value in (0.005, 0.01, 0.0100001, 0.1, 0.5, 1.0, 2.0):
+            histogram.observe(value)
+        buckets = dict(
+            (bound, count) for bound, count in histogram.cumulative_buckets()
+        )
+        # le is inclusive: 0.005 and exactly-0.01 land in the 0.01 bucket.
+        assert buckets[0.01] == 2
+        assert buckets[0.1] == 4  # + 0.0100001 and exactly-0.1
+        assert buckets[1.0] == 6  # + 0.5 and exactly-1.0
+        assert buckets[float("inf")] == 7  # 2.0 only in +Inf
+        assert histogram.count == 7
+        assert histogram.sum == pytest.approx(sum((0.005, 0.01, 0.0100001, 0.1, 0.5, 1.0, 2.0)))
+        assert histogram.max == 2.0
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError):
+            registry.histogram("repro_bad_seconds", buckets=(1.0, 0.1))
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        child = registry.counter("repro_test_total").labels()
+        workers, per_worker = 8, 500
+        barrier = threading.Barrier(workers)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_worker):
+                child.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert child.value == workers * per_worker
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "Things.", labels=("kind",)).labels(
+            kind="a"
+        ).inc(3)
+        registry.gauge("repro_x_fraction", "A share.").labels().set(0.25)
+        registry.histogram(
+            "repro_x_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).labels().observe(0.05)
+        return registry
+
+    def test_prometheus_text_parses_back(self):
+        registry = self._populated()
+        text = registry.render()
+        assert "# TYPE repro_x_total counter" in text
+        assert '# TYPE repro_x_seconds histogram' in text
+        samples = obs.parse_prometheus(text)
+        assert samples["repro_x_total"] == [({"kind": "a"}, 3.0)]
+        assert samples["repro_x_fraction"] == [({}, 0.25)]
+        bucket = dict(
+            (labels["le"], value) for labels, value in samples["repro_x_seconds_bucket"]
+        )
+        assert bucket == {"0.1": 1.0, "1": 1.0, "+Inf": 1.0}
+        assert samples["repro_x_seconds_count"] == [({}, 1.0)]
+
+    def test_unlabeled_families_always_expose_a_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_idle_fraction", "Never touched.")
+        samples = obs.parse_prometheus(registry.render())
+        assert samples["repro_idle_fraction"] == [({}, 0.0)]
+
+    def test_json_snapshot(self, tmp_path):
+        registry = self._populated()
+        path = obs.write_metrics(tmp_path / "snap.json", [registry])
+        payload = json.loads(path.read_text())
+        assert payload["repro_x_total"]["type"] == "counter"
+        assert payload["repro_x_total"]["samples"][0]["value"] == 3
+        assert obs.load_metrics(path)["repro_x_fraction"] == [({}, 0.25)]
+
+    def test_prom_file_via_write_metrics(self, tmp_path):
+        registry = self._populated()
+        path = obs.write_metrics(tmp_path / "snap.prom", [registry])
+        assert obs.load_metrics(path)["repro_x_total"] == [({"kind": "a"}, 3.0)]
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels=("job",)).labels(
+            job='we"ird\\job'
+        ).inc()
+        samples = obs.parse_prometheus(registry.render())
+        [(labels, value)] = samples["repro_x_total"]
+        assert value == 1.0
+
+    def test_malformed_exposition_rejected(self):
+        with pytest.raises(ObsError):
+            obs.parse_prometheus("this is { not exposition\n")
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"nope": []}))
+        with pytest.raises(ObsError):
+            obs.load_trace(bad)
+        bad.write_text(json.dumps({"traceEvents": [{"name": "x", "ph": "X"}]}))
+        with pytest.raises(ObsError):
+            obs.load_trace(bad)
+
+    def test_reset_keeps_family_handles_alive(self):
+        registry = MetricsRegistry()
+        child = registry.counter("repro_x_total").labels()
+        child.inc(7)
+        registry.reset()
+        assert child.value == 0
+        child.inc()
+        assert registry.counter("repro_x_total").labels().value == 1

@@ -1,0 +1,211 @@
+"""Instrumentation wiring: toolchain spans/metrics from real subsystem runs.
+
+The default tracer and registry are process-global and shared with other
+tests, so every assertion here works on *deltas* — spans recorded after
+a marker index, counter values captured before and after an action.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+from repro.serve import FleetService, FleetServiceOptions
+from repro.serve.metrics import ServiceMetrics
+
+
+def _spans_after(marker):
+    return obs.default_tracer().spans()[marker:]
+
+
+@pytest.fixture
+def span_marker():
+    return len(obs.default_tracer().spans())
+
+
+class TestProfilerWiring:
+    def test_overhead_fraction_and_request_counters(self, tiny_estimator, span_marker):
+        gauge = obs.gauge("repro_profiler_overhead_fraction").labels()
+        requests = obs.counter("repro_profiler_requests_total").labels()
+        kept = obs.counter("repro_profiler_records_kept_total").labels()
+        requests_before, kept_before = requests.value, kept.value
+
+        profiler = TPUPointProfiler(
+            tiny_estimator, ProfilerOptions(request_interval_ms=200.0)
+        )
+        profiler.start(analyzer=True)
+        tiny_estimator.train()
+        records = profiler.stop()
+
+        assert requests.value > requests_before
+        assert kept.value - kept_before == len(records)
+        # The overhead fraction is a real measurement in (0, 1].
+        assert 0.0 < gauge.value <= 1.0
+        assert any(s.name == "profiler.stop" for s in _spans_after(span_marker))
+
+    def test_request_latency_histogram_grows(self, tiny_estimator):
+        histogram = obs.histogram("repro_profiler_request_seconds").labels()
+        before = histogram.count
+        profiler = TPUPointProfiler(
+            tiny_estimator, ProfilerOptions(request_interval_ms=200.0)
+        )
+        profiler.start(analyzer=True)
+        tiny_estimator.train()
+        profiler.stop()
+        assert histogram.count > before
+
+
+class TestAnalyzerWiring:
+    def test_kmeans_sweep_emits_nested_fit_spans(self, tiny_run, span_marker):
+        _, _, records = tiny_run
+        analyzer = TPUPointAnalyzer(records)
+        analyzer.kmeans_sweep(range(1, 5))
+        spans = _spans_after(span_marker)
+        sweep = next(s for s in spans if s.name == "analyzer.kmeans_sweep")
+        fits = [s for s in spans if s.name == "analyzer.kmeans_fit"]
+        assert len(fits) == 4
+        assert all(fit.parent_id == sweep.span_id for fit in fits)
+        assert sorted(fit.attributes["k"] for fit in fits) == [1, 2, 3, 4]
+        assert sweep.attributes["k_count"] == 4
+
+    def test_per_algorithm_duration_histograms(self, tiny_run):
+        _, _, records = tiny_run
+        family = obs.histogram(
+            "repro_analyzer_duration_seconds", labels=("algorithm",)
+        )
+        before = {
+            algo: family.labels(algorithm=algo).count for algo in ("ols", "kmeans")
+        }
+        analyzer = TPUPointAnalyzer(records)
+        analyzer.analyze("ols")
+        analyzer.analyze("kmeans", k=2)
+        for algo in ("ols", "kmeans"):
+            assert family.labels(algorithm=algo).count == before[algo] + 1
+
+    def test_ols_phase_span_attributes(self, tiny_run, span_marker):
+        _, _, records = tiny_run
+        TPUPointAnalyzer(records).ols_phases()
+        spans = _spans_after(span_marker)
+        ols = next(s for s in spans if s.name == "analyzer.ols_phases")
+        assert ols.attributes["phases"] >= 1
+        merge = next(s for s in spans if s.name == "analyzer.merge_records")
+        assert merge.parent_id == ols.span_id  # lazy merge nests under the caller
+
+
+class TestServiceMetricsOnRegistry:
+    def test_attribute_api_preserved(self):
+        metrics = ServiceMetrics()
+        metrics.jobs_registered += 2
+        metrics.records_submitted += 10
+        metrics.record_drop("job/0", 3)
+        assert metrics.jobs_registered == 2
+        assert metrics.records_dropped == 3
+        assert metrics.dropped_by_job == {"job/0": 3}
+        assert metrics.drop_fraction == pytest.approx(3 / 10)
+        with metrics.time_query():
+            pass
+        assert metrics.queries_served == 1
+        assert metrics.query_seconds_total >= 0.0
+        assert metrics.query_seconds_max >= 0.0
+        assert metrics.mean_query_seconds >= 0.0
+        assert metrics.format()
+
+    def test_instances_do_not_share_counts(self):
+        first, second = ServiceMetrics(), ServiceMetrics()
+        first.jobs_registered += 5
+        assert second.jobs_registered == 0
+
+    def test_eviction_folds_per_job_drops(self):
+        service = FleetService(options=FleetServiceOptions(queue_capacity=64))
+        info = service.register("tiny")
+        service.metrics.record_drop(info.job_id, 4)
+        assert service.metrics.dropped_by_job == {info.job_id: 4}
+        service.evict(info.job_id)
+        # The per-job key is gone; the count lives on in the bounded total.
+        assert service.metrics.dropped_by_job == {}
+        assert service.metrics.evicted_drops == 4
+        assert service.metrics.records_dropped == 4
+        assert service.metrics.jobs_evicted == 1
+
+    def test_exposition_matches_to_dict(self):
+        metrics = ServiceMetrics()
+        metrics.jobs_registered += 3
+        metrics.records_submitted += 7
+        metrics.records_ingested += 6
+        metrics.record_drop("a/0", 1)
+        metrics.steps_assembled += 12
+        snap = metrics.to_dict()
+        samples = obs.parse_prometheus(metrics.registry.render())
+        jobs = dict(
+            (labels["event"], value)
+            for labels, value in samples["repro_serve_jobs_total"]
+        )
+        records = dict(
+            (labels["event"], value)
+            for labels, value in samples["repro_serve_records_total"]
+        )
+        assert jobs["registered"] == snap["jobs_registered"]
+        assert records["submitted"] == snap["records_submitted"]
+        assert records["ingested"] == snap["records_ingested"]
+        assert records["dropped"] == snap["records_dropped"]
+        assert samples["repro_serve_steps_assembled_total"][0][1] == snap[
+            "steps_assembled"
+        ]
+        assert samples["repro_serve_job_dropped_records_total"] == [
+            ({"job": "a/0"}, 1.0)
+        ]
+
+    def test_format_derives_from_to_dict(self):
+        metrics = ServiceMetrics()
+        metrics.jobs_registered += 1
+        lines = metrics.format()
+        assert any("1/0/0" in line for line in lines)
+        assert any("evicted-job dropped records" in line for line in lines)
+
+    def test_fresh_service_exposes_zero_samples(self):
+        samples = obs.parse_prometheus(ServiceMetrics().registry.render())
+        assert ({"event": "registered"}, 0.0) in samples["repro_serve_jobs_total"]
+        assert ({"event": "dropped"}, 0.0) in samples["repro_serve_records_total"]
+
+
+class TestCliObsFlags:
+    def test_profile_dumps_trace_and_metrics(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        trace_path = tmp_path / "toolchain.json"
+        metrics_path = tmp_path / "toolchain.prom"
+        assert (
+            cli_main(
+                [
+                    "profile",
+                    "dcgan-mnist",
+                    "--trace-out",
+                    str(trace_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote toolchain trace" in out
+        assert "wrote toolchain metrics" in out
+
+        events = obs.load_trace(trace_path)
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "profiler.stop" in names
+        samples = obs.parse_prometheus(metrics_path.read_text())
+        assert "repro_profiler_overhead_fraction" in samples
+        assert "repro_analyzer_duration_seconds_bucket" in samples
+
+        assert cli_main(["obs", str(trace_path), str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome://tracing" in out
+
+    def test_obs_command_rejects_garbage(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        bad = tmp_path / "bad.prom"
+        bad.write_text("{{{ not exposition\n")
+        assert cli_main(["obs", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
