@@ -1,0 +1,72 @@
+"""Extension: retry overhead of the resilient profile client.
+
+The resilient client (docs/robustness.md) absorbs profile-boundary
+faults with capped-exponential retries instead of losing windows. This
+bench profiles the same workload under seeded error plans at 0%, 5%,
+and 20% failure rates and reports the toolchain wall-time overhead each
+rate adds over the fault-free run, alongside the injected/retried
+counts. Because error faults are lossless, every run must produce the
+same online phase labels as the baseline — the overhead buys zero
+analysis drift.
+"""
+
+import time
+
+from repro.core.api import TPUPoint
+from repro.core.profiler import ProfilerOptions
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultTarget
+from repro.workloads.runner import build_estimator
+from repro.workloads.spec import WorkloadSpec
+
+from _harness import emit, once
+
+_WORKLOAD = "dcgan-mnist"
+_RATES = (0.0, 0.05, 0.20)
+_SEED = 20260805
+
+
+def _plan_for(rate: float) -> FaultPlan | None:
+    if rate == 0.0:
+        return None
+    spec = FaultSpec(
+        kind=FaultKind.ERROR, target=FaultTarget.PROFILE, probability=rate
+    )
+    return FaultPlan(seed=_SEED, specs=(spec,), client={"max_attempts": 8})
+
+
+def _profile_under(rate: float) -> tuple[float, dict, list[int]]:
+    estimator = build_estimator(WorkloadSpec(_WORKLOAD))
+    # A tight cadence gives the coin enough profile requests to land on.
+    options = ProfilerOptions(request_interval_ms=50.0, fault_plan=_plan_for(rate))
+    tpupoint = TPUPoint(estimator, profiler_options=options)
+    start = time.perf_counter()
+    tpupoint.Start(analyzer=True)
+    estimator.train()
+    tpupoint.Stop()
+    elapsed = time.perf_counter() - start
+    labels = list(tpupoint.analyzer().ols_phases().labels)
+    return elapsed, tpupoint.fault_report(), labels
+
+
+def test_ext_faults_retry_overhead(benchmark):
+    results = {}
+
+    def run_all():
+        for rate in _RATES:
+            results[rate] = _profile_under(rate)
+
+    once(benchmark, run_all)
+
+    baseline_elapsed, _, baseline_labels = results[0.0]
+    lines = [f"{'rate':>6s} {'injected':>9s} {'retries':>8s} {'overhead':>9s}"]
+    for rate in _RATES:
+        elapsed, report, labels = results[rate]
+        injected = report.get("profile", {}).get("error", 0)
+        retries = (report.get("client") or {}).get("retries", 0)
+        overhead = elapsed / baseline_elapsed - 1.0
+        lines.append(f"{rate:>6.0%} {injected:>9d} {retries:>8d} {overhead:>+9.1%}")
+        # Lossless plans must not change the analysis.
+        assert labels == baseline_labels
+        # Every injected error is absorbed by exactly one retry.
+        assert retries == injected
+    emit("ext_faults", "Extension: resilient-client retry overhead", lines)

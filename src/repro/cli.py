@@ -18,6 +18,13 @@ Subcommands mirror the toolchain:
   each job's live phases plus the fleet rollup.
 * ``tpupoint obs <files>`` — validate and summarize observability dumps
   (toolchain/workload chrome traces, Prometheus or JSON metrics).
+* ``tpupoint recover <journal>`` — load a crash-safe record journal
+  (written via ``profile --journal``), report what survived, and run
+  offline phase analysis on the recovered records.
+
+``profile`` and ``fleet`` accept ``--faults <plan.json>`` to run under a
+deterministic fault plan (:mod:`repro.faults`) — see
+``docs/robustness.md`` and ``examples/faults/``.
 
 ``profile``, ``analyze``, and ``fleet`` accept ``--trace-out`` /
 ``--metrics-out`` to dump the toolchain's own spans (chrome://tracing
@@ -67,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--breakpoint", type=int, default=None, help="stop profiling at this global step"
+    )
+    profile.add_argument(
+        "--faults", default=None, help="JSON fault plan to inject (see docs/robustness.md)"
+    )
+    profile.add_argument(
+        "--journal", default=None, help="crash-safe record journal path (JSONL)"
     )
     _add_obs_flags(profile)
 
@@ -118,7 +131,36 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--threshold", type=float, default=0.70, help="live OLS similarity threshold"
     )
+    fleet.add_argument(
+        "--faults", default=None, help="JSON fault plan to inject (see docs/robustness.md)"
+    )
+    fleet.add_argument(
+        "--heartbeat-deadline",
+        type=int,
+        default=None,
+        help="stall ACTIVE jobs silent for this many pump rounds",
+    )
     _add_obs_flags(fleet)
+
+    recover = subparsers.add_parser(
+        "recover", help="recover records from a crash-safe journal and analyze them"
+    )
+    recover.add_argument("journal", help="journal written by profile --journal")
+    recover.add_argument(
+        "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
+    )
+    recover.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="OLS step-similarity threshold in [0, 1] (default 0.70)",
+    )
+    recover.add_argument("--out", default=None, help="directory for trace/CSV exports")
+    recover.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on mid-journal corruption instead of skipping it",
+    )
 
     obs_cmd = subparsers.add_parser(
         "obs",
@@ -224,13 +266,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.profiler import ProfilerOptions
 
     detector_params = _detector_params(args)  # flag conflicts fail before the run
+    fault_plan = None
+    if args.faults:
+        from repro.faults import load_plan
+
+        fault_plan = load_plan(args.faults)
     spec = WorkloadSpec(args.workload, generation=args.generation)
     estimator = build_estimator(spec)
-    options = ProfilerOptions(breakpoint_step=args.breakpoint)
+    options = ProfilerOptions(
+        breakpoint_step=args.breakpoint,
+        fault_plan=fault_plan,
+        journal_path=args.journal,
+    )
     tpupoint = TPUPoint(estimator, profiler_options=options)
     tpupoint.Start(analyzer=True)
     summary = estimator.train()
     tpupoint.Stop()
+    if fault_plan is not None:
+        report = tpupoint.fault_report()
+        profile_faults = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(report.get("profile", {}).items())
+        )
+        client = report.get("client", {})
+        print(f"fault plan          : {args.faults} (seed {fault_plan.seed})")
+        print(f"injected faults     : {profile_faults or 'none'}")
+        print(f"client resilience   : {client.get('retries', 0)} retries, "
+              f"{client.get('circuit_trips', 0)} circuit trips, "
+              f"{report.get('windows_skipped', 0)} windows skipped, "
+              f"{report.get('windows_abandoned', 0)} abandoned")
+        recorder = report.get("recorder")
+        if recorder is not None and recorder.get("crashed"):
+            print("recorder            : CRASHED mid-run (journal has a torn tail)")
+    if args.journal:
+        print(f"record journal      : {args.journal}")
     if args.save_records:
         from repro.core.profiler.serialize import save_records
 
@@ -303,17 +371,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     if args.jobs <= 0:
         raise ConfigurationError("--jobs must be positive")
+    fault_plan = None
+    if args.faults:
+        from repro.faults import load_plan
+
+        fault_plan = load_plan(args.faults)
     keys = tuple(args.workloads) if args.workloads else DEFAULT_FLEET_WORKLOADS
     workloads = [keys[i % len(keys)] for i in range(args.jobs)]
     options = FleetServiceOptions(
-        queue_capacity=args.queue_capacity, threshold=args.threshold
+        queue_capacity=args.queue_capacity,
+        threshold=args.threshold,
+        heartbeat_deadline=args.heartbeat_deadline,
     )
     result = run_fleet(
         workloads,
         generation=args.generation,
         chunk_steps=args.chunk,
         service_options=options,
+        fault_plan=fault_plan,
     )
+    if fault_plan is not None:
+        quarantined = result.service.quarantined()
+        print(f"fault plan : {args.faults} (seed {fault_plan.seed}); "
+              f"{result.service.metrics.records_quarantined} records quarantined")
+        for entry in quarantined[:5]:
+            print(f"  quarantined {entry.job_id} record "
+                  f"#{entry.record.index}: {entry.reason}")
 
     print(f"== fleet of {len(workloads)} jobs on TPU{args.generation} "
           f"({result.rounds} scheduling rounds) ==")
@@ -349,6 +432,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
     _dump_obs(args)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.core.profiler.journal import recover_journal
+
+    recovery = recover_journal(args.journal, strict=args.strict)
+    print(f"== recovery of {args.journal} ==")
+    for line in recovery.format():
+        print(line)
+    if not recovery.records:
+        print("no intact records survived; nothing to analyze")
+        return 0
+    analyzer = TPUPointAnalyzer(list(recovery.records))
+    result = analyzer.analyze(args.method, **_detector_params(args))
+    print(f"phases ({args.method}, params {result.params}): {result.num_phases}")
+    print(f"top-3 phase coverage: {result.coverage().top(3):.1%}")
+    for rank, phase in enumerate(result.phases[:5]):
+        tpu_top = ", ".join(s.name for s in phase.top_operators(5, DeviceKind.TPU))
+        print(f"  phase #{rank}: {phase.num_steps} steps, "
+              f"{units.format_duration(phase.total_duration_us)}  [{tpu_top}]")
+    if args.out:
+        paths = analyzer.export(args.out, result)
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}")
     return 0
 
 
@@ -460,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimize": lambda: _cmd_optimize(args),
         "fleet": lambda: _cmd_fleet(args),
         "obs": lambda: _cmd_obs(args),
+        "recover": lambda: _cmd_recover(args),
         "compare": lambda: _cmd_compare(args),
         "evaluate": lambda: _cmd_evaluate(args),
         "figures": lambda: _cmd_figures(args),

@@ -89,6 +89,12 @@ class TPUPoint:
 
         return save_records(self.records, directory)
 
+    def fault_report(self) -> dict:
+        """What the active fault plan injected (empty when fault-free)."""
+        if self._profiler is None:
+            raise ProfilerError("TPUPoint was never started")
+        return self._profiler.fault_report()
+
     def analyzer(self, **kwargs) -> TPUPointAnalyzer:
         """A TPUPoint-Analyzer over this run's records."""
         if not self._analyzer_enabled:

@@ -1,0 +1,191 @@
+"""Crash-safe record journaling.
+
+The recording thread persists each :class:`ProfileRecord` to an
+append-only JSONL journal as it arrives: one line per record, each line
+carrying a sequence number and a CRC-32 over the record's canonical
+encoding, flushed before the next record is accepted. If the recorder
+(or the whole process) dies mid-write, the journal is left with at most
+one torn line at the tail; :func:`recover_journal` tolerates exactly
+that — it verifies every line's checksum, skips and counts corrupt
+entries, stops at a torn tail, and returns everything that survived so
+``tpupoint recover`` can resume offline analysis from a partial run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.profiler.record import ProfileRecord
+from repro.core.profiler.serialize import (
+    SCHEMA_VERSION,
+    payload_checksum,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.errors import JournalError
+
+
+def encode_entry(seq: int, record: ProfileRecord) -> str:
+    """One journal line (no trailing newline) for ``record``."""
+    payload = record_to_dict(record)
+    entry = {"seq": seq, "crc": payload_checksum(payload), "record": payload}
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def decode_entry(line: str) -> tuple[int, ProfileRecord]:
+    """Parse and verify one journal line; raises :class:`JournalError`."""
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise JournalError(f"unparseable journal line: {error}") from None
+    if not isinstance(entry, dict) or "record" not in entry:
+        raise JournalError("journal line is not a record entry")
+    payload = entry["record"]
+    if payload_checksum(payload) != entry.get("crc"):
+        raise JournalError(f"checksum mismatch on journal entry {entry.get('seq')}")
+    try:
+        record = record_from_dict(payload)
+    except Exception as error:
+        raise JournalError(f"journal entry {entry.get('seq')} is malformed: {error}")
+    try:
+        seq = int(entry["seq"])
+    except (KeyError, TypeError, ValueError):
+        raise JournalError("journal entry is missing a sequence number") from None
+    return seq, record
+
+
+class RecordJournal:
+    """Append-only checksummed JSONL journal for one profiling run."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._seq = 0
+        self._dead = False
+        self.entries_written = 0
+        self.bytes_written = 0
+
+    @property
+    def alive(self) -> bool:
+        """Whether the journal still accepts appends."""
+        return not self._dead
+
+    def append(self, record: ProfileRecord) -> None:
+        """Durably append one record (write + flush before returning)."""
+        if self._dead:
+            raise JournalError(f"journal {self.path} is closed")
+        line = encode_entry(self._seq, record)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._seq += 1
+        self.entries_written += 1
+        self.bytes_written += len(line) + 1
+
+    def tear(self, record: ProfileRecord | None = None) -> None:
+        """Simulate a crash mid-append: leave a torn line, go dead.
+
+        Writes a prefix of what would have been the next entry — the
+        exact on-disk state a process death between ``write`` and the
+        final newline leaves behind — then stops accepting appends.
+        """
+        if self._dead:
+            return
+        if record is not None:
+            line = encode_entry(self._seq, record)
+        else:
+            line = '{"crc": 0, "record": {"index": %d, "steps"' % self._seq
+        self._handle.write(line[: max(8, len(line) // 2)])
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the journal file."""
+        if not self._dead:
+            self._handle.flush()
+            self._handle.close()
+            self._dead = True
+
+
+@dataclass(frozen=True)
+class JournalRecovery:
+    """What :func:`recover_journal` salvaged from a journal file."""
+
+    records: tuple[ProfileRecord, ...]
+    entries_total: int
+    entries_recovered: int
+    corrupt_entries: int
+    torn_tail: bool
+
+    @property
+    def lossless(self) -> bool:
+        """Whether the journal was recovered without losing anything."""
+        return self.corrupt_entries == 0 and not self.torn_tail
+
+    def format(self) -> list[str]:
+        return [
+            f"journal entries : {self.entries_total} "
+            f"({self.entries_recovered} recovered, {self.corrupt_entries} corrupt)",
+            f"torn tail       : {'yes' if self.torn_tail else 'no'}",
+            f"records         : {len(self.records)}",
+        ]
+
+
+def recover_journal(path: str | Path, strict: bool = False) -> JournalRecovery:
+    """Load every intact record from a (possibly torn) journal.
+
+    A failure on the *last* line is a torn tail — the expected signature
+    of a crash mid-append — and is always tolerated. Failures on earlier
+    lines are genuine corruption: skipped and counted by default, raised
+    as :class:`JournalError` under ``strict``. Duplicate or regressing
+    sequence numbers are treated as corrupt entries.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+        ends_clean = True
+    else:
+        ends_clean = bool(raw == "")
+    by_seq: dict[int, ProfileRecord] = {}
+    corrupt = 0
+    torn_tail = False
+    last_seq = -1
+    for position, line in enumerate(lines):
+        is_tail = position == len(lines) - 1
+        try:
+            seq, record = decode_entry(line)
+            if seq <= last_seq:
+                raise JournalError(f"journal sequence regressed at entry {seq}")
+        except JournalError:
+            if is_tail and not ends_clean:
+                torn_tail = True
+                break
+            if strict:
+                raise
+            corrupt += 1
+            continue
+        by_seq[seq] = record
+        last_seq = seq
+    records = tuple(sorted(by_seq.values(), key=lambda record: record.index))
+    return JournalRecovery(
+        records=records,
+        entries_total=len(lines),
+        entries_recovered=len(by_seq),
+        corrupt_entries=corrupt,
+        torn_tail=torn_tail,
+    )
+
+
+__all__ = [
+    "JournalRecovery",
+    "RecordJournal",
+    "decode_entry",
+    "encode_entry",
+    "recover_journal",
+    "SCHEMA_VERSION",
+]

@@ -33,6 +33,13 @@ class ProfilerOptions:
             available the moment profiling stops, with O(1) extra state.
         online_phase_threshold: StepSimilarity threshold for the online
             scan (the paper's default is 70%).
+        fault_plan: a :class:`repro.faults.FaultPlan` to inject against
+            this run (wraps the profile service, configures the
+            resilient client, and can crash the recorder). None runs
+            fault-free on the plain stub.
+        journal_path: when set, the recording thread also appends every
+            record to a crash-safe JSONL journal at this path
+            (``tpupoint recover`` reads it back).
     """
 
     request_interval_ms: float = 1_000.0
@@ -42,6 +49,8 @@ class ProfilerOptions:
     breakpoint_step: int | None = None
     online_phases: bool = False
     online_phase_threshold: float = 0.70
+    fault_plan: "object | None" = None
+    journal_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.request_interval_ms <= 0:

@@ -61,11 +61,20 @@ class ProfilerStats:
         if self.operator_entries == 0:
             return 0.0
         return self.events_reduced / self.operator_entries
-from repro.errors import ProfilerError
+from repro.errors import CircuitOpenError, ProfileServiceError, ProfilerError
 from repro.runtime.estimator import TPUEstimator
 from repro.runtime.events import StepMetadata
 from repro.runtime.rpc import ProfileStub
 from repro.runtime.session import TrainingSession
+
+#: Hard ceiling on consecutive final-drain requests. The drain normally
+#: converges in a handful of requests; an all-failing fault plan must
+#: not hang stop() forever.
+_MAX_DRAIN_REQUESTS = 1000
+
+#: Degraded-cadence ceiling: an open circuit stretches the request
+#: interval at most this many times its configured value.
+_MAX_INTERVAL_SCALE = 8.0
 
 
 @dataclass
@@ -88,6 +97,11 @@ class TPUPointProfiler:
         self._online_stream = None
         self._online_steps: list[int] = []
         self._record_hooks: list = []
+        self._fault_service = None
+        self._crash_injector = None
+        self._interval_scale = 1.0
+        self._windows_skipped = 0
+        self._windows_abandoned = 0
         # Section V overhead accounting, applied to ourselves: real wall
         # time spent inside profiler code vs. the run it observes.
         self._wall_start = 0.0
@@ -109,11 +123,35 @@ class TPUPointProfiler:
             raise ProfilerError("profiler already started")
         self._started = True
         self._wall_start = time.perf_counter()
-        self._stub = self.estimator.profile_stub()
-        if analyzer and self.options.record_to_storage:
-            self._recorder = RecordingThread(bucket=self.estimator.bucket)
-        elif analyzer:
-            self._recorder = RecordingThread(bucket=None)
+        plan = self.options.fault_plan
+        if plan is None:
+            self._stub = self.estimator.profile_stub()
+        else:
+            # Faulty master + resilient client. Both layers are seeded
+            # from the plan, so the whole run replays bit-for-bit.
+            from repro.faults.inject import FaultyProfileService
+            from repro.runtime.resilience import ResilientProfileStub, client_from_config
+
+            self._fault_service = FaultyProfileService(
+                self.estimator.profile_service(), plan
+            )
+            policy, breaker = client_from_config(plan.client)
+            self._stub = ResilientProfileStub(
+                self._fault_service, policy=policy, breaker=breaker, seed=plan.seed
+            )
+        if analyzer:
+            bucket = self.estimator.bucket if self.options.record_to_storage else None
+            journal = None
+            if self.options.journal_path is not None:
+                from repro.core.profiler.journal import RecordJournal
+
+                journal = RecordJournal(self.options.journal_path)
+            self._recorder = RecordingThread(bucket=bucket, journal=journal)
+            if plan is not None:
+                from repro.faults.plan import FaultTarget
+
+                if plan.targets(FaultTarget.RECORDER):
+                    self._crash_injector = plan.injector(FaultTarget.RECORDER)
         if self.options.online_phases:
             from repro.core.analyzer.ols import OnlineLinearScan
             from repro.core.profiler.streaming import StepStream
@@ -172,8 +210,27 @@ class TPUPointProfiler:
         # Final drain: keep requesting until the service marks the
         # response final (the session may have produced more than one
         # window's worth of events since the last periodic request).
+        # Failed requests leave the service cursor untouched, so the
+        # drain simply re-asks; an open circuit is forced to probe — at
+        # stop() there is no training left to protect by backing off.
+        attempts = 0
         while True:
-            response = self._request(finished=True)
+            attempts += 1
+            if attempts > _MAX_DRAIN_REQUESTS:
+                raise ProfilerError(
+                    f"final drain did not converge after {_MAX_DRAIN_REQUESTS} requests"
+                )
+            try:
+                response = self._request(finished=True)
+            except CircuitOpenError:
+                breaker = getattr(self._stub, "breaker", None)
+                if breaker is not None:
+                    breaker.force_probe()
+                continue
+            except ProfileServiceError as error:
+                if not getattr(error, "retryable", False):
+                    raise
+                continue
             if response.final:
                 break
         if self._online_stream is not None:
@@ -193,8 +250,28 @@ class TPUPointProfiler:
         began = time.perf_counter()
         try:
             while session.clock.now_us >= self._next_request_us:
-                self._request(finished=False)
-                self._next_request_us += self.options.request_interval_ms * 1000.0
+                try:
+                    self._request(finished=False)
+                except CircuitOpenError:
+                    # Degraded cadence: while the circuit is open, space
+                    # requests further apart instead of hammering a sick
+                    # master. The window is deferred, not lost — the
+                    # service cursor never moved.
+                    self._windows_skipped += 1
+                    self._interval_scale = min(
+                        self._interval_scale * 2.0, _MAX_INTERVAL_SCALE
+                    )
+                except ProfileServiceError as error:
+                    if not getattr(error, "retryable", False):
+                        raise
+                    # Every retry attempt was exhausted; the window stays
+                    # pending and the next request re-covers it.
+                    self._windows_abandoned += 1
+                else:
+                    self._interval_scale = 1.0
+                self._next_request_us += (
+                    self.options.request_interval_ms * 1000.0 * self._interval_scale
+                )
             breakpoint_step = self.options.breakpoint_step
             if breakpoint_step is not None and session.global_step >= breakpoint_step:
                 self._breakpoint_hit = True
@@ -218,6 +295,12 @@ class TPUPointProfiler:
             self._records.append(record)
             _RECORDS_KEPT_TOTAL.inc()
             if self._recorder is not None:
+                if self._crash_injector is not None and not self._recorder.crashed:
+                    if self._crash_injector.decide() is not None:
+                        from repro.faults.inject import count_injected
+
+                        count_injected("recorder", "crash")
+                        self._recorder.crash(record)
                 self._recorder.submit(record)
             if self._online_stream is not None and record.num_steps:
                 for step in self._online_stream.submit(record):
@@ -255,6 +338,30 @@ class TPUPointProfiler:
             operator_entries=entries,
             bytes_persisted=self._recorder.bytes_written if self._recorder else 0.0,
         )
+
+    def fault_report(self) -> dict:
+        """What the active fault plan did to this run, and what it cost.
+
+        Returns an empty dict on fault-free runs. Otherwise: injected
+        fault counts per boundary, the resilient client's retry/breaker
+        counters, and the recorder's crash state.
+        """
+        if self.options.fault_plan is None:
+            return {}
+        report: dict = {
+            "profile": dict(self._fault_service.injector.injected),
+            "windows_skipped": self._windows_skipped,
+            "windows_abandoned": self._windows_abandoned,
+        }
+        stats = getattr(self._stub, "stats", None)
+        if callable(stats):
+            report["client"] = stats()
+        if self._crash_injector is not None:
+            report["recorder"] = {
+                "crashes": self._crash_injector.total_injected,
+                "crashed": bool(self._recorder is not None and self._recorder.crashed),
+            }
+        return report
 
     @property
     def online_phase_labels(self) -> dict[int, int]:

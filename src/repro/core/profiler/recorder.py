@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.core.profiler.journal import RecordJournal
 from repro.core.profiler.record import ProfileRecord
 from repro.errors import ProfilerError
 from repro.storage.bucket import Bucket
@@ -22,18 +23,28 @@ from repro.storage.objects import StorageObject
 
 @dataclass
 class RecordingThread:
-    """Persists profile records into a bucket as they arrive."""
+    """Persists profile records into a bucket as they arrive.
+
+    When ``journal`` is attached, every record is also durably appended
+    to a checksummed on-disk journal *before* the in-memory buffer grows
+    — after a crash, the journal holds everything the thread ever
+    acknowledged (minus at most one torn tail line).
+    """
 
     bucket: Bucket | None = None
     prefix: str = "tpupoint/profiles/"
     records: list[ProfileRecord] = field(default_factory=list)
+    journal: RecordJournal | None = None
     bytes_written: float = 0.0
+    crashed: bool = False
     _closed: bool = False
 
     def submit(self, record: ProfileRecord) -> None:
         """Accept one record from the profiling thread."""
         if self._closed:
             raise ProfilerError("recording thread already stopped")
+        if self.journal is not None and self.journal.alive:
+            self.journal.append(record)
         self.records.append(record)
         if self.bucket is not None:
             size = record.estimated_bytes()
@@ -42,9 +53,24 @@ class RecordingThread:
             )
             self.bytes_written += size
 
+    def crash(self, record: ProfileRecord | None = None) -> None:
+        """Kill the journaling half of the thread mid-append.
+
+        Models the recorder dying between ``write`` and the final
+        newline: the journal is left with a torn tail and stops
+        accepting appends. The in-memory buffer keeps filling so the
+        surrounding run still completes — recovery happens offline via
+        ``tpupoint recover``.
+        """
+        self.crashed = True
+        if self.journal is not None:
+            self.journal.tear(record)
+
     def close(self) -> list[ProfileRecord]:
         """Stop the thread and return everything recorded."""
         self._closed = True
+        if self.journal is not None:
+            self.journal.close()
         return list(self.records)
 
     def manifest(self) -> dict:

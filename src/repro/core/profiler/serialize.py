@@ -11,6 +11,7 @@ manifest, so ``TPUPointAnalyzer`` can be fed from disk (the CLI's
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 
 from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
@@ -50,6 +51,31 @@ def record_to_dict(record: ProfileRecord) -> dict:
             for step in record.steps.values()
         ],
     }
+
+
+def canonical_payload(payload: dict) -> str:
+    """The canonical JSON encoding checksums are computed over.
+
+    Sorted keys and fixed separators make the encoding stable across a
+    JSON round-trip, so a checksum computed at the producer still
+    verifies after the payload was parsed and re-encoded.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: dict) -> int:
+    """CRC-32 of the canonical encoding of a record payload."""
+    return zlib.crc32(canonical_payload(payload).encode("utf-8"))
+
+
+def record_checksum(record: ProfileRecord) -> int:
+    """End-to-end integrity checksum of one record.
+
+    Producers stamp records with this before hand-off; the fleet service
+    and the journal recovery loader recompute it to detect corruption in
+    transit or on disk.
+    """
+    return payload_checksum(record_to_dict(record))
 
 
 def record_from_dict(payload: dict) -> ProfileRecord:

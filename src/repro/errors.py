@@ -44,6 +44,28 @@ class ProfileServiceError(ProfilerError):
     """The gRPC-style profile service rejected or dropped a request."""
 
 
+class FaultInjectionError(ProfileServiceError):
+    """An injected fault fired at a pipeline boundary.
+
+    Carries the fault ``kind`` (the :class:`repro.faults.FaultKind` value)
+    and whether the failure is ``retryable`` — the resilient profile
+    client retries only errors flagged retryable.
+    """
+
+    def __init__(self, message: str, kind: str = "error", retryable: bool = True):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = retryable
+
+
+class CircuitOpenError(ProfilerError):
+    """The profile client's circuit breaker is open; no request was sent."""
+
+
+class JournalError(ProfilerError):
+    """The record journal could not be written, read, or recovered."""
+
+
 class AnalyzerError(ReproError):
     """TPUPoint-Analyzer received unusable profile data."""
 

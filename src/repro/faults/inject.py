@@ -1,0 +1,188 @@
+"""Fault injection shims for the profile pipeline.
+
+Two boundaries get wrapped, matching where real deployments actually
+fail. :class:`FaultyProfileService` sits where the client→master gRPC
+channel lives (Section III-A) and makes ``serve`` misbehave: transport
+errors, deadline timeouts, empty or force-truncated windows, injected
+latency. :class:`RecordTransit` models the producer→fleet wire and can
+drop records or corrupt them in flight.
+
+The injected failures are shaped so the pipeline's recovery story is
+testable: profile-boundary faults never advance the inner service's
+window cursor, so a retried or re-issued request recovers exactly the
+events a failed one would have carried — which is what makes the
+"lossless plan ⇒ identical phase labels" property hold.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro import obs
+from repro import rng as rng_mod
+from repro.core.profiler.record import ProfileRecord
+from repro.errors import FaultInjectionError
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultTarget
+from repro.runtime.rpc import ProfileRequest, ProfileResponse, ProfileService
+
+_INJECTED_TOTAL = obs.counter(
+    "repro_faults_injected_total",
+    "Faults injected by the active fault plan, by target and kind.",
+    labels=("target", "kind"),
+)
+
+
+def count_injected(target: str, kind: str) -> None:
+    """Count one injected fault in the shared obs registry."""
+    _INJECTED_TOTAL.labels(target=target, kind=kind).inc()
+
+
+class FaultyProfileService:
+    """Wraps a :class:`ProfileService`, injecting faults per the plan.
+
+    Duck-types the service interface the stubs use (``serve``,
+    ``window_start_us``, ``session_finished``). Every injected failure
+    leaves the inner service untouched, so failures defer profile
+    windows rather than losing them.
+    """
+
+    def __init__(self, inner: ProfileService, plan: FaultPlan, key: str = ""):
+        self.inner = inner
+        self.plan = plan
+        self.injector: FaultInjector = plan.injector(FaultTarget.PROFILE, key=key)
+        self.delay_ms_total = 0.0
+
+    @property
+    def log(self):
+        return self.inner.log
+
+    @property
+    def window_start_us(self) -> float:
+        return self.inner.window_start_us
+
+    @property
+    def requests_served(self) -> int:
+        return self.inner.requests_served
+
+    def session_finished(self) -> bool:
+        return self.inner.session_finished()
+
+    def serve(self, request: ProfileRequest, finished: bool | None = None) -> ProfileResponse:
+        spec = self.injector.decide()
+        if spec is None:
+            return self.inner.serve(request, finished=finished)
+        _INJECTED_TOTAL.labels(target="profile", kind=spec.kind.value).inc()
+        if spec.kind is FaultKind.ERROR:
+            raise FaultInjectionError(
+                f"injected transport error on profile request "
+                f"#{self.injector.requests_seen} (UNAVAILABLE)",
+                kind="error",
+            )
+        if spec.kind is FaultKind.TIMEOUT:
+            raise FaultInjectionError(
+                f"injected deadline timeout on profile request "
+                f"#{self.injector.requests_seen} (DEADLINE_EXCEEDED)",
+                kind="timeout",
+            )
+        if spec.kind is FaultKind.EMPTY:
+            # A master that answers with nothing: zero events, window not
+            # advanced. The next request re-covers the same span.
+            start = self.inner.window_start_us
+            return ProfileResponse(
+                events=(),
+                step_metadata=(),
+                window_start_us=start,
+                window_end_us=start,
+                truncated=False,
+                final=False,
+            )
+        if spec.kind is FaultKind.TRUNCATE:
+            squeezed = ProfileRequest(
+                max_events=min(request.max_events, spec.truncate_events),
+                max_duration_ms=request.max_duration_ms,
+                deadline_ms=request.deadline_ms,
+            )
+            return self.inner.serve(squeezed, finished=finished)
+        if spec.kind is FaultKind.DELAY:
+            self.delay_ms_total += spec.delay_ms
+            if request.deadline_ms is not None and spec.delay_ms > request.deadline_ms:
+                raise FaultInjectionError(
+                    f"injected {spec.delay_ms:g}ms delay exceeded the "
+                    f"{request.deadline_ms:g}ms deadline (DEADLINE_EXCEEDED)",
+                    kind="timeout",
+                )
+            return self.inner.serve(request, finished=finished)
+        raise FaultInjectionError(
+            f"fault kind {spec.kind.value!r} cannot target the profile boundary",
+            kind=spec.kind.value,
+            retryable=False,
+        )
+
+
+def corrupt_record(record: ProfileRecord, rng) -> ProfileRecord:
+    """A deep-copied, deterministically mangled version of ``record``.
+
+    The mangled copy is always detectable downstream: either its
+    checksum no longer matches the producer's, or its structure fails
+    validation (a step filed under the wrong key).
+    """
+    mangled = copy.deepcopy(record)
+    modes = ["window"]
+    if mangled.steps:
+        modes += ["count", "key"]
+    mode = modes[int(rng.random() * len(modes)) % len(modes)]
+    if mode == "count":
+        step = next(iter(mangled.steps.values()))
+        for stats in step.operators.values():
+            stats.count = -stats.count - 1
+            break
+        else:
+            mode = "window"
+    if mode == "key":
+        number, step = next(iter(mangled.steps.items()))
+        del mangled.steps[number]
+        mangled.steps[number + 1000] = step
+    if mode == "window":
+        mangled.window_start_us, mangled.window_end_us = (
+            mangled.window_end_us + 1.0,
+            mangled.window_start_us,
+        )
+    return mangled
+
+
+class RecordTransit:
+    """The wire between a profiling producer and the fleet service.
+
+    ``apply`` returns the record unchanged, a corrupted deep copy
+    (CORRUPT), or ``None`` (DROP — the record never arrives). The
+    original record object is never mutated, so the producer's own
+    in-memory copy stays intact.
+    """
+
+    def __init__(self, plan: FaultPlan, key: str = ""):
+        self.plan = plan
+        self.injector: FaultInjector = plan.injector(FaultTarget.INGEST, key=key)
+        self._corrupt_rng = rng_mod.stream(f"faults:corrupt:{key}", plan.seed)
+        self.dropped = 0
+        self.corrupted = 0
+
+    def apply(self, record: ProfileRecord) -> ProfileRecord | None:
+        spec = self.injector.decide()
+        if spec is None:
+            return record
+        _INJECTED_TOTAL.labels(target="ingest", kind=spec.kind.value).inc()
+        if spec.kind is FaultKind.DROP:
+            self.dropped += 1
+            return None
+        if spec.kind is FaultKind.CORRUPT:
+            self.corrupted += 1
+            return corrupt_record(record, self._corrupt_rng)
+        return record
+
+
+__all__ = [
+    "FaultyProfileService",
+    "RecordTransit",
+    "corrupt_record",
+    "count_injected",
+]

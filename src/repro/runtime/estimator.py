@@ -107,9 +107,13 @@ class TPUEstimator:
         """Register a per-step callback on the (possibly future) session."""
         self.session.add_step_hook(hook)
 
+    def profile_service(self) -> ProfileService:
+        """A fresh profile service over the live session's event log."""
+        return ProfileService(self.session.log)
+
     def profile_stub(self) -> ProfileStub:
         """A gRPC-style stub over the live session's event log."""
-        return ProfileStub(ProfileService(self.session.log))
+        return ProfileStub(self.profile_service())
 
     # --- training ----------------------------------------------------------
 

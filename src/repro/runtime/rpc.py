@@ -27,16 +27,23 @@ class ProfileRequest:
     Attributes:
         max_events: event cap for the response (clamped to the service cap).
         max_duration_ms: window cap in milliseconds (clamped likewise).
+        deadline_ms: client-side deadline for this request. The plain
+            service always answers instantly and ignores it; a faulty
+            service (:class:`repro.faults.FaultyProfileService`) honours
+            it when injecting delays, surfacing DEADLINE_EXCEEDED.
     """
 
     max_events: int = MAX_EVENTS_PER_PROFILE
     max_duration_ms: float = MAX_PROFILE_DURATION_MS
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_events <= 0:
             raise ProfileServiceError("max_events must be positive")
         if self.max_duration_ms <= 0:
             raise ProfileServiceError("max_duration_ms must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ProfileServiceError("deadline_ms must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,11 @@ class ProfileService:
     def session_finished(self) -> bool:
         """Hook the session overrides; default assumes still running."""
         return False
+
+    @property
+    def window_start_us(self) -> float:
+        """Where the next served window will begin."""
+        return self._window_start_us
 
     def serve(self, request: ProfileRequest, finished: bool | None = None) -> ProfileResponse:
         """Serve the next profile window after the previous one.
@@ -133,6 +145,11 @@ class ProfileStub:
 
     def __init__(self, service: ProfileService):
         self._service = service
+
+    @property
+    def service(self) -> ProfileService:
+        """The service (or service shim) behind this stub."""
+        return self._service
 
     def request_profile(
         self,

@@ -14,12 +14,17 @@ from repro.serve.fleet import (
     FleetRunResult,
     run_fleet,
 )
-from repro.serve.ingest import DEFAULT_QUEUE_CAPACITY, IngestAck, IngestQueue
+from repro.serve.ingest import (
+    DEFAULT_QUEUE_CAPACITY,
+    IngestAck,
+    IngestQueue,
+    validate_record,
+)
 from repro.serve.live import LiveJobAnalysis, LivePhase
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.query import FleetSnapshot, JobSnapshot, PhaseView
 from repro.serve.registry import JobInfo, JobRegistry, JobState
-from repro.serve.service import FleetService, FleetServiceOptions
+from repro.serve.service import FleetService, FleetServiceOptions, QuarantinedRecord
 
 __all__ = [
     "DEFAULT_FLEET_WORKLOADS",
@@ -38,6 +43,8 @@ __all__ = [
     "LiveJobAnalysis",
     "LivePhase",
     "PhaseView",
+    "QuarantinedRecord",
     "ServiceMetrics",
     "run_fleet",
+    "validate_record",
 ]

@@ -68,22 +68,44 @@ def run_fleet(
     service_options: FleetServiceOptions | None = None,
     profiler_options: ProfilerOptions | None = None,
     on_round: RoundHook | None = None,
+    fault_plan=None,
 ) -> FleetRunResult:
-    """Run every workload to completion through a shared fleet service."""
+    """Run every workload to completion through a shared fleet service.
+
+    With ``fault_plan``, each job's producer→service wire goes through
+    its own :class:`repro.faults.RecordTransit` (keyed by job id, so
+    drops and corruption stay deterministic per tenant), and the plan is
+    also handed to every profiler unless ``profiler_options`` already
+    carries one.
+    """
     if not workloads:
         raise ServeError("fleet run needs at least one workload")
     if chunk_steps <= 0:
         raise ServeError("chunk_steps must be positive")
     if service is None:
         service = FleetService(options=service_options or FleetServiceOptions())
+    if fault_plan is not None:
+        from dataclasses import replace
+
+        from repro.faults import FaultTarget, RecordTransit
+
+        if profiler_options is None:
+            profiler_options = ProfilerOptions(fault_plan=fault_plan)
+        elif profiler_options.fault_plan is None:
+            profiler_options = replace(profiler_options, fault_plan=fault_plan)
 
     jobs: list[_FleetJob] = []
     for key in workloads:
         spec = WorkloadSpec(key, generation=generation)
         info = service.register(key, generation=generation)
         estimator = build_estimator(spec)
+        transit = None
+        if fault_plan is not None and fault_plan.targets(FaultTarget.INGEST):
+            transit = RecordTransit(fault_plan, key=info.job_id)
         profiler = attach_record_sink(
-            estimator, service.sink(info.job_id), options=profiler_options
+            estimator,
+            service.sink(info.job_id, transit=transit),
+            options=profiler_options,
         )
         jobs.append(
             _FleetJob(job_id=info.job_id, spec=spec, estimator=estimator, profiler=profiler)

@@ -15,18 +15,53 @@ simply observed with partial statistics (lossy, never corrupt).
 Backpressure is explicit: :meth:`IngestQueue.offer` reports whether the
 queue had to shed load, and producers can consult
 :attr:`IngestQueue.remaining_capacity` to throttle before that happens.
+
+Producers may live on real threads, so each queue serializes its own
+mutations with a lock: the depth check, the shed, the append, and the
+counters in :meth:`IngestQueue.offer` are one atomic step, never
+interleaved with another producer's (or the drain's).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.core.profiler.record import ProfileRecord
+from repro.core.profiler.serialize import record_checksum
 from repro.errors import ServeError
 
 DEFAULT_QUEUE_CAPACITY = 64
+
+
+def validate_record(record: ProfileRecord, checksum: int | None = None) -> str | None:
+    """Why ``record`` must be quarantined, or None when it is sound.
+
+    Structural checks catch mangling that survives serialization (a step
+    filed under the wrong key, negative counters, an inverted window);
+    the optional producer-side ``checksum`` catches everything else that
+    changed in transit.
+    """
+    if record.index < 0:
+        return f"negative record index {record.index}"
+    if record.window_end_us < record.window_start_us:
+        return (
+            f"inverted window [{record.window_start_us:g}, "
+            f"{record.window_end_us:g}]"
+        )
+    for key, step in record.steps.items():
+        if key != step.step:
+            return f"step {step.step} filed under key {key}"
+        for stats in step.operators.values():
+            if stats.count < 0:
+                return f"negative count for operator {stats.name!r}"
+            if stats.total_duration_us < 0:
+                return f"negative duration for operator {stats.name!r}"
+    if checksum is not None and record_checksum(record) != checksum:
+        return "checksum mismatch (record corrupted in transit)"
+    return None
 
 
 @dataclass(frozen=True)
@@ -51,6 +86,7 @@ class IngestQueue:
     job_id: str
     capacity: int = DEFAULT_QUEUE_CAPACITY
     _records: deque[ProfileRecord] = field(default_factory=deque)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     submitted: int = 0
     dropped: int = 0
 
@@ -69,21 +105,31 @@ class IngestQueue:
         return self.capacity - self.depth
 
     def offer(self, record: ProfileRecord) -> IngestAck:
-        """Enqueue one record, shedding the oldest on overflow."""
-        self.submitted += 1
-        shed = 0
-        if self.depth >= self.capacity:
-            self._records.popleft()
-            self.dropped += 1
-            shed = 1
-        self._records.append(record)
-        return IngestAck(
-            job_id=self.job_id, accepted=True, dropped=shed, depth=self.depth
-        )
+        """Enqueue one record, shedding the oldest on overflow.
+
+        Atomic under the queue lock: two producers racing a full queue
+        shed exactly one record each, and ``submitted``/``dropped``
+        never under-count.
+        """
+        with self._lock:
+            self.submitted += 1
+            shed = 0
+            if len(self._records) >= self.capacity:
+                self._records.popleft()
+                self.dropped += 1
+                shed = 1
+            self._records.append(record)
+            return IngestAck(
+                job_id=self.job_id, accepted=True, dropped=shed, depth=len(self._records)
+            )
 
     def drain(self, max_records: int | None = None) -> Iterator[ProfileRecord]:
         """Pop queued records in FIFO order (all of them by default)."""
         popped = 0
-        while self._records and (max_records is None or popped < max_records):
+        while max_records is None or popped < max_records:
+            with self._lock:
+                if not self._records:
+                    return
+                record = self._records.popleft()
             popped += 1
-            yield self._records.popleft()
+            yield record

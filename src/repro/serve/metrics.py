@@ -31,8 +31,8 @@ from repro.obs import MetricsRegistry
 #: low milliseconds.
 _QUERY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 
-_JOB_EVENTS = ("registered", "completed", "evicted")
-_RECORD_EVENTS = ("submitted", "ingested", "dropped")
+_JOB_EVENTS = ("registered", "completed", "evicted", "stalled", "resumed")
+_RECORD_EVENTS = ("submitted", "ingested", "dropped", "quarantined")
 
 
 def _counter_property(family_attr: str, event: str):
@@ -90,9 +90,12 @@ class ServiceMetrics:
     jobs_registered = _counter_property("_jobs", "registered")
     jobs_completed = _counter_property("_jobs", "completed")
     jobs_evicted = _counter_property("_jobs", "evicted")
+    jobs_stalled = _counter_property("_jobs", "stalled")
+    jobs_resumed = _counter_property("_jobs", "resumed")
     records_submitted = _counter_property("_records", "submitted")
     records_ingested = _counter_property("_records", "ingested")
     records_dropped = _counter_property("_records", "dropped")
+    records_quarantined = _counter_property("_records", "quarantined")
 
     @property
     def steps_assembled(self) -> int:
@@ -180,9 +183,12 @@ class ServiceMetrics:
             "jobs_registered": self.jobs_registered,
             "jobs_completed": self.jobs_completed,
             "jobs_evicted": self.jobs_evicted,
+            "jobs_stalled": self.jobs_stalled,
+            "jobs_resumed": self.jobs_resumed,
             "records_submitted": self.records_submitted,
             "records_ingested": self.records_ingested,
             "records_dropped": self.records_dropped,
+            "records_quarantined": self.records_quarantined,
             "drop_fraction": self.drop_fraction,
             "steps_assembled": self.steps_assembled,
             "queries_served": self.queries_served,
@@ -202,6 +208,8 @@ class ServiceMetrics:
             f"records submitted/ingested/dropped: "
             f"{snap['records_submitted']}/{snap['records_ingested']}/{snap['records_dropped']}"
             f" ({snap['drop_fraction']:.1%} shed)",
+            f"records quarantined               : {snap['records_quarantined']} "
+            f"(jobs stalled {snap['jobs_stalled']}, resumed {snap['jobs_resumed']})",
             f"steps assembled                   : {snap['steps_assembled']}",
             f"queries served                    : {snap['queries_served']} "
             f"(mean {snap['query_seconds_mean'] * 1e6:.0f} us, "

@@ -78,6 +78,7 @@ class FleetSnapshot:
 
     jobs: tuple[JobSnapshot, ...]
     active_jobs: int
+    stalled_jobs: int
     completed_jobs: int
     total_steps: int
     total_records: int
@@ -96,7 +97,8 @@ class FleetSnapshot:
         )
         return [
             f"jobs            : {self.num_jobs} "
-            f"({self.active_jobs} active, {self.completed_jobs} completed)",
+            f"({self.active_jobs} active, {self.stalled_jobs} stalled, "
+            f"{self.completed_jobs} completed)",
             f"steps assembled : {self.total_steps} "
             f"from {self.total_records} records ({self.total_drops} dropped)",
             f"fleet idle      : {self.idle_fraction:.1%}",
@@ -168,6 +170,7 @@ def fleet_snapshot(snapshots: list[JobSnapshot]) -> FleetSnapshot:
     return FleetSnapshot(
         jobs=tuple(snapshots),
         active_jobs=sum(1 for snap in snapshots if snap.state == "active"),
+        stalled_jobs=sum(1 for snap in snapshots if snap.state == "stalled"),
         completed_jobs=sum(1 for snap in snapshots if snap.state == "completed"),
         total_steps=sum(snap.steps_seen for snap in snapshots),
         total_records=sum(snap.records_submitted for snap in snapshots),

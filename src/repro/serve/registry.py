@@ -4,14 +4,17 @@ A *job* is one training run streaming profile records into the service.
 The registry tracks each job's metadata (workload, TPU generation, start
 step) and its lifecycle:
 
-    registered --> active --> completed
-         \\           \\           |
-          +-----------+--> evicted
+    registered --> active <--> stalled --> completed
+         \\           \\           |            |
+          +-----------+----------+--> evicted <+
 
 Jobs activate on their first ingested record, complete when the producer
 declares the run finished, and may be evicted at any point (an evicted
 job's live state is discarded but its registry entry remains for
-accounting). Transitions outside the diagram raise :class:`ServeError`.
+accounting). An active job that goes silent past the service's heartbeat
+deadline is parked in STALLED — still live, still queryable — and
+resumes to ACTIVE on its next record. Transitions outside the diagram
+raise :class:`ServeError`.
 """
 
 from __future__ import annotations
@@ -28,13 +31,19 @@ class JobState(enum.Enum):
 
     REGISTERED = "registered"
     ACTIVE = "active"
+    STALLED = "stalled"
     COMPLETED = "completed"
     EVICTED = "evicted"
 
 
 _TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.REGISTERED: frozenset({JobState.ACTIVE, JobState.EVICTED}),
-    JobState.ACTIVE: frozenset({JobState.COMPLETED, JobState.EVICTED}),
+    JobState.ACTIVE: frozenset(
+        {JobState.STALLED, JobState.COMPLETED, JobState.EVICTED}
+    ),
+    JobState.STALLED: frozenset(
+        {JobState.ACTIVE, JobState.COMPLETED, JobState.EVICTED}
+    ),
     JobState.COMPLETED: frozenset({JobState.EVICTED}),
     JobState.EVICTED: frozenset(),
 }
@@ -55,7 +64,7 @@ class JobInfo:
     @property
     def live(self) -> bool:
         """Whether the job still holds live analysis state."""
-        return self.state in (JobState.REGISTERED, JobState.ACTIVE)
+        return self.state in (JobState.REGISTERED, JobState.ACTIVE, JobState.STALLED)
 
 
 @dataclass
@@ -123,6 +132,12 @@ class JobRegistry:
         return info
 
     def activate(self, job_id: str) -> JobInfo:
+        return self.transition(job_id, JobState.ACTIVE)
+
+    def stall(self, job_id: str) -> JobInfo:
+        return self.transition(job_id, JobState.STALLED)
+
+    def resume(self, job_id: str) -> JobInfo:
         return self.transition(job_id, JobState.ACTIVE)
 
     def complete(self, job_id: str) -> JobInfo:

@@ -12,14 +12,21 @@ which requires the run to have ended.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
 from repro.core.profiler.record import ProfileRecord
-from repro.errors import ServeError
-from repro.serve.ingest import DEFAULT_QUEUE_CAPACITY, IngestAck, IngestQueue
+from repro.core.profiler.serialize import record_checksum
+from repro.errors import ProfilerError, ServeError
+from repro.serve.ingest import (
+    DEFAULT_QUEUE_CAPACITY,
+    IngestAck,
+    IngestQueue,
+    validate_record,
+)
 from repro.serve.live import LiveJobAnalysis
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.query import FleetSnapshot, JobSnapshot, fleet_snapshot, job_snapshot
@@ -28,14 +35,39 @@ from repro.tpu.specs import TpuGeneration
 
 
 @dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record the service refused, and why."""
+
+    job_id: str
+    record: ProfileRecord
+    reason: str
+
+
+@dataclass(frozen=True)
 class FleetServiceOptions:
-    """Configuration of one fleet service instance."""
+    """Configuration of one fleet service instance.
+
+    ``heartbeat_deadline`` is counted in global pump ticks: an ACTIVE
+    job that contributes no accepted record for that many consecutive
+    ``pump()`` rounds is parked in STALLED (None disables stall
+    detection). ``quarantine_capacity`` bounds how many refused records
+    are retained for inspection — the count is unbounded, the evidence
+    is a ring buffer.
+    """
 
     queue_capacity: int = DEFAULT_QUEUE_CAPACITY
     threshold: float = DEFAULT_SIMILARITY_THRESHOLD
     max_jobs: int | None = None
     snapshot_phases: int = 5
     snapshot_operators: int = 3
+    heartbeat_deadline: int | None = None
+    quarantine_capacity: int = 32
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_deadline is not None and self.heartbeat_deadline <= 0:
+            raise ServeError("heartbeat_deadline must be positive when set")
+        if self.quarantine_capacity <= 0:
+            raise ServeError("quarantine_capacity must be positive")
 
 
 @dataclass
@@ -49,6 +81,11 @@ class FleetService:
         self.registry = JobRegistry(max_jobs=self.options.max_jobs)
         self._queues: dict[str, IngestQueue] = {}
         self._analyses: dict[str, LiveJobAnalysis] = {}
+        self._quarantine: deque[QuarantinedRecord] = deque(
+            maxlen=self.options.quarantine_capacity
+        )
+        self._tick = 0
+        self._last_accept_tick: dict[str, int] = {}
 
     # --- tenancy -----------------------------------------------------------
 
@@ -70,30 +107,77 @@ class FleetService:
             threshold=self.options.threshold, peak_flops=info.peak_flops
         )
         self.metrics.jobs_registered += 1
+        self._last_accept_tick[info.job_id] = self._tick
         return info
 
-    def sink(self, job_id: str) -> Callable[[ProfileRecord], None]:
-        """A record callback bound to one job (the producer hand-off)."""
+    def sink(self, job_id: str, transit=None) -> Callable[[ProfileRecord], None]:
+        """A record callback bound to one job (the producer hand-off).
+
+        The producer-side checksum is stamped *before* ``transit`` (a
+        :class:`repro.faults.RecordTransit` or anything with the same
+        ``apply``) touches the record, so corruption on the wire is
+        detectable at submit. A transit returning None models a lost
+        record: nothing is submitted.
+        """
         self.registry.get(job_id)
 
         def _submit(record: ProfileRecord) -> None:
-            self.submit(job_id, record)
+            checksum = record_checksum(record)
+            delivered = record if transit is None else transit.apply(record)
+            if delivered is None:
+                return
+            self.submit(job_id, delivered, checksum=checksum)
 
         return _submit
 
     # --- ingestion ---------------------------------------------------------
 
-    def submit(self, job_id: str, record: ProfileRecord) -> IngestAck:
-        """Enqueue one record for a job; first record activates it."""
+    def submit(
+        self, job_id: str, record: ProfileRecord, checksum: int | None = None
+    ) -> IngestAck:
+        """Enqueue one record for a job; first record activates it.
+
+        Records that fail structural validation — or whose recomputed
+        checksum disagrees with the producer's — are quarantined rather
+        than enqueued: counted, retained for inspection, and answered
+        with ``accepted=False``. A malformed record never reaches the
+        analyses and never raises out of the ingest path.
+        """
         info = self.registry.get(job_id)
         if not info.live:
             raise ServeError(f"job {job_id!r} is {info.state.value}; cannot ingest")
+        self.metrics.records_submitted += 1
+        reason = validate_record(record, checksum=checksum)
+        if reason is not None:
+            self._quarantine_record(job_id, record, reason)
+            return IngestAck(
+                job_id=job_id,
+                accepted=False,
+                dropped=0,
+                depth=self._queues[job_id].depth,
+            )
         if info.state is JobState.REGISTERED:
             self.registry.activate(job_id)
+        elif info.state is JobState.STALLED:
+            self.registry.resume(job_id)
+            self.metrics.jobs_resumed += 1
+        self._last_accept_tick[job_id] = self._tick
         ack = self._queues[job_id].offer(record)
-        self.metrics.records_submitted += 1
         self.metrics.record_drop(job_id, ack.dropped)
         return ack
+
+    def _quarantine_record(self, job_id: str, record: ProfileRecord, reason: str) -> None:
+        self._quarantine.append(
+            QuarantinedRecord(job_id=job_id, record=record, reason=reason)
+        )
+        self.metrics.records_quarantined += 1
+
+    def quarantined(self, job_id: str | None = None) -> list[QuarantinedRecord]:
+        """The retained tail of refused records, optionally per job."""
+        found = list(self._quarantine)
+        if job_id is not None:
+            found = [entry for entry in found if entry.job_id == job_id]
+        return found
 
     def pump(self, job_id: str | None = None, max_records: int | None = None) -> int:
         """Drain queued records into the live analyses.
@@ -101,6 +185,12 @@ class FleetService:
         Returns the number of steps newly assembled. With ``job_id`` the
         drain is restricted to one tenant; ``max_records`` bounds the
         work done in one call so the loop can be scheduled fairly.
+
+        A record the assembler rejects is quarantined, not raised: one
+        tenant's bad stream cannot take the drain loop down for everyone
+        else. Global pumps also advance the heartbeat clock — an ACTIVE
+        job silent for ``heartbeat_deadline`` consecutive global pumps
+        is parked in STALLED.
         """
         with obs.trace("serve.pump", job=job_id or "all") as span:
             if job_id is not None:
@@ -118,10 +208,26 @@ class FleetService:
                 for record in queue.drain(max_records):
                     drained += 1
                     self.metrics.records_ingested += 1
-                    assembled += analysis.ingest(record)
+                    try:
+                        assembled += analysis.ingest(record)
+                    except ProfilerError as error:
+                        self._quarantine_record(queue.job_id, record, str(error))
             self.metrics.steps_assembled += assembled
+            if job_id is None:
+                self._heartbeat_tick()
             span.set(records=drained, steps=assembled)
         return assembled
+
+    def _heartbeat_tick(self) -> None:
+        """One global heartbeat: stall jobs silent past the deadline."""
+        self._tick += 1
+        deadline = self.options.heartbeat_deadline
+        if deadline is None:
+            return
+        for info in self.registry.jobs(state=JobState.ACTIVE):
+            if self._tick - self._last_accept_tick.get(info.job_id, self._tick) >= deadline:
+                self.registry.stall(info.job_id)
+                self.metrics.jobs_stalled += 1
 
     def complete(self, job_id: str) -> JobInfo:
         """Drain what is queued, flush the assembler, close the job."""
@@ -135,6 +241,7 @@ class FleetService:
             self.metrics.steps_assembled += flushed
             info = self.registry.complete(job_id)
             self.metrics.jobs_completed += 1
+            self._last_accept_tick.pop(job_id, None)
             return info
 
     def evict(self, job_id: str) -> JobInfo:
@@ -147,6 +254,7 @@ class FleetService:
         info = self.registry.evict(job_id)
         self._queues.pop(job_id, None)
         self._analyses.pop(job_id, None)
+        self._last_accept_tick.pop(job_id, None)
         self.metrics.jobs_evicted += 1
         self.metrics.record_eviction(job_id)
         return info

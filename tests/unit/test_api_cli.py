@@ -1,5 +1,7 @@
 """The TPUPoint front-end API (Figure 2) and the CLI."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main as cli_main
@@ -81,3 +83,112 @@ class TestCli:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "best config" in out or "tuning trials" in out
+
+
+class TestCliErrorHygiene:
+    """ReproError -> one-line stderr message, exit code 1, no traceback."""
+
+    def test_unknown_workload(self, capsys):
+        code = cli_main(["profile", "no-such-workload"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+
+    def test_missing_fault_plan(self, capsys, tmp_path):
+        code = cli_main(
+            ["profile", "bert-mrpc", "--faults", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "fault plan" in err
+
+    def test_recover_missing_journal(self, capsys, tmp_path):
+        code = cli_main(["recover", str(tmp_path / "gone.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_invalid_threshold_combination(self, capsys):
+        code = cli_main(
+            ["profile", "bert-mrpc", "--method", "kmeans", "--threshold", "0.5"]
+        )
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestCliFaults:
+    PLAN = str(
+        Path(__file__).resolve().parents[2]
+        / "examples"
+        / "faults"
+        / "flaky_master.json"
+    )
+
+    def test_profile_with_faults_then_recover(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        code = cli_main(
+            [
+                "profile",
+                "bert-mrpc",
+                "--faults",
+                self.PLAN,
+                "--journal",
+                str(journal),
+                "--metrics-out",
+                str(tmp_path / "metrics.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "injected faults     : error=" in out
+        assert "client resilience   :" in out
+        assert "recorder            : CRASHED mid-run" in out
+        assert f"record journal      : {journal}" in out
+        metrics_text = (tmp_path / "metrics.json").read_text()
+        assert "repro_profiler_retries_total" in metrics_text
+        assert "repro_faults_injected_total" in metrics_text
+
+        code = cli_main(["recover", str(journal), "--out", str(tmp_path / "rec")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "torn tail       : yes" in out
+        assert "phases (ols" in out
+        assert (tmp_path / "rec" / "ols_trace.json").exists()
+
+    def test_lossless_faults_preserve_phase_count(self, capsys, tmp_path):
+        import json
+        import re
+
+        # Same plan minus the recorder crash: every remaining fault kind
+        # is lossless, so the post-run phase count must match a clean run.
+        plan = json.loads(Path(self.PLAN).read_text(encoding="utf-8"))
+        plan["faults"] = [
+            spec for spec in plan["faults"] if spec["kind"] != "crash"
+        ]
+        plan_path = tmp_path / "lossless.json"
+        plan_path.write_text(json.dumps(plan), encoding="utf-8")
+
+        def phase_count(argv):
+            assert cli_main(argv) == 0
+            out = capsys.readouterr().out
+            match = re.search(r"phases \(ols.*\): (\d+)", out)
+            assert match, out
+            return int(match.group(1))
+
+        clean = phase_count(["profile", "bert-mrpc"])
+        faulty = phase_count(["profile", "bert-mrpc", "--faults", str(plan_path)])
+        assert faulty == clean
+
+    def test_recover_empty_journal(self, capsys, tmp_path):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        code = cli_main(["recover", str(journal)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no intact records survived" in out

@@ -104,3 +104,151 @@ class TestScanner:
         counts = [sweep[t] for t in sorted(sweep)]
         assert all(a <= b for a, b in zip(counts, counts[1:]))
         assert counts[0] == 1
+
+
+class TestLosslessFaultsPreservePhases:
+    """Property: a lossless fault plan never changes live phase labels.
+
+    Errors and timeouts are retried against an unmoved service cursor,
+    and empty/truncated/delayed responses only defer events — so for
+    *any* seeded plan built from retryable fault kinds, the online
+    linear scan must label every step exactly as a fault-free run does.
+    """
+
+    @staticmethod
+    def _phased_log(num_steps=12, flip_at=6):
+        from repro.runtime.events import EventLog, StepKind, StepMetadata, TraceEvent
+
+        log = EventLog()
+        for i in range(num_steps):
+            names = ("matmul", "fusion", "relu") if i < flip_at else ("conv", "pool", "softmax")
+            for j, name in enumerate(names):
+                log.append_event(
+                    TraceEvent(
+                        name,
+                        DeviceKind.TPU,
+                        step=i,
+                        start_us=i * 1000.0 + j * 100.0,
+                        duration_us=50.0,
+                    )
+                )
+            log.append_step(
+                StepMetadata(
+                    step=i,
+                    kind=StepKind.TRAIN,
+                    start_us=i * 1000.0,
+                    end_us=i * 1000.0 + 500.0,
+                    tpu_idle_us=0.0,
+                    mxu_flops=1.0,
+                )
+            )
+        return log
+
+    @staticmethod
+    def _drive(stub):
+        """Pull records to the final response; returns (steps, labels)."""
+        from repro.core.profiler.record import ProfileRecord
+        from repro.core.profiler.streaming import StepStream
+        from repro.errors import CircuitOpenError, ProfileServiceError
+
+        scanner = OnlineLinearScan(threshold=0.7)
+        stream = StepStream()
+        released = []
+        index = 0
+        final = False
+        for _ in range(500):
+            try:
+                response = stub.request_profile(max_events=16, finished=True)
+            except CircuitOpenError:
+                breaker = getattr(stub, "breaker", None)
+                if breaker is not None:
+                    breaker.force_probe()
+                continue
+            except ProfileServiceError as error:
+                if not getattr(error, "retryable", False):
+                    raise
+                continue
+            record = ProfileRecord.from_response(index, response)
+            index += 1
+            for step in stream.submit(record):
+                scanner.observe(step)
+                released.append(step.step)
+            if response.final:
+                final = True
+                break
+        assert final, "drive loop never reached the final response"
+        for step in stream.flush():
+            scanner.observe(step)
+            released.append(step.step)
+        return released, list(scanner.labels)
+
+    def test_lossless_plans_preserve_labels(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.faults import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            FaultTarget,
+            FaultyProfileService,
+            LOSSLESS_KINDS,
+        )
+        from repro.runtime.resilience import (
+            CircuitBreaker,
+            ResilientProfileStub,
+            RetryPolicy,
+        )
+        from repro.runtime.rpc import ProfileService, ProfileStub
+
+        kinds = sorted(LOSSLESS_KINDS, key=lambda kind: kind.value)
+
+        @st.composite
+        def lossless_spec(draw):
+            kind = draw(st.sampled_from(kinds))
+            schedule = draw(st.sampled_from(["probability", "every_nth", "nth"]))
+            kwargs = {}
+            if schedule == "probability":
+                kwargs["probability"] = draw(
+                    st.floats(0.05, 0.9, allow_nan=False, allow_infinity=False)
+                )
+                kwargs["last_request"] = draw(st.integers(1, 60))
+            elif schedule == "every_nth":
+                kwargs["every_nth"] = draw(st.integers(1, 6))
+                kwargs["last_request"] = draw(st.integers(1, 60))
+            else:
+                kwargs["nth"] = tuple(
+                    sorted(draw(st.sets(st.integers(1, 40), min_size=1, max_size=5)))
+                )
+            if kind is FaultKind.DELAY:
+                kwargs["delay_ms"] = draw(
+                    st.floats(10.0, 3000.0, allow_nan=False, allow_infinity=False)
+                )
+            if kind is FaultKind.TRUNCATE:
+                kwargs["truncate_events"] = draw(st.integers(1, 8))
+            return FaultSpec(kind=kind, target=FaultTarget.PROFILE, **kwargs)
+
+        clean_steps, clean_labels = self._drive(
+            ProfileStub(ProfileService(self._phased_log()))
+        )
+        assert clean_steps, "the reference run must release steps"
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            specs=st.lists(lossless_spec(), min_size=1, max_size=3),
+            seed=st.integers(0, 2**32 - 1),
+        )
+        def check(specs, seed):
+            plan = FaultPlan(seed=seed, specs=tuple(specs))
+            assert plan.lossless
+            stub = ResilientProfileStub(
+                FaultyProfileService(ProfileService(self._phased_log()), plan),
+                policy=RetryPolicy(max_attempts=6),
+                breaker=CircuitBreaker(failure_threshold=8, cooldown_requests=2),
+                seed=seed,
+            )
+            faulty_steps, faulty_labels = self._drive(stub)
+            assert faulty_steps == clean_steps
+            assert faulty_labels == clean_labels
+
+        check()

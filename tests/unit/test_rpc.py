@@ -113,3 +113,42 @@ def test_duration_ms_property():
     assert response.duration_ms == pytest.approx(
         (response.window_end_us - response.window_start_us) / 1000.0
     )
+
+
+def test_deadline_validation():
+    with pytest.raises(ProfileServiceError):
+        ProfileRequest(deadline_ms=0.0)
+    assert ProfileRequest(deadline_ms=250.0).deadline_ms == 250.0
+
+
+def test_single_event_longer_than_window_cap():
+    # One event spanning 5ms against a 1ms duration cap: the service
+    # answers with empty truncated windows whose limit marches forward
+    # until the window finally catches up with the event's end.
+    log = EventLog()
+    log.append_event(
+        TraceEvent("op", DeviceKind.TPU, step=0, start_us=0.0, duration_us=5000.0)
+    )
+    service = ProfileService(log)
+    for i in range(4):
+        response = service.serve(ProfileRequest(max_duration_ms=1.0), finished=True)
+        assert response.num_events == 0
+        assert response.truncated
+        assert not response.final
+        assert response.window_end_us == (i + 1) * 1000.0
+    last = service.serve(ProfileRequest(max_duration_ms=1.0), finished=True)
+    assert last.num_events == 1
+    assert last.final
+    assert not last.truncated
+
+
+def test_finished_empty_log_never_stalls():
+    # A drain loop keeps asking until it sees final=True; an empty
+    # finished log must answer final immediately and keep answering
+    # final, so the loop can never spin forever.
+    service = ProfileService(EventLog())
+    for _ in range(3):
+        response = service.serve(ProfileRequest(), finished=True)
+        assert response.final
+        assert response.num_events == 0
+        assert response.window_start_us == response.window_end_us == 0.0

@@ -310,3 +310,181 @@ class TestFleetService:
         assert service.metrics.queries_served == 2
         assert service.metrics.query_seconds_total >= 0.0
         assert service.metrics.format()
+
+
+class TestIngestQueueConcurrency:
+    def test_offer_is_atomic_under_contention(self):
+        import threading
+
+        queue = IngestQueue(job_id="j", capacity=8)
+        producers, per_producer = 8, 200
+        barrier = threading.Barrier(producers)
+
+        def produce(base):
+            barrier.wait()
+            for i in range(per_producer):
+                queue.offer(_record(base + i, []))
+
+        threads = [
+            threading.Thread(target=produce, args=(t * per_producer,))
+            for t in range(producers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Conservation: every offer either grew the queue or shed exactly
+        # one record. A racy offer loses updates and breaks this.
+        assert queue.submitted == producers * per_producer
+        assert queue.depth <= queue.capacity
+        assert queue.submitted - queue.dropped == queue.depth
+        assert len(list(queue.drain())) == queue.capacity
+
+    def test_offers_racing_a_drain(self):
+        import threading
+
+        queue = IngestQueue(job_id="j", capacity=16)
+        producers, per_producer = 4, 300
+        barrier = threading.Barrier(producers + 1)
+        drained = []
+
+        def produce(base):
+            barrier.wait()
+            for i in range(per_producer):
+                queue.offer(_record(base + i, []))
+
+        def drain():
+            barrier.wait()
+            while queue.submitted < producers * per_producer or queue.depth:
+                drained.extend(queue.drain(max_records=8))
+
+        threads = [
+            threading.Thread(target=produce, args=(t * per_producer,))
+            for t in range(producers)
+        ]
+        threads.append(threading.Thread(target=drain))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert queue.submitted == producers * per_producer
+        assert queue.depth == 0
+        assert len(drained) + queue.dropped == queue.submitted
+
+
+class TestQuarantine:
+    def test_checksum_mismatch_is_quarantined(self):
+        from repro.core.profiler.serialize import record_checksum
+
+        service = FleetService()
+        info = service.register("bert-mrpc")
+        record = _record(0, [_step(0, _OPS_A)])
+        ack = service.submit(info.job_id, record, checksum=record_checksum(record) + 1)
+        assert not ack.accepted and ack.dropped == 0
+        assert service.metrics.records_quarantined == 1
+        assert service.queue_depth(info.job_id) == 0
+        # A refused record never activates the job.
+        assert info.state is JobState.REGISTERED
+        entries = service.quarantined(info.job_id)
+        assert len(entries) == 1
+        assert "checksum mismatch" in entries[0].reason
+
+    def test_structurally_invalid_record_is_quarantined(self):
+        service = FleetService()
+        info = service.register("bert-mrpc")
+        inverted = ProfileRecord(index=0, window_start_us=10.0, window_end_us=1.0)
+        ack = service.submit(info.job_id, inverted)
+        assert not ack.accepted
+        assert "inverted window" in service.quarantined()[0].reason
+        # A sound record afterwards is accepted and activates the job.
+        assert service.submit(info.job_id, _record(0, [_step(0, _OPS_A)])).accepted
+        assert info.state is JobState.ACTIVE
+
+    def test_quarantine_evidence_is_bounded(self):
+        service = FleetService(FleetServiceOptions(quarantine_capacity=2))
+        info = service.register("bert-mrpc")
+        for index in range(5):
+            service.submit(
+                info.job_id,
+                ProfileRecord(index=index, window_start_us=1.0, window_end_us=0.0),
+            )
+        # The count is exact; the retained evidence is a ring buffer.
+        assert service.metrics.records_quarantined == 5
+        kept = service.quarantined(info.job_id)
+        assert [entry.record.index for entry in kept] == [3, 4]
+
+    def test_pump_quarantines_what_the_assembler_rejects(self):
+        service = FleetService()
+        info = service.register("bert-mrpc")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A), _step(1, _OPS_A)]))
+        service.pump()
+        # Step 0 was released; a record revisiting it is rejected by the
+        # assembler, quarantined, and the drain loop keeps running.
+        service.submit(info.job_id, _record(1, [_step(0, _OPS_B)]))
+        service.pump()
+        assert service.metrics.records_quarantined == 1
+        assert "revisits" in service.quarantined(info.job_id)[0].reason
+        service.submit(info.job_id, _record(2, [_step(2, _OPS_A)]))
+        assert service.pump() >= 1  # healthy ingestion continues
+
+    def test_validate_record_passes_sound_records(self):
+        from repro.core.profiler.serialize import record_checksum
+        from repro.serve import validate_record
+
+        record = _record(0, [_step(0, _OPS_A)])
+        assert validate_record(record) is None
+        assert validate_record(record, checksum=record_checksum(record)) is None
+
+
+class TestStalling:
+    def _service(self, deadline=2):
+        return FleetService(FleetServiceOptions(heartbeat_deadline=deadline))
+
+    def test_silent_job_stalls_after_the_deadline(self):
+        service = self._service(deadline=2)
+        info = service.register("bert-mrpc")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        service.pump()
+        assert info.state is JobState.ACTIVE
+        service.pump()  # second silent global pump crosses the deadline
+        assert info.state is JobState.STALLED
+        assert service.metrics.jobs_stalled == 1
+        snapshot = service.fleet_snapshot()
+        assert snapshot.stalled_jobs == 1
+        assert "1 stalled" in "\n".join(snapshot.format())
+
+    def test_accepted_record_resumes_a_stalled_job(self):
+        service = self._service(deadline=1)
+        info = service.register("bert-mrpc")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        service.pump()
+        assert info.state is JobState.STALLED
+        ack = service.submit(info.job_id, _record(1, [_step(1, _OPS_A)]))
+        assert ack.accepted
+        assert info.state is JobState.ACTIVE
+        assert service.metrics.jobs_resumed == 1
+
+    def test_job_scoped_pumps_do_not_advance_the_heartbeat(self):
+        service = self._service(deadline=1)
+        info = service.register("bert-mrpc")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        for _ in range(5):
+            service.pump(info.job_id)
+        assert info.state is JobState.ACTIVE
+
+    def test_stalled_job_can_still_complete(self):
+        service = self._service(deadline=1)
+        info = service.register("bert-mrpc")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        service.pump()
+        assert info.state is JobState.STALLED
+        service.complete(info.job_id)
+        assert info.state is JobState.COMPLETED
+
+    def test_no_deadline_means_no_stalls(self):
+        service = FleetService()
+        info = service.register("bert-mrpc")
+        service.submit(info.job_id, _record(0, [_step(0, _OPS_A)]))
+        for _ in range(10):
+            service.pump()
+        assert info.state is JobState.ACTIVE
