@@ -1,0 +1,213 @@
+"""Extension: the parallel analyzer engine's shared-work wins.
+
+Three claims, each measured and asserted (docs/performance.md):
+
+1. The DBSCAN min_samples sweep spends exactly ONE distance pass — the
+   neighbor graph (and the k-distance eps) are computed in a single
+   blocked traversal and every sweep point is a cheap relabeling. The
+   baseline (the pre-engine behaviour: one eps pass plus one graph
+   build per sweep value) is re-run here for comparison and must be at
+   least 3x slower at one worker, with byte-identical labels.
+2. The k-means (k x restart) grid fans out over the deterministic
+   worker pool with bit-identical labels and inertia at every width.
+   On multi-core hosts the wall-time falls with width; this bench
+   asserts only the identity and reports the measured scaling.
+3. The memo cache turns a repeated sweep into a table lookup.
+
+``--quick`` (the CI perf-smoke guard) runs a smaller matrix and only
+the correctness assertions — most importantly that the sweep's
+distance-pass counter reads exactly 1.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.analyzer.dbscan import (
+    MIN_SAMPLES_SWEEP,
+    dbscan,
+    default_eps,
+    sweep_min_samples,
+)
+from repro.core.analyzer.distance import distance_passes, reset_pass_counter
+from repro.core.analyzer.kmeans import sweep_k
+from repro.parallel import WorkerPool
+
+_SEED = 20260805
+_WORKER_WIDTHS = (1, 2, 4, 8)
+_FULL_STEPS, _FULL_DIMS = 700, 12
+_QUICK_STEPS, _QUICK_DIMS = 160, 6
+
+
+def _step_matrix(n: int, dims: int) -> np.ndarray:
+    """Synthetic PCA-reduced step vectors shaped like a profiled run.
+
+    A dominant dense blob (train steps), a smaller offset blob (eval),
+    and diffuse outliers (checkpoint/setup) — the structure both
+    clustering methods see in real Table I runs.
+    """
+    rng = np.random.default_rng(_SEED)
+    train = rng.normal(0.0, 0.6, size=(int(n * 0.8), dims))
+    evals = rng.normal(4.0, 0.9, size=(int(n * 0.15), dims))
+    rest = rng.normal(-5.0, 2.0, size=(n - len(train) - len(evals), dims))
+    return np.concatenate([train, evals, rest])
+
+
+def _dbscan_baseline(matrix: np.ndarray, values: list[int]) -> dict:
+    """The pre-engine sweep: eps once, then one graph build per value."""
+    eps = default_eps(matrix)
+    return {ms: dbscan(matrix, eps, ms) for ms in values}
+
+
+def run_dbscan_comparison(matrix: np.ndarray, min_speedup: float | None) -> list[str]:
+    values = list(MIN_SAMPLES_SWEEP)
+
+    reset_pass_counter()
+    began = time.perf_counter()
+    baseline = _dbscan_baseline(matrix, values)
+    baseline_seconds = time.perf_counter() - began
+    baseline_passes = distance_passes()
+
+    reset_pass_counter()
+    began = time.perf_counter()
+    shared = sweep_min_samples(matrix, values)
+    shared_seconds = time.perf_counter() - began
+    shared_passes = distance_passes()
+
+    assert shared_passes == 1, (
+        f"DBSCAN sweep spent {shared_passes} distance passes; the shared "
+        f"neighbor graph must cost exactly one"
+    )
+    for ms in values:
+        assert np.array_equal(baseline[ms].labels, shared[ms].labels), (
+            f"shared-graph labels diverge from per-call labels at "
+            f"min_samples={ms}"
+        )
+    speedup = baseline_seconds / shared_seconds
+    if min_speedup is not None:
+        assert speedup >= min_speedup, (
+            f"shared-graph sweep is only {speedup:.2f}x faster than the "
+            f"per-value baseline (need >= {min_speedup}x)"
+        )
+    return [
+        f"dbscan sweep ({len(values)} min_samples values, "
+        f"{matrix.shape[0]} steps x {matrix.shape[1]} dims)",
+        f"  baseline (graph per value): {baseline_seconds * 1e3:8.1f} ms, "
+        f"{baseline_passes} distance passes",
+        f"  shared neighbor graph     : {shared_seconds * 1e3:8.1f} ms, "
+        f"{shared_passes} distance pass",
+        f"  speedup at 1 worker       : {speedup:8.2f}x  (labels identical)",
+    ]
+
+
+def run_kmeans_scaling(matrix: np.ndarray) -> list[str]:
+    k_values = range(1, 9)
+    reference = None
+    lines = [f"kmeans sweep (k = 1..8, 4 restarts each, seed {_SEED % 100})"]
+    serial_seconds = None
+    for width in _WORKER_WIDTHS:
+        with WorkerPool(width) as pool:
+            began = time.perf_counter()
+            results = sweep_k(matrix, k_values, seed=_SEED % 100, pool=pool)
+            elapsed = time.perf_counter() - began
+        if reference is None:
+            reference = results
+            serial_seconds = elapsed
+        else:
+            for k in reference:
+                assert np.array_equal(reference[k].labels, results[k].labels)
+                assert reference[k].inertia == results[k].inertia
+        lines.append(
+            f"  workers={width}: {elapsed * 1e3:8.1f} ms  "
+            f"(x{serial_seconds / elapsed:4.2f} vs serial, results identical)"
+        )
+    return lines
+
+
+def run_cache_comparison(matrix: np.ndarray) -> list[str]:
+    from repro.core.analyzer.cache import AnalysisCache, matrix_key
+
+    cache = AnalysisCache()
+    key = matrix_key(matrix, "kmeans_sweep", seed=_SEED % 100, k_values=list(range(1, 9)))
+
+    began = time.perf_counter()
+    cold = {k: r.inertia for k, r in sweep_k(matrix, range(1, 9), seed=_SEED % 100).items()}
+    cold_seconds = time.perf_counter() - began
+    cache.put_table(key, {str(k): v for k, v in cold.items()})
+
+    began = time.perf_counter()
+    warm = cache.get_table(key)
+    warm_seconds = time.perf_counter() - began
+    assert {int(k): v for k, v in warm.items()} == cold
+    return [
+        "memo cache (kmeans sweep table)",
+        f"  cold sweep : {cold_seconds * 1e3:8.1f} ms",
+        f"  cache hit  : {warm_seconds * 1e3:8.3f} ms "
+        f"(x{cold_seconds / max(warm_seconds, 1e-9):.0f})",
+    ]
+
+
+def run_quick() -> list[str]:
+    """The CI perf-smoke guard: correctness only, small matrix."""
+    matrix = _step_matrix(_QUICK_STEPS, _QUICK_DIMS)
+    lines = run_dbscan_comparison(matrix, min_speedup=None)
+
+    with WorkerPool(2) as pool:
+        parallel = sweep_k(matrix, range(1, 5), seed=_SEED % 100, pool=pool)
+    serial = sweep_k(matrix, range(1, 5), seed=_SEED % 100)
+    for k in serial:
+        assert np.array_equal(serial[k].labels, parallel[k].labels)
+        assert serial[k].inertia == parallel[k].inertia
+    lines.append("kmeans workers=2 identical to serial: ok")
+    lines.append("perf-smoke: distance-pass guard holds (sweep == 1 pass)")
+    return lines
+
+
+def run_full() -> list[str]:
+    matrix = _step_matrix(_FULL_STEPS, _FULL_DIMS)
+    lines = run_dbscan_comparison(matrix, min_speedup=3.0)
+    lines += run_kmeans_scaling(matrix)
+    lines += run_cache_comparison(matrix)
+    return lines
+
+
+def test_ext_parallel_engine(benchmark):
+    from _harness import emit, once
+
+    lines: list[str] = []
+
+    def run_all():
+        lines.extend(run_full())
+
+    once(benchmark, run_all)
+    emit(
+        "ext_parallel",
+        "Extension: parallel analyzer engine (shared kernels + worker pool)",
+        lines,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="correctness-only smoke run (the CI distance-pass guard)",
+    )
+    args = parser.parse_args(argv)
+    title = "Extension: parallel analyzer engine (shared kernels + worker pool)"
+    if args.quick:
+        lines = run_quick()
+        print("\n".join([f"== {title} (quick) =="] + lines))
+    else:
+        from _harness import emit
+
+        lines = run_full()
+        emit("ext_parallel", title, lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

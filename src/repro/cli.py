@@ -81,6 +81,10 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--journal", default=None, help="crash-safe record journal path (JSONL)"
     )
+    profile.add_argument(
+        "--workers", type=int, default=1,
+        help="analyzer worker threads for the clustering sweeps (default 1)",
+    )
     _add_obs_flags(profile)
 
     analyze = subparsers.add_parser(
@@ -97,6 +101,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="OLS step-similarity threshold in [0, 1] (default 0.70)",
     )
     analyze.add_argument("--out", default=None, help="directory for trace/CSV exports")
+    analyze.add_argument(
+        "--workers", type=int, default=1,
+        help="analyzer worker threads for the clustering sweeps (default 1)",
+    )
+    analyze.add_argument(
+        "--cache-dir", default=None,
+        help="memo-cache directory; repeated analyses skip completed stages",
+    )
     _add_obs_flags(analyze)
 
     report = subparsers.add_parser(
@@ -160,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="fail on mid-journal corruption instead of skipping it",
+    )
+    recover.add_argument(
+        "--workers", type=int, default=1,
+        help="analyzer worker threads for the clustering sweeps (default 1)",
+    )
+    recover.add_argument(
+        "--cache-dir", default=None,
+        help="memo-cache directory; a re-run after recovery skips completed stages",
     )
 
     obs_cmd = subparsers.add_parser(
@@ -249,6 +269,15 @@ def _detector_params(args: argparse.Namespace) -> dict:
     return {"threshold": args.threshold}
 
 
+def _analysis_cache(args: argparse.Namespace):
+    """An on-disk memo cache when --cache-dir was given, else None."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.core.analyzer import AnalysisCache
+
+    return AnalysisCache(directory=args.cache_dir)
+
+
 def _cmd_list() -> int:
     print(f"{'key':22s} {'model':12s} {'dataset':10s} {'type':22s} {'size':>12s}")
     for key in PAPER_WORKLOADS:
@@ -316,7 +345,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"TPU bill            : ${cost.tpu_dollars:.4f} "
           f"({cost.idle_dollar_fraction:.0%} paid for idle time)")
 
-    analyzer: TPUPointAnalyzer = tpupoint.analyzer()
+    analyzer: TPUPointAnalyzer = tpupoint.analyzer(workers=args.workers)
     result = analyzer.analyze(args.method, **detector_params)
     report = result.coverage()
     print(f"\nphases ({args.method}, params {result.params}): {result.num_phases}")
@@ -337,6 +366,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         paths = analyzer.export(args.out, result)
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
+    analyzer.close()
     _dump_obs(args)
     return 0
 
@@ -417,7 +447,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.profiler.serialize import load_records
 
     records = load_records(args.records)
-    analyzer = TPUPointAnalyzer(records)
+    analyzer = TPUPointAnalyzer(
+        records, workers=args.workers, cache=_analysis_cache(args)
+    )
     result = analyzer.analyze(args.method, **_detector_params(args))
     report = result.coverage()
     print(f"records  : {len(records)} ({len(analyzer.steps)} steps)")
@@ -431,6 +463,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         paths = analyzer.export(args.out, result)
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
+    analyzer.close()
     _dump_obs(args)
     return 0
 
@@ -445,7 +478,9 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     if not recovery.records:
         print("no intact records survived; nothing to analyze")
         return 0
-    analyzer = TPUPointAnalyzer(list(recovery.records))
+    analyzer = TPUPointAnalyzer(
+        list(recovery.records), workers=args.workers, cache=_analysis_cache(args)
+    )
     result = analyzer.analyze(args.method, **_detector_params(args))
     print(f"phases ({args.method}, params {result.params}): {result.num_phases}")
     print(f"top-3 phase coverage: {result.coverage().top(3):.1%}")
@@ -457,6 +492,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         paths = analyzer.export(args.out, result)
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
+    analyzer.close()
     return 0
 
 

@@ -6,11 +6,23 @@ build frequency vectors, detect phases with any of the three algorithms
 three-stage descriptions of Section IV-A, including the elbow-method
 selection of k (k-means) and of the minimum sample count (DBSCAN).
 
-k-means and DBSCAN post-process the whole run and hold the full feature
-matrix (DBSCAN additionally a pairwise-distance matrix); the optional
-``memory_budget_bytes`` enforces that footprint, reproducing the paper's
-note that both clustering methods hit memory limits on the largest
-workloads while OLS — which holds only two steps of state — never does.
+k-means and DBSCAN post-process the whole run; the optional
+``memory_budget_bytes`` bounds that footprint — the feature matrix for
+k-means, the neighbor graph plus one O(block x n) distance block for
+DBSCAN (the blocked shared kernel of
+:mod:`repro.core.analyzer.distance` replaced the old O(n^2 d) broadcast
+tensor) — reproducing the paper's note that both clustering methods hit
+memory limits on the largest workloads while OLS, which holds only two
+steps of state, never does.
+
+Sweeps share work aggressively (see ``docs/performance.md``): the
+DBSCAN min_samples sweep spends exactly one distance pass and relabels
+a cached neighbor graph per sweep point; the k-means k-sweep and its
+k-means++ restarts fan out over a deterministic
+:class:`repro.parallel.WorkerPool` (``workers=``, bit-identical at any
+width); and a content-hashed :class:`~repro.core.analyzer.cache.AnalysisCache`
+memoizes feature matrix → PCA reduction → sweep results across repeated
+invocations.
 """
 
 from __future__ import annotations
@@ -24,15 +36,24 @@ from repro import obs
 from repro.core.analyzer import dbscan as dbscan_mod
 from repro.core.analyzer import kmeans as kmeans_mod
 from repro.core.analyzer import ols as ols_mod
+from repro.core.analyzer.cache import AnalysisCache, matrix_key
 from repro.core.analyzer.coverage import CoverageReport, coverage
 from repro.core.analyzer.csvexport import write_operator_csv, write_phase_csv
+from repro.core.analyzer.distance import NeighborGraph, build_neighbor_graph
 from repro.core.analyzer.elbow import find_elbow
 from repro.core.analyzer.features import FeatureMatrix, build_features, merge_records
 from repro.core.analyzer.pca import PCA
 from repro.core.analyzer.phases import Phase, build_phases
 from repro.core.analyzer.visualize import write_chrome_trace
 from repro.core.profiler.record import ProfileRecord, StepStats
-from repro.errors import AnalyzerError, ClusteringError
+from repro.errors import AnalyzerError, AnalyzerMemoryError, ClusteringError
+from repro.parallel import WorkerPool
+
+__all__ = [
+    "AnalysisResult",
+    "AnalyzerMemoryError",
+    "TPUPointAnalyzer",
+]
 
 _DURATION_SECONDS = obs.histogram(
     "repro_analyzer_duration_seconds",
@@ -46,10 +67,6 @@ _SWEEP_SECONDS = obs.histogram(
     labels=("algorithm",),
     buckets=obs.ALGORITHM_BUCKETS,
 )
-
-
-class AnalyzerMemoryError(AnalyzerError):
-    """A clustering method exceeded the analyzer's memory budget."""
 
 
 @dataclass(frozen=True)
@@ -114,15 +131,25 @@ class AnalysisResult:
 
 @dataclass
 class TPUPointAnalyzer:
-    """Post-execution analysis over one run's profile records."""
+    """Post-execution analysis over one run's profile records.
+
+    ``workers`` widens the sweep fan-out (1 = serial; any width gives
+    bit-identical results); ``cache`` memoizes PCA reductions and sweep
+    series by content hash, in memory and — when constructed with a
+    directory — across processes.
+    """
 
     records: list[ProfileRecord]
     max_pca_dims: int = 100
     memory_budget_bytes: float | None = None
     seed: int = 0
+    workers: int = 1
+    cache: AnalysisCache | None = None
     _steps: list[StepStats] | None = field(default=None, repr=False)
     _features: FeatureMatrix | None = field(default=None, repr=False)
     _reduced: np.ndarray | None = field(default=None, repr=False)
+    _pool: WorkerPool | None = field(default=None, repr=False)
+    _graph: NeighborGraph | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.records:
@@ -149,17 +176,38 @@ class TPUPointAnalyzer:
                 self._features = build_features(self.steps)
         return self._features
 
+    @property
+    def pool(self) -> WorkerPool:
+        """The deterministic executor behind the parallel sweep paths."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers, label="analyzer")
+        return self._pool
+
+    def close(self) -> None:
+        """Release pool threads (safe to call on a never-used analyzer)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+
     def reduced_matrix(self) -> np.ndarray:
         """PCA-reduced step vectors (at most ``max_pca_dims`` dims)."""
         if self._reduced is None:
             combined = self.features.combined(standardize=True)
             self._check_memory(combined.nbytes, "k-means feature matrix")
+            key = None
+            if self.cache is not None:
+                key = matrix_key(combined, "pca", max_dims=self.max_pca_dims)
+                cached = self.cache.get_array(key)
+                if cached is not None:
+                    self._reduced = cached
+                    return self._reduced
             with obs.trace(
                 "analyzer.pca", rows=combined.shape[0], dims=combined.shape[1]
             ) as span:
                 pca = PCA(max_components=self.max_pca_dims)
                 self._reduced = pca.fit_transform(combined)
                 span.set(reduced_dims=self._reduced.shape[1])
+            if key is not None:
+                self.cache.put_array(key, self._reduced)
         return self._reduced
 
     def _check_memory(self, required_bytes: float, what: str) -> None:
@@ -174,37 +222,58 @@ class TPUPointAnalyzer:
     def _kmeans_results(
         self, k_values: range | list[int]
     ) -> dict[int, kmeans_mod.KMeansResult]:
-        """Instrumented k sweep: one nested span per per-k fit.
+        """Instrumented k sweep: the (k x restart) grid over the pool.
 
-        Mirrors :func:`repro.core.analyzer.kmeans.sweep_k` (same rng
-        sequence, same infeasible-k handling) but records the sweep and
-        each fit as toolchain spans plus a sweep-duration histogram.
+        Every fit draws from its own seed-derived substream
+        (:func:`repro.core.analyzer.kmeans.restart_key`), so the result
+        is bit-identical at any ``workers`` width.
         """
         matrix = self.reduced_matrix()
-        rng = np.random.default_rng(self.seed)
         began = time.perf_counter()
-        with obs.trace("analyzer.kmeans_sweep", steps=matrix.shape[0]) as span:
-            results: dict[int, kmeans_mod.KMeansResult] = {}
-            for k in k_values:
-                if k > matrix.shape[0]:
-                    break
-                with obs.trace("analyzer.kmeans_fit", k=k) as fit_span:
-                    result = kmeans_mod.kmeans(matrix, k, rng)
-                    fit_span.set(inertia=result.inertia, iterations=result.iterations)
-                results[k] = result
-            if not results:
+        with obs.trace(
+            "analyzer.kmeans_sweep", steps=matrix.shape[0], workers=self.pool.workers
+        ) as span:
+            feasible = [k for k in k_values if k <= matrix.shape[0]]
+            if not feasible:
                 raise ClusteringError("no feasible k values for the sample count")
+            if self.pool.is_serial:
+                # Inline execution keeps one span per k nested under the
+                # sweep span (span parents never cross threads).
+                results: dict[int, kmeans_mod.KMeansResult] = {}
+                for k in feasible:
+                    with obs.trace("analyzer.kmeans_fit", k=k) as fit_span:
+                        result = kmeans_mod.kmeans(matrix, k, seed=self.seed)
+                        fit_span.set(inertia=result.inertia, iterations=result.iterations)
+                    results[k] = result
+            else:
+                results = kmeans_mod.sweep_k(
+                    matrix, feasible, seed=self.seed, pool=self.pool
+                )
             span.set(k_count=len(results))
         _SWEEP_SECONDS.labels(algorithm="kmeans").observe(time.perf_counter() - began)
         return results
 
-    def kmeans_sweep(self, k_values: range | list[int] = range(1, 16)) -> dict[int, float]:
-        """SSD per k (Figure 4's series)."""
+    def kmeans_sweep(self, k_values: range | list[int] = kmeans_mod.K_SWEEP) -> dict[int, float]:
+        """SSD per k (Figure 4's series), memoized by content hash."""
+        key = None
+        if self.cache is not None:
+            key = matrix_key(
+                self.reduced_matrix(),
+                "kmeans_sweep",
+                seed=self.seed,
+                k_values=list(k_values),
+            )
+            cached = self.cache.get_table(key)
+            if cached is not None:
+                return {int(k): float(v) for k, v in cached.items()}
         results = self._kmeans_results(k_values)
-        return {k: result.inertia for k, result in results.items()}
+        sweep = {k: result.inertia for k, result in results.items()}
+        if key is not None:
+            self.cache.put_table(key, {str(k): v for k, v in sweep.items()})
+        return sweep
 
     def choose_k(
-        self, k_values: range | list[int] = range(1, 16), criterion: str = "elbow"
+        self, k_values: range | list[int] = kmeans_mod.K_SWEEP, criterion: str = "elbow"
     ) -> int:
         """Select k by the elbow method (the paper) or SimPoint's BIC."""
         if criterion == "elbow":
@@ -224,36 +293,84 @@ class TPUPointAnalyzer:
             if k is None:
                 k = self.choose_k()
             matrix = self.reduced_matrix()
-            rng = np.random.default_rng(self.seed)
-            with obs.trace("analyzer.kmeans_fit", k=k):
-                result = kmeans_mod.kmeans(matrix, k, rng)
-            span.set(k=k, phases=len(set(result.labels.tolist())))
+            key = labels = inertia = None
+            if self.cache is not None:
+                key = matrix_key(matrix, "kmeans_labels", seed=self.seed, k=k)
+                table = self.cache.get_table(key)
+                if table is not None:
+                    labels = np.asarray(table["labels"], dtype=int)
+                    inertia = float(table["inertia"])
+            if labels is None:
+                with obs.trace("analyzer.kmeans_fit", k=k):
+                    result = kmeans_mod.kmeans(
+                        matrix, k, seed=self.seed, pool=self.pool
+                    )
+                labels, inertia = result.labels, result.inertia
+                if key is not None:
+                    self.cache.put_table(
+                        key, {"labels": labels.tolist(), "inertia": inertia}
+                    )
+            span.set(k=k, phases=len(set(labels.tolist())))
             analysis = AnalysisResult(
                 method="kmeans",
-                params={"k": k, "inertia": result.inertia},
-                labels=result.labels,
-                phases=build_phases(self.steps, result.labels),
+                params={"k": k, "inertia": inertia},
+                labels=labels,
+                phases=build_phases(self.steps, labels),
             )
         _DURATION_SECONDS.labels(algorithm="kmeans").observe(time.perf_counter() - began)
         return analysis
 
     # --- DBSCAN ---------------------------------------------------------------
 
+    def neighbor_graph(self) -> NeighborGraph:
+        """The eps-neighborhood graph, built once and reused.
+
+        One blocked distance pass computes both the k-distance eps
+        heuristic and the adjacency; the min_samples sweep, the elbow
+        choice, and ``dbscan_phases`` all relabel this same graph.
+        """
+        if self._graph is None:
+            matrix = self.reduced_matrix()
+            self._graph = build_neighbor_graph(
+                matrix, memory_budget_bytes=self.memory_budget_bytes
+            )
+        return self._graph
+
     def dbscan_sweep(
-        self, min_samples_values: range | list[int] = range(5, 181, 25)
+        self, min_samples_values: range | list[int] = dbscan_mod.MIN_SAMPLES_SWEEP
     ) -> dict[int, float]:
-        """Noise ratio per min_samples (Figure 5's series)."""
-        matrix = self.reduced_matrix()
-        self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
+        """Noise ratio per min_samples (Figure 5's series), memoized."""
+        key = None
+        if self.cache is not None:
+            key = matrix_key(
+                self.reduced_matrix(),
+                "dbscan_sweep",
+                values=list(min_samples_values),
+            )
+            cached = self.cache.get_table(key)
+            if cached is not None:
+                return {int(ms): float(v) for ms, v in cached.items()}
         began = time.perf_counter()
-        with obs.trace("analyzer.dbscan_sweep", steps=matrix.shape[0]) as span:
-            results = dbscan_mod.sweep_min_samples(matrix, min_samples_values)
+        with obs.trace(
+            "analyzer.dbscan_sweep",
+            steps=self.reduced_matrix().shape[0],
+            workers=self.pool.workers,
+        ) as span:
+            results = dbscan_mod.sweep_min_samples(
+                self.reduced_matrix(),
+                min_samples_values,
+                graph=self.neighbor_graph(),
+                pool=self.pool,
+            )
             span.set(sweep_points=len(results))
         _SWEEP_SECONDS.labels(algorithm="dbscan").observe(time.perf_counter() - began)
-        return {ms: result.noise_ratio for ms, result in results.items()}
+        sweep = {ms: result.noise_ratio for ms, result in results.items()}
+        if key is not None:
+            self.cache.put_table(key, {str(ms): v for ms, v in sweep.items()})
+        return sweep
 
     def choose_min_samples(
-        self, min_samples_values: range | list[int] = range(5, 181, 25)
+        self, min_samples_values: range | list[int] = dbscan_mod.MIN_SAMPLES_SWEEP
     ) -> int:
         """Elbow-selected minimum sample count."""
         sweep = self.dbscan_sweep(min_samples_values)
@@ -266,16 +383,14 @@ class TPUPointAnalyzer:
         """Detect phases with DBSCAN; noise forms its own phase."""
         began = time.perf_counter()
         with obs.trace("analyzer.dbscan_phases", min_samples=min_samples) as span:
-            matrix = self.reduced_matrix()
-            self._check_memory(matrix.shape[0] ** 2 * 8.0, "DBSCAN distance matrix")
-            eps = dbscan_mod.default_eps(matrix)
-            result = dbscan_mod.dbscan(matrix, eps, min_samples)
-            span.set(eps=eps, noise_ratio=result.noise_ratio)
+            graph = self.neighbor_graph()
+            result = dbscan_mod.dbscan_from_graph(graph, min_samples)
+            span.set(eps=graph.eps, noise_ratio=result.noise_ratio)
             analysis = AnalysisResult(
                 method="dbscan",
                 params={
                     "min_samples": min_samples,
-                    "eps": eps,
+                    "eps": graph.eps,
                     "noise_ratio": result.noise_ratio,
                 },
                 labels=result.labels,

@@ -4,6 +4,12 @@ TPUPoint-Analyzer runs k-means for k = 1..15 on the PCA-reduced step
 vectors and picks k with the elbow method on the sum of squared distances
 to centroids (Section IV-A), mirroring SimPoint's methodology with the
 elbow heuristic replacing the BIC.
+
+The assignment step uses the blocked shared distance kernel
+(:mod:`repro.core.analyzer.distance`), and the sweep/restart fan-out
+runs on :class:`repro.parallel.WorkerPool`: every (k, restart) task
+draws from its own named RNG substream, so any worker count — including
+the serial inline pool — produces bit-identical labels and inertia.
 """
 
 from __future__ import annotations
@@ -12,7 +18,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.analyzer.distance import pairwise_sq_distances
 from repro.errors import ClusteringError
+from repro.parallel import WorkerPool, task_rng
+
+#: The paper's k sweep: k = 1..15 (Section IV-A).
+K_SWEEP = range(1, 16)
+
+DEFAULT_N_INIT = 4
 
 
 @dataclass(frozen=True)
@@ -49,22 +62,42 @@ def _kmeanspp_init(
     return centers
 
 
+def restart_key(k: int, restart: int) -> str:
+    """The RNG-substream name of one (k, restart) task.
+
+    Naming the stream by task identity — never by execution order — is
+    what keeps the parallel sweep bit-identical to the serial one.
+    """
+    return f"analyzer.kmeans/k={k}/init={restart}"
+
+
 def kmeans(
     matrix: np.ndarray,
     k: int,
     rng: np.random.Generator | None = None,
     max_iterations: int = 300,
     tolerance: float = 1e-6,
-    n_init: int = 4,
+    n_init: int = DEFAULT_N_INIT,
+    *,
+    seed: int | None = None,
+    pool: WorkerPool | None = None,
 ) -> KMeansResult:
     """Cluster rows of ``matrix`` into ``k`` groups.
 
     Runs ``n_init`` independent k-means++ seedings and keeps the lowest
     inertia, so the SSD-vs-k curve stays monotone enough for the elbow
-    method.
+    method. Passing ``rng`` preserves the legacy behaviour of restarts
+    consuming one shared sequential stream; passing ``seed`` gives each
+    restart its own derived substream (:func:`restart_key`) and lets the
+    restarts fan out over ``pool`` with identical results.
     """
     if n_init <= 0:
         raise ClusteringError("n_init must be positive")
+    if seed is not None:
+        fits = _fit_tasks(
+            matrix, [(k, i) for i in range(n_init)], seed, pool, max_iterations, tolerance
+        )
+        return _best_of(fits)
     rng = rng or np.random.default_rng(0)
     best: KMeansResult | None = None
     for _ in range(n_init):
@@ -73,6 +106,39 @@ def kmeans(
             best = candidate
     assert best is not None
     return best
+
+
+def _best_of(fits: list[KMeansResult]) -> KMeansResult:
+    """Lowest inertia wins; ties break to the earliest restart.
+
+    Matches the serial ``<`` reduction, so the parallel path picks the
+    same winner.
+    """
+    best = fits[0]
+    for candidate in fits[1:]:
+        if candidate.inertia < best.inertia:
+            best = candidate
+    return best
+
+
+def _fit_tasks(
+    matrix: np.ndarray,
+    tasks: list[tuple[int, int]],
+    seed: int,
+    pool: WorkerPool | None,
+    max_iterations: int,
+    tolerance: float,
+) -> list[KMeansResult]:
+    """Run (k, restart) fits, each on its own RNG substream, in order."""
+
+    def fit(task: tuple[int, int]) -> KMeansResult:
+        k, restart = task
+        rng = task_rng(seed, restart_key(k, restart))
+        return _kmeans_once(matrix, k, rng, max_iterations, tolerance)
+
+    if pool is not None:
+        return pool.map(fit, tasks)
+    return [fit(task) for task in tasks]
 
 
 def _kmeans_once(
@@ -95,8 +161,8 @@ def _kmeans_once(
     centers = _kmeanspp_init(matrix, k, rng)
     labels = np.zeros(n, dtype=int)
     for iteration in range(1, max_iterations + 1):
-        # Assignment step.
-        distances = ((matrix[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        # Assignment step (blocked Gram kernel, O(block x k) transient).
+        distances = pairwise_sq_distances(matrix, centers)
         labels = distances.argmin(axis=1)
         # Update step.
         new_centers = centers.copy()
@@ -108,7 +174,7 @@ def _kmeans_once(
         centers = new_centers
         if shift <= tolerance:
             break
-    distances = ((matrix[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    distances = pairwise_sq_distances(matrix, centers)
     labels = distances.argmin(axis=1)
     inertia = float(distances[np.arange(n), labels].sum())
     return KMeansResult(k=k, labels=labels, centers=centers, inertia=inertia, iterations=iteration)
@@ -116,16 +182,32 @@ def _kmeans_once(
 
 def sweep_k(
     matrix: np.ndarray,
-    k_values: range | list[int] = range(1, 16),
+    k_values: range | list[int] = K_SWEEP,
     rng: np.random.Generator | None = None,
+    *,
+    seed: int | None = None,
+    pool: WorkerPool | None = None,
+    n_init: int = DEFAULT_N_INIT,
 ) -> dict[int, KMeansResult]:
-    """Run k-means for every k, as the analyzer's stage 2 prescribes."""
-    rng = rng or np.random.default_rng(0)
-    results: dict[int, KMeansResult] = {}
-    for k in k_values:
-        if k > matrix.shape[0]:
-            break
-        results[k] = kmeans(matrix, k, rng)
-    if not results:
+    """Run k-means for every k, as the analyzer's stage 2 prescribes.
+
+    With ``seed`` the whole (k x restart) grid becomes one flat task
+    list over ``pool`` — maximal fan-out — reduced per k by
+    :func:`_best_of`; results are identical at any worker count.
+    """
+    feasible = [k for k in k_values if k <= matrix.shape[0]]
+    if not feasible:
         raise ClusteringError("no feasible k values for the sample count")
+    if seed is not None:
+        tasks = [(k, i) for k in feasible for i in range(n_init)]
+        fits = _fit_tasks(matrix, tasks, seed, pool, 300, 1e-6)
+        results: dict[int, KMeansResult] = {}
+        for k in feasible:
+            per_k = [fit for (task_k, _), fit in zip(tasks, fits) if task_k == k]
+            results[k] = _best_of(per_k)
+        return results
+    rng = rng or np.random.default_rng(0)
+    results = {}
+    for k in feasible:
+        results[k] = kmeans(matrix, k, rng, n_init=n_init)
     return results

@@ -74,6 +74,14 @@ class ClusteringError(AnalyzerError):
     """A clustering algorithm was invoked with invalid hyper-parameters."""
 
 
+class AnalyzerMemoryError(AnalyzerError):
+    """A clustering method exceeded the analyzer's memory budget."""
+
+
+class CacheError(AnalyzerError):
+    """The analysis memo cache was misused or hit unreadable entries."""
+
+
 class ServeError(ReproError):
     """Fleet profiling service misuse (unknown job, bad lifecycle move)."""
 

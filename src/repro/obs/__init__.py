@@ -83,6 +83,24 @@ def ensure_core_metrics() -> None:
         buckets=ALGORITHM_BUCKETS,
     )
     counter(
+        "repro_analyzer_distance_passes_total",
+        "Full self-pairwise distance passes over a feature matrix.",
+    )
+    counter(
+        "repro_analyzer_cache_events_total",
+        "Analysis memo-cache lookups and stores, by event.",
+        labels=("event",),
+    )
+    gauge(
+        "repro_parallel_queue_depth",
+        "Tasks submitted to the analyzer worker pool and not yet finished.",
+    )
+    histogram(
+        "repro_parallel_task_seconds",
+        "Wall time of one worker-pool task, by pool label.",
+        labels=("pool",),
+    )
+    counter(
         "repro_optimizer_trials_total",
         "Tuning trials measured, by acceptance outcome.",
         labels=("accepted",),

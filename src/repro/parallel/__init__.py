@@ -1,0 +1,10 @@
+"""repro.parallel — deterministic fan-out for the analyzer engine.
+
+See :mod:`repro.parallel.pool` for the reproducibility contract: ordered
+results plus per-task RNG substreams make any worker count bit-identical
+to the serial path.
+"""
+
+from repro.parallel.pool import MAX_WORKERS, WorkerPool, resolve_pool, task_rng
+
+__all__ = ["MAX_WORKERS", "WorkerPool", "resolve_pool", "task_rng"]

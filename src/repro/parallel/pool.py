@@ -1,0 +1,152 @@
+"""A deterministic worker pool for the analyzer's sweep fan-out.
+
+The clustering sweeps (k-means k = 1..15 with restarts, DBSCAN
+min_samples relabelings) are embarrassingly parallel, but naive
+parallelism breaks reproducibility: a shared RNG consumed in completion
+order yields different restarts run-to-run. :class:`WorkerPool` makes
+the parallel path bit-identical to the serial one by construction:
+
+* every task draws randomness only from its own named substream
+  (:func:`task_rng`, derived via :mod:`repro.rng` from a root seed plus
+  a stable task key — no task ever observes another task's draws);
+* :meth:`WorkerPool.map` returns results in submission order, so any
+  reduction over them (best-of-restarts, per-k tables) sees the same
+  sequence regardless of worker count or completion order.
+
+``workers <= 1`` runs tasks inline with zero thread overhead — the
+serial reference path — and any ``workers`` value produces the same
+results, which :mod:`tests.property.test_prop_parallel_equiv` pins.
+Threads (not processes) are the backend: the sweeps bottleneck on
+numpy/BLAS kernels that release the GIL, and threads share the feature
+matrix without pickling it per task.
+
+Queue depth and per-task latency are observable via :mod:`repro.obs`
+(``repro_parallel_queue_depth``, ``repro_parallel_task_seconds``,
+``repro_parallel_tasks_total``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro import obs
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+MAX_WORKERS = 64
+
+_QUEUE_DEPTH = obs.gauge(
+    "repro_parallel_queue_depth",
+    "Tasks submitted to the analyzer worker pool and not yet finished.",
+)
+_TASK_SECONDS = obs.histogram(
+    "repro_parallel_task_seconds",
+    "Wall time of one worker-pool task, by pool label.",
+    labels=("pool",),
+)
+_TASKS_TOTAL = obs.counter(
+    "repro_parallel_tasks_total",
+    "Tasks executed by the analyzer worker pool, by pool label.",
+    labels=("pool",),
+)
+
+
+def task_rng(seed: int, key: str) -> np.random.Generator:
+    """A deterministic per-task generator, independent of all other tasks.
+
+    Same ``(seed, key)`` → same stream, on any worker, in any order —
+    the property that makes parallel sweeps bit-identical to serial.
+    """
+    return rng_mod.stream(key, seed)
+
+
+class WorkerPool:
+    """Deterministic ordered-map executor over a fixed thread count.
+
+    Usable as a context manager; with ``workers <= 1`` (the default) no
+    threads are created and :meth:`map` degenerates to an inline loop.
+    """
+
+    def __init__(self, workers: int = 1, label: str = "analyzer"):
+        if workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        if workers > MAX_WORKERS:
+            raise ConfigurationError(f"workers must be <= {MAX_WORKERS}")
+        self.workers = max(int(workers), 1)
+        self.label = label
+        self._executor: ThreadPoolExecutor | None = None
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the backing threads (idempotent; inline pools are no-ops)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers <= 1
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix=f"repro-{self.label}"
+            )
+        return self._executor
+
+    # --- execution ---------------------------------------------------------
+
+    def _run_one(self, fn: Callable[[T], R], item: T) -> R:
+        began = time.perf_counter()
+        try:
+            return fn(item)
+        finally:
+            _TASK_SECONDS.labels(pool=self.label).observe(time.perf_counter() - began)
+            _TASKS_TOTAL.labels(pool=self.label).inc()
+            _QUEUE_DEPTH.labels().dec()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results come back in item order.
+
+        The first task exception propagates (after all tasks finish or
+        are cancelled), exactly as the serial loop would raise it.
+        """
+        tasks: Sequence[T] = list(items)
+        if not tasks:
+            return []
+        _QUEUE_DEPTH.labels().inc(len(tasks))
+        with obs.trace(
+            "parallel.map", pool=self.label, tasks=len(tasks), workers=self.workers
+        ):
+            if self.is_serial:
+                return [self._run_one(fn, item) for item in tasks]
+            executor = self._ensure_executor()
+            futures = [executor.submit(self._run_one, fn, item) for item in tasks]
+            return [future.result() for future in futures]
+
+    def starmap(self, fn: Callable[..., R], items: Iterable[tuple]) -> list[R]:
+        """:meth:`map` over argument tuples."""
+        return self.map(lambda args: fn(*args), items)
+
+
+def resolve_pool(pool: "WorkerPool | int | None", label: str = "analyzer") -> WorkerPool:
+    """Coerce a pool argument (pool instance, worker count, or None)."""
+    if pool is None:
+        return WorkerPool(1, label=label)
+    if isinstance(pool, WorkerPool):
+        return pool
+    return WorkerPool(int(pool), label=label)

@@ -13,11 +13,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.analyzer.distance import pairwise_distances
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD, OnlineLinearScan
 from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
 from repro.core.profiler.streaming import StepStream
 from repro.errors import ServeError
 from repro.runtime.events import DeviceKind
+
+#: Default cutoff for :meth:`LiveJobAnalysis.similar_phase_pairs`: two
+#: phases whose operator-mix vectors (unit-normalized duration shares)
+#: are closer than this are reported as near-duplicates. The maximum
+#: possible distance between two such vectors is sqrt(2) (disjoint
+#: operator sets), so 0.25 means "mostly the same mix".
+DEFAULT_PHASE_MERGE_DISTANCE = 0.25
 
 
 @dataclass
@@ -179,3 +189,58 @@ class LiveJobAnalysis:
     def phases_by_duration(self) -> list[LivePhase]:
         """Phases ordered by descending accumulated duration."""
         return sorted(self.phases.values(), key=lambda phase: -phase.duration_us)
+
+    # --- phase similarity (shared distance kernel) -------------------------
+
+    def phase_vectors(self) -> tuple[list[int], np.ndarray]:
+        """Per-phase operator-mix vectors over the job's shared vocabulary.
+
+        Each row is a phase's operator duration shares (fractions of the
+        phase's total operator time), aligned to the sorted union of
+        operator keys across all phases — the live counterpart of the
+        offline analyzer's duration-frequency feature rows.
+        """
+        ids = sorted(self.phases)
+        vocabulary = sorted({key for pid in ids for key in self.phases[pid].operators})
+        column = {key: i for i, key in enumerate(vocabulary)}
+        vectors = np.zeros((len(ids), max(len(vocabulary), 1)))
+        for row, pid in enumerate(ids):
+            operators = self.phases[pid].operators
+            total = sum(stats.total_duration_us for stats in operators.values())
+            if total <= 0:
+                continue
+            for key, stats in operators.items():
+                vectors[row, column[key]] = stats.total_duration_us / total
+        return ids, vectors
+
+    def phase_distance_matrix(self) -> tuple[list[int], np.ndarray]:
+        """Pairwise Euclidean distances between phase operator mixes.
+
+        Computed by the analyzer's blocked distance kernel, so a job with
+        many phases never materializes an O(phases^2 x vocabulary)
+        broadcast intermediate.
+        """
+        ids, vectors = self.phase_vectors()
+        return ids, pairwise_distances(vectors)
+
+    def similar_phase_pairs(
+        self, threshold: float = DEFAULT_PHASE_MERGE_DISTANCE
+    ) -> list[tuple[int, int, float]]:
+        """Phase-id pairs whose operator mixes are within ``threshold``.
+
+        Returned as ``(phase_a, phase_b, distance)`` sorted by ascending
+        distance — the live signal that the online scan split one logical
+        phase (e.g. training steps around an eval interruption) that the
+        offline clustering would merge.
+        """
+        if threshold < 0:
+            raise ServeError("phase similarity threshold must be non-negative")
+        ids, distances = self.phase_distance_matrix()
+        pairs = [
+            (ids[i], ids[j], float(distances[i, j]))
+            for i in range(len(ids))
+            for j in range(i + 1, len(ids))
+            if distances[i, j] <= threshold
+        ]
+        pairs.sort(key=lambda pair: pair[2])
+        return pairs

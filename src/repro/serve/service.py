@@ -271,6 +271,26 @@ class FleetService:
             raise ServeError(f"job {job_id!r} holds no live state")
         return analysis
 
+    def similar_phases(
+        self, job_id: str, threshold: float | None = None
+    ) -> list[tuple[int, int, float]]:
+        """Near-duplicate phase pairs of one job, by operator mix.
+
+        Runs the analyzer's blocked distance kernel over the job's live
+        phase vectors — the query that flags an online-scan split (two
+        phases with nearly identical operator profiles) while the run is
+        still in flight.
+        """
+        with obs.trace("serve.similar_phases", job=job_id) as span, \
+                self.metrics.time_query():
+            analysis = self.analysis(job_id)
+            if threshold is None:
+                pairs = analysis.similar_phase_pairs()
+            else:
+                pairs = analysis.similar_phase_pairs(threshold)
+            span.set(phases=analysis.num_phases, pairs=len(pairs))
+            return pairs
+
     def job_snapshot(self, job_id: str) -> JobSnapshot:
         """Freeze one job's live view; never mutates service state."""
         with self.metrics.time_query():

@@ -1,0 +1,124 @@
+"""The perf paths are pure optimizations: identical results, less work.
+
+Pins the tentpole invariant of the parallel analyzer engine — the
+blocked distance kernel, the shared DBSCAN neighbor graph, the memo
+cache, and the worker-pool fan-out must all be *byte-identical* to the
+serial reference on arbitrary step matrices, for every clustering
+method. Any drift here means an "optimization" changed answers.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.analyzer.cache import AnalysisCache, matrix_key
+from repro.core.analyzer.dbscan import dbscan, sweep_min_samples
+from repro.core.analyzer.distance import (
+    build_neighbor_graph,
+    pairwise_sq_distances,
+)
+from repro.core.analyzer.kmeans import kmeans, sweep_k
+from repro.core.analyzer.ols import OnlineLinearScan, ols_labels
+from repro.core.profiler.record import StepStats
+from repro.parallel import WorkerPool
+from repro.runtime.events import DeviceKind
+
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(5, 20), st.integers(2, 5)),
+    elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrices, st.integers(1, 4), st.integers(0, 3))
+def test_kmeans_parallel_identical_to_serial(matrix, k, seed):
+    serial = kmeans(matrix, k, seed=seed)
+    with WorkerPool(3) as pool:
+        parallel = kmeans(matrix, k, seed=seed, pool=pool)
+    assert np.array_equal(serial.labels, parallel.labels)
+    assert serial.inertia == parallel.inertia
+    assert np.array_equal(serial.centers, parallel.centers)
+
+
+@settings(max_examples=10, deadline=None)
+@given(matrices, st.integers(0, 3))
+def test_kmeans_sweep_parallel_identical_to_serial(matrix, seed):
+    k_values = range(1, 5)
+    serial = sweep_k(matrix, k_values, seed=seed)
+    with WorkerPool(4) as pool:
+        parallel = sweep_k(matrix, k_values, seed=seed, pool=pool)
+    assert serial.keys() == parallel.keys()
+    for k in serial:
+        assert np.array_equal(serial[k].labels, parallel[k].labels)
+        assert serial[k].inertia == parallel[k].inertia
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrices)
+def test_blocked_kernel_budget_invariant(matrix):
+    # Tiny blocks, default blocks, and the naive broadcast all agree.
+    naive = ((matrix[:, None, :] - matrix[None, :, :]) ** 2).sum(axis=2)
+    tiny = pairwise_sq_distances(
+        matrix, memory_budget_bytes=2 * matrix.shape[0] * 24
+    )
+    assert np.allclose(pairwise_sq_distances(matrix), naive, atol=1e-8)
+    assert np.allclose(tiny, naive, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrices, st.integers(1, 8))
+def test_dbscan_shared_graph_identical_to_per_call(matrix, min_samples):
+    graph = build_neighbor_graph(matrix)
+    values = [min_samples, min_samples + 2, min_samples + 7]
+    shared = sweep_min_samples(matrix, values, graph=graph)
+    for ms in values:
+        fresh = dbscan(matrix, graph.eps, ms)  # rebuilds its own graph
+        assert np.array_equal(shared[ms].labels, fresh.labels)
+        assert shared[ms].eps == fresh.eps
+
+
+@settings(max_examples=10, deadline=None)
+@given(matrices, st.integers(1, 6))
+def test_dbscan_sweep_parallel_identical_to_serial(matrix, min_samples):
+    values = [min_samples, min_samples + 3]
+    serial = sweep_min_samples(matrix, values)
+    with WorkerPool(2) as pool:
+        parallel = sweep_min_samples(matrix, values, pool=pool)
+    for ms in values:
+        assert np.array_equal(serial[ms].labels, parallel[ms].labels)
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrices)
+def test_cache_roundtrip_preserves_bytes(matrix):
+    cache = AnalysisCache()
+    key = matrix_key(matrix, "pca", max_dims=3)
+    cache.put_array(key, matrix)
+    got = cache.get_array(key)
+    assert got.dtype == matrix.dtype
+    assert np.array_equal(got, matrix, equal_nan=True)
+    assert key == matrix_key(matrix.copy(), "pca", max_dims=3)
+
+
+def _steps_from(matrix: np.ndarray) -> list[StepStats]:
+    """Random step matrices → StepStats whose event sets follow the signs."""
+    steps = []
+    for i, row in enumerate(matrix):
+        step = StepStats(step=i)
+        for j, value in enumerate(row):
+            if value > 0:
+                step.observe(f"op{j}", DeviceKind.TPU, float(abs(value)))
+        steps.append(step)
+    return steps
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrices, st.floats(0.0, 1.0))
+def test_ols_streaming_identical_to_offline(matrix, threshold):
+    steps = _steps_from(matrix)
+    offline = ols_labels(steps, threshold)
+    scanner = OnlineLinearScan(threshold=threshold)
+    streamed = [scanner.observe(step) for step in steps]
+    assert streamed == offline.tolist()
+    assert np.array_equal(ols_labels(steps, threshold), offline)

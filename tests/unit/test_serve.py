@@ -488,3 +488,60 @@ class TestStalling:
         for _ in range(10):
             service.pump()
         assert info.state is JobState.ACTIVE
+
+
+class TestPhaseSimilarity:
+    """Live phase-mix distances via the analyzer's shared kernel."""
+
+    def _alternating_analysis(self):
+        """A -> B -> A: the online scan splits one behaviour into two phases."""
+        analysis = LiveJobAnalysis()
+        records = [
+            _record(i, [_step(i, _OPS_A if i // 3 % 2 == 0 else _OPS_B)])
+            for i in range(9)
+        ]
+        for record in records:
+            analysis.ingest(record)
+        analysis.finish()
+        return analysis
+
+    def test_phase_vectors_are_normalized_mixes(self):
+        analysis = self._alternating_analysis()
+        ids, vectors = analysis.phase_vectors()
+        assert len(ids) == 3
+        assert vectors.shape[0] == 3
+        # Each row is a duration-share distribution over the vocabulary.
+        assert all(abs(row.sum() - 1.0) < 1e-9 for row in vectors)
+
+    def test_identical_mixes_have_zero_distance(self):
+        analysis = self._alternating_analysis()
+        ids, distances = analysis.phase_distance_matrix()
+        # Phases 0 and 2 are both _OPS_A; phase 1 is _OPS_B (disjoint).
+        assert distances[0, 2] < 1e-9
+        # Disjoint uniform mixes over 3 ops sit at sqrt(2/3) ~ 0.816.
+        assert distances[0, 1] > 0.5
+
+    def test_similar_pairs_flags_the_split_phase(self):
+        analysis = self._alternating_analysis()
+        pairs = analysis.similar_phase_pairs(threshold=0.25)
+        assert [(a, b) for a, b, _ in pairs] == [(0, 2)]
+        assert pairs[0][2] < 1e-9
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ServeError):
+            self._alternating_analysis().similar_phase_pairs(threshold=-0.1)
+
+    def test_service_query_surface(self):
+        service = FleetService()
+        info = service.register("bert-mrpc")
+        for i in range(9):
+            service.submit(
+                info.job_id,
+                _record(i, [_step(i, _OPS_A if i // 3 % 2 == 0 else _OPS_B)]),
+            )
+        service.pump()
+        service.complete(info.job_id)
+        pairs = service.similar_phases(info.job_id)
+        assert [(a, b) for a, b, _ in pairs] == [(0, 2)]
+        # A tighter-than-zero threshold still finds the exact duplicate.
+        assert service.similar_phases(info.job_id, threshold=0.0) == pairs
