@@ -22,7 +22,15 @@ from repro.compare import RunComparison, compare_runs
 from repro.core.analyzer import AnalysisResult, TPUPointAnalyzer
 from repro.costs import RunCost, run_cost
 from repro.core.api import TPUPoint
-from repro.core.optimizer import OptimizationResult, OptimizerOptions, TPUPointOptimizer
+from repro.core.optimizer import (
+    AutotuneOptions,
+    AutotuneResult,
+    OptimizationResult,
+    OptimizerOptions,
+    TPUPointOptimizer,
+    TuningKnowledgeBase,
+    autotune,
+)
 from repro.core.profiler import ProfileRecord, ProfilerOptions, TPUPointProfiler
 from repro.host.data import Dataset
 from repro.host.pipeline import PipelineConfig
@@ -54,8 +62,12 @@ __all__ = [
     "PAPER_WORKLOADS",
     "SMALL_DATASET_WORKLOADS",
     "AnalysisResult",
+    "AutotuneOptions",
+    "AutotuneResult",
     "OptimizationResult",
     "OptimizerOptions",
+    "TuningKnowledgeBase",
+    "autotune",
     "Dataset",
     "PipelineConfig",
     "ProfileRecord",

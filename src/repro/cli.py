@@ -13,6 +13,10 @@ Subcommands mirror the toolchain:
   characterization report.
 * ``tpupoint optimize <workload>`` — run the workload under
   TPUPoint-Optimizer and report the speedup against an untouched run.
+* ``tpupoint tune <workload>`` — offline multi-strategy configuration
+  search (``--strategy hill-climb|annealing|racing``), optionally
+  warm-started from a phase-keyed knowledge base (``--knowledge-dir``)
+  and parallelized across ``--workers`` without changing results.
 * ``tpupoint fleet`` — drive N concurrent workloads through the
   multi-tenant live profiling service (:mod:`repro.serve`) and print
   each job's live phases plus the fleet rollup.
@@ -121,6 +125,40 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize = subparsers.add_parser("optimize", help="run a workload under the optimizer")
     optimize.add_argument("workload", help="workload key, e.g. naive-qanet-squad")
     optimize.add_argument("--generation", default="v2", choices=["v2", "v3"])
+
+    tune = subparsers.add_parser(
+        "tune",
+        help="search pipeline configurations offline (multi-strategy, "
+        "warm-started from a knowledge base)",
+    )
+    tune.add_argument("workload", help="workload key, e.g. naive-dcgan-mnist")
+    tune.add_argument("--generation", default="v2", choices=["v2", "v3"])
+    tune.add_argument(
+        "--strategy",
+        default="racing",
+        choices=["hill-climb", "annealing", "racing"],
+        help="search strategy (default racing)",
+    )
+    tune.add_argument(
+        "--knowledge-dir",
+        default=None,
+        help="tuning knowledge base directory; hits warm-start the search "
+        "and finished searches are recorded back",
+    )
+    tune.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads measuring candidate configs concurrently "
+        "(results are identical at any width; default 1)",
+    )
+    tune.add_argument(
+        "--trial-steps", type=int, default=None,
+        help="train steps measured per candidate (default: strategy-specific)",
+    )
+    tune.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed for trial and strategy RNG substreams",
+    )
+    _add_obs_flags(tune)
 
     fleet = subparsers.add_parser(
         "fleet",
@@ -391,6 +429,69 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.core.optimizer import AutotuneOptions, TuningKnowledgeBase, autotune
+    from repro.host.pipeline import PipelineConfig
+    from repro.rng import DEFAULT_SEED
+
+    spec = WorkloadSpec(args.workload, generation=args.generation)
+    probe = build_estimator(spec)
+    initial = probe.pipeline_config or PipelineConfig()
+
+    def factory(config: PipelineConfig):
+        return build_estimator(dataclasses.replace(spec, pipeline_config=config))
+
+    knowledge = None
+    prior_entries = 0
+    if args.knowledge_dir:
+        knowledge = TuningKnowledgeBase.open(args.knowledge_dir)
+        prior_entries = len(knowledge)
+    options = AutotuneOptions(
+        strategy=args.strategy,
+        workers=args.workers,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        workload=spec.key,
+    )
+    strategy_options = {}
+    if args.trial_steps is not None:
+        strategy_options["trial_steps"] = args.trial_steps
+    result = autotune(
+        factory,
+        initial,
+        options,
+        knowledge=knowledge,
+        strategy_options=strategy_options or None,
+    )
+
+    outcome = result.outcome
+    print(f"== {spec.display_name}: offline autotune ({args.strategy}) ==")
+    print(f"phase signature : {', '.join(sorted(result.signature))}")
+    if knowledge is not None:
+        state = (
+            f"hit, similarity {result.warm_similarity:.2f}"
+            if result.warm_similarity is not None
+            else "miss"
+        )
+        print(f"knowledge base  : {prior_entries} entries in "
+              f"{args.knowledge_dir} ({state})")
+    warm = "yes" if result.warm_started else "no"
+    if result.rolled_back:
+        warm += " (rolled back)"
+    print(f"warm start      : {warm}")
+    print(f"trials          : {len(outcome.trials)} ({outcome.steps_consumed} steps, "
+          f"{units.format_duration(result.simulated_us)} simulated)")
+    print(f"baseline        : {outcome.baseline_throughput:.2f} steps/s")
+    print(f"best            : {outcome.best_throughput:.2f} steps/s "
+          f"({outcome.improvement:.3f}x, found at trial {outcome.trials_to_best})")
+    print(f"best config     : {outcome.best_config}")
+    if result.knowledge_recorded:
+        print("recorded        : best config stored for future warm starts")
+    _dump_obs(args)
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.serve import (
@@ -602,6 +703,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": lambda: _cmd_analyze(args),
         "report": lambda: _cmd_report(args),
         "optimize": lambda: _cmd_optimize(args),
+        "tune": lambda: _cmd_tune(args),
         "fleet": lambda: _cmd_fleet(args),
         "obs": lambda: _cmd_obs(args),
         "recover": lambda: _cmd_recover(args),

@@ -1,7 +1,28 @@
-"""TPUPoint-Optimizer: automatic online workload tuning."""
+"""TPUPoint-Optimizer: automatic workload tuning, online and offline.
 
+Two engines share the parameter space and quality control:
+
+* :class:`TPUPointOptimizer` — the paper's online workflow (detect the
+  critical phase mid-run, hill-climb the live pipeline, finish tuned).
+* :func:`autotune` — the offline engine: pluggable search strategies
+  (:data:`STRATEGIES`) over independent trial runs, warm-started from a
+  phase-keyed :class:`TuningKnowledgeBase`.
+"""
+
+from repro.core.optimizer.autotune import (
+    AutotuneOptions,
+    AutotuneResult,
+    EstimatorTrialEvaluator,
+    autotune,
+    detect_phase_signature,
+)
 from repro.core.optimizer.detector import CRITICAL_PATTERN, CriticalPhaseDetector
 from repro.core.optimizer.instrument import InstrumentationReport, ProgramInstrumenter
+from repro.core.optimizer.knowledge import (
+    KnowledgeEntry,
+    KnowledgeMatch,
+    TuningKnowledgeBase,
+)
 from repro.core.optimizer.optimizer import (
     OptimizationResult,
     OptimizerOptions,
@@ -9,20 +30,47 @@ from repro.core.optimizer.optimizer import (
 )
 from repro.core.optimizer.parameters import AdjustableParameter, discover_parameters
 from repro.core.optimizer.quality import OutputSignature, QualityController
+from repro.core.optimizer.strategies import (
+    STRATEGIES,
+    CandidateTrial,
+    HillClimbStrategy,
+    SearchOutcome,
+    SearchStrategy,
+    SimulatedAnnealingStrategy,
+    SuccessiveHalvingStrategy,
+    build_strategy,
+)
 from repro.core.optimizer.tuner import HillClimbTuner, TuningReport, TuningTrial
 
 __all__ = [
     "CRITICAL_PATTERN",
+    "STRATEGIES",
     "AdjustableParameter",
+    "AutotuneOptions",
+    "AutotuneResult",
+    "CandidateTrial",
     "CriticalPhaseDetector",
+    "EstimatorTrialEvaluator",
+    "HillClimbStrategy",
     "HillClimbTuner",
     "InstrumentationReport",
+    "KnowledgeEntry",
+    "KnowledgeMatch",
     "OptimizationResult",
     "OptimizerOptions",
     "OutputSignature",
     "ProgramInstrumenter",
     "QualityController",
+    "SearchOutcome",
+    "SearchStrategy",
+    "SimulatedAnnealingStrategy",
+    "SuccessiveHalvingStrategy",
     "TPUPointOptimizer",
+    "TuningKnowledgeBase",
     "TuningReport",
     "TuningTrial",
+    "autotune",
+    "build_strategy",
+    "detect_phase_signature",
+    "discover_parameters",
 ]

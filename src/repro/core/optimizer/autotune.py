@@ -1,0 +1,353 @@
+"""Offline autotuning engine: strategy search with phase-keyed warm starts.
+
+Where :class:`~repro.core.optimizer.optimizer.TPUPointOptimizer` tunes
+*one live run online* (the paper's workflow), this engine searches the
+configuration space *offline* across many short runs: every candidate
+configuration is measured on a fresh estimator built by a caller-
+supplied factory, so candidates are independent and can fan out over a
+:class:`~repro.parallel.WorkerPool`.
+
+The run proceeds in four moves:
+
+1. **Fingerprint** — run a short detection window with the defaults and
+   take the critical (or dominant) phase's top-operator signature
+   (:meth:`CriticalPhaseDetector.phase_signature`).
+2. **Warm start** — look the signature up in a
+   :class:`~repro.core.optimizer.knowledge.TuningKnowledgeBase`; on a
+   hit above the Equation-1 similarity threshold, the stored best
+   configuration becomes the search's starting point.
+3. **Search** — any registered strategy (hill climb, annealing,
+   racing) measures candidates through :class:`EstimatorTrialEvaluator`;
+   determinism at any worker count is inherited from the pool's
+   submission-order results and per-trial RNG substreams.
+4. **Guard and record** — a warm start must *earn* its keep: if the
+   warm search's best does not beat a fresh defaults measurement (or
+   the stored config no longer validates, or quality drifts), the
+   result rolls back to the defaults and the rollback is counted. A
+   successful search is recorded back into the knowledge base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
+from repro.core.optimizer.detector import CriticalPhaseDetector
+from repro.core.optimizer.knowledge import (
+    KnowledgeEntry,
+    KnowledgeMatch,
+    TuningKnowledgeBase,
+)
+from repro.core.optimizer.parameters import discover_parameters
+from repro.core.optimizer.quality import OutputSignature
+from repro.core.optimizer.strategies import (
+    CandidateTrial,
+    SearchOutcome,
+    build_strategy,
+)
+from repro.core.profiler.options import ProfilerOptions
+from repro.core.profiler.profiler import TPUPointProfiler
+from repro.core.profiler.streaming import StepStream
+from repro.errors import (
+    ConfigurationError,
+    OptimizerError,
+    QualityViolationError,
+)
+from repro.host.pipeline import PipelineConfig
+from repro.parallel import WorkerPool, resolve_pool, task_rng
+from repro.rng import DEFAULT_SEED
+from repro.runtime.estimator import TPUEstimator
+
+EstimatorFactory = Callable[[PipelineConfig], TPUEstimator]
+
+_ROLLBACKS = obs.counter(
+    "repro_optimizer_warmstart_rollbacks_total",
+    "Warm-started searches rolled back by the quality/throughput guard.",
+).labels()
+
+
+@dataclass(frozen=True)
+class AutotuneOptions:
+    """Configuration of one offline autotune run.
+
+    Attributes:
+        strategy: registered search-strategy name (``tpupoint tune
+            --strategy``); see :data:`repro.core.optimizer.STRATEGIES`.
+        workers: worker-pool width for concurrent candidate trials.
+        seed: root seed for every trial and strategy RNG substream.
+        detection_steps: cap on steps spent fingerprinting the phase.
+        detection_chunk_steps: steps between detector checks.
+        profile_interval_ms: profiler cadence during detection.
+        signature_top_k: operators kept in the phase signature.
+        knowledge_threshold: Equation-1 similarity a stored signature
+            must clear to warm-start the search.
+        overhead_us_per_trial: simulated post-processing cost charged
+            per trial in the engine's cost accounting.
+        workload: label stored with recorded knowledge entries.
+    """
+
+    strategy: str = "racing"
+    workers: int = 1
+    seed: int = DEFAULT_SEED
+    detection_steps: int = 40
+    detection_chunk_steps: int = 10
+    profile_interval_ms: float = 500.0
+    signature_top_k: int = 8
+    knowledge_threshold: float = DEFAULT_SIMILARITY_THRESHOLD
+    overhead_us_per_trial: float = 40_000.0
+    workload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.detection_steps <= 0 or self.detection_chunk_steps <= 0:
+            raise OptimizerError("detection step counts must be positive")
+        if self.signature_top_k <= 0:
+            raise OptimizerError("signature_top_k must be positive")
+        if not 0.0 <= self.knowledge_threshold <= 1.0:
+            raise OptimizerError("knowledge_threshold must be in [0, 1]")
+
+
+class EstimatorTrialEvaluator:
+    """Measures candidate configurations on fresh, independent estimators.
+
+    Each trial builds its own estimator via the factory, seeds it with a
+    substream named by the trial key, runs the requested steps on the
+    simulated clock, and verifies the output signature never drifts from
+    the defaults-built reference. Total simulated cost (run time plus
+    the per-trial post-processing overhead the paper measures) is
+    accumulated in submission order, so it too is worker-count-invariant.
+    """
+
+    def __init__(
+        self,
+        factory: EstimatorFactory,
+        seed: int,
+        pool: WorkerPool | int | None = None,
+        overhead_us_per_trial: float = 40_000.0,
+        reference: OutputSignature | None = None,
+    ):
+        self.factory = factory
+        self.seed = seed
+        self.pool = resolve_pool(pool, label="optimizer")
+        self.overhead_us_per_trial = overhead_us_per_trial
+        self.reference = reference
+        self.simulated_us = 0.0
+
+    def _run(self, request: tuple[str, PipelineConfig, int]) -> CandidateTrial:
+        key, config, steps = request
+        estimator = self.factory(config)
+        estimator.rng = task_rng(self.seed, f"optimizer:trial:{key}")
+        signature = OutputSignature.of(estimator)
+        if self.reference is not None and signature != self.reference:
+            raise QualityViolationError(
+                f"trial {key!r} changed the output signature from "
+                f"{self.reference} to {signature}"
+            )
+        session = estimator.session
+        start = session.clock.now_us
+        executed = estimator.train_steps(steps)
+        elapsed = session.clock.now_us - start
+        return CandidateTrial(key=key, config=config, steps=executed, elapsed_us=elapsed)
+
+    def evaluate(
+        self, requests: Sequence[tuple[str, PipelineConfig, int]]
+    ) -> list[CandidateTrial]:
+        trials = self.pool.map(self._run, list(requests))
+        for trial in trials:
+            self.simulated_us += trial.elapsed_us + self.overhead_us_per_trial
+        return trials
+
+
+def detect_phase_signature(
+    factory: EstimatorFactory,
+    config: PipelineConfig,
+    options: AutotuneOptions | None = None,
+) -> frozenset[str]:
+    """Fingerprint the workload's tuning-relevant phase.
+
+    Runs a short window under ``config`` with the profiler streaming
+    into the critical-phase detector (the online optimizer's detection
+    loop, bounded by ``detection_steps``), then returns the phase
+    signature the knowledge base keys on.
+    """
+    options = options or AutotuneOptions()
+    estimator = factory(config)
+    estimator.rng = task_rng(options.seed, "optimizer:detect")
+    detector = CriticalPhaseDetector()
+    stream = StepStream()
+    profiler = TPUPointProfiler(
+        estimator,
+        ProfilerOptions(
+            request_interval_ms=options.profile_interval_ms,
+            record_to_storage=False,
+        ),
+    )
+    profiler.start(analyzer=False)
+    consumed = 0
+    remaining = options.detection_steps
+    with obs.trace("optimizer.detect_signature") as span:
+        while remaining > 0:
+            executed = estimator.train_steps(
+                min(options.detection_chunk_steps, remaining)
+            )
+            if executed == 0:
+                break
+            remaining -= executed
+            records = profiler.records
+            for record in records[consumed:]:
+                for step in stream.submit(record):
+                    detector.observe(step)
+            consumed = len(records)
+            if detector.critical:
+                break
+        # stop() flushes a final partial record; feed it too, so windows
+        # shorter than one profile interval still yield a fingerprint.
+        for record in profiler.stop()[consumed:]:
+            for step in stream.submit(record):
+                detector.observe(step)
+        for step in stream.flush():
+            detector.observe(step)
+        signature = detector.phase_signature(options.signature_top_k)
+        span.set(critical=detector.critical, operators=len(signature))
+    return signature
+
+
+@dataclass
+class AutotuneResult:
+    """Everything one autotune run measured and decided."""
+
+    outcome: SearchOutcome
+    signature: frozenset[str]
+    warm_started: bool = False
+    warm_similarity: float | None = None
+    rolled_back: bool = False
+    knowledge_recorded: bool = False
+    simulated_us: float = 0.0
+
+    @property
+    def best_config(self) -> PipelineConfig:
+        return self.outcome.best_config
+
+    @property
+    def improvement(self) -> float:
+        return self.outcome.improvement
+
+    @property
+    def trials(self) -> list[CandidateTrial]:
+        return self.outcome.trials
+
+
+def autotune(
+    factory: EstimatorFactory,
+    initial_config: PipelineConfig | None = None,
+    options: AutotuneOptions | None = None,
+    knowledge: TuningKnowledgeBase | None = None,
+    pool: WorkerPool | int | None = None,
+    strategy_options: dict | None = None,
+) -> AutotuneResult:
+    """Run the full offline autotune: fingerprint, warm-start, search, guard."""
+    options = options or AutotuneOptions()
+    initial = initial_config if initial_config is not None else PipelineConfig()
+
+    with obs.trace("optimizer.autotune", strategy=options.strategy) as span:
+        signature = detect_phase_signature(factory, initial, options)
+
+        # Warm start: overlay the nearest stored configuration, if any.
+        match: KnowledgeMatch | None = None
+        start_config = initial
+        if knowledge is not None and len(knowledge) > 0:
+            match = knowledge.lookup(signature, options.knowledge_threshold)
+        warm_started = False
+        rolled_back = False
+        if match is not None:
+            try:
+                start_config = match.entry.apply_to(initial)
+                warm_started = True
+            except ConfigurationError:
+                # Stored knobs no longer validate: treat as a miss.
+                match = None
+                start_config = initial
+                rolled_back = True
+                _ROLLBACKS.inc()
+
+        parameters = discover_parameters(initial)
+        reference = OutputSignature.of(factory(initial))
+        strategy = build_strategy(options.strategy, **(strategy_options or {}))
+        own_pool = not isinstance(pool, WorkerPool)
+        worker_pool = resolve_pool(
+            pool if pool is not None else options.workers, label="optimizer"
+        )
+        evaluator = EstimatorTrialEvaluator(
+            factory,
+            options.seed,
+            pool=worker_pool,
+            overhead_us_per_trial=options.overhead_us_per_trial,
+            reference=reference,
+        )
+        try:
+            try:
+                outcome = strategy.search(
+                    parameters, start_config, evaluator, options.seed
+                )
+            except QualityViolationError:
+                if not warm_started:
+                    raise
+                # A warm-started candidate corrupted output: drop the
+                # prior entirely and search cold from the defaults.
+                warm_started = False
+                rolled_back = True
+                _ROLLBACKS.inc()
+                outcome = strategy.search(parameters, initial, evaluator, options.seed)
+
+            if warm_started:
+                # The guard trial: the warm search's champion must beat a
+                # fresh measurement of the user's defaults, else the warm
+                # start misled the search and the defaults win.
+                guard_steps = int(getattr(strategy, "trial_steps", 6))
+                guard = evaluator.evaluate(
+                    [("warmstart:guard", initial, guard_steps)]
+                )[0]
+                outcome.trials.append(guard)
+                if outcome.best_throughput < guard.throughput:
+                    rolled_back = True
+                    _ROLLBACKS.inc()
+                    outcome.best_config = initial
+                    outcome.best_throughput = guard.throughput
+        finally:
+            if own_pool:
+                worker_pool.shutdown()
+
+        recorded = False
+        if knowledge is not None and not rolled_back and outcome.improvement > 1.0:
+            stored = {
+                p.name: getattr(outcome.best_config, p.name) for p in parameters
+            }
+            knowledge.record(
+                KnowledgeEntry(
+                    signature=signature,
+                    config=stored,
+                    improvement=outcome.improvement,
+                    trials=len(outcome.trials),
+                    workload=options.workload,
+                )
+            )
+            knowledge.save()
+            recorded = True
+
+        span.set(
+            warm_started=warm_started,
+            rolled_back=rolled_back,
+            trials=len(outcome.trials),
+            improvement=outcome.improvement,
+        )
+
+    return AutotuneResult(
+        outcome=outcome,
+        signature=signature,
+        warm_started=warm_started,
+        warm_similarity=match.similarity if match is not None else None,
+        rolled_back=rolled_back,
+        knowledge_recorded=recorded,
+        simulated_us=evaluator.simulated_us,
+    )

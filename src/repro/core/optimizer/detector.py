@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD, OnlineLinearScan
 from repro.core.profiler.record import StepStats
+from repro.errors import OptimizerError
 
 # The common operator pattern of Section VI: data exchange and layout.
 CRITICAL_PATTERN: frozenset[str] = frozenset(
@@ -75,6 +76,30 @@ class CriticalPhaseDetector:
         else:
             self._critical_since_step = None
         return self.critical
+
+    def phase_signature(self, top_k: int = 8) -> frozenset[str]:
+        """Operator-name fingerprint of the phase worth tuning for.
+
+        The signature is the top-``top_k`` operators by accumulated
+        duration of the *current* phase when execution is critical, or
+        of the longest-running phase observed otherwise. It keys the
+        tuning knowledge base: two runs with Equation-1-similar
+        signatures warm-start from each other's best configuration.
+        """
+        if not self._phase_steps:
+            raise OptimizerError("no steps observed; cannot fingerprint a phase")
+        if top_k <= 0:
+            raise OptimizerError("top_k must be positive")
+        if self.critical and self._scanner.labels:
+            phase = self._scanner.labels[-1]
+        else:
+            phase = max(self._phase_durations, key=self._phase_durations.get)
+        totals: dict[str, float] = {}
+        for step in self._phase_steps[phase]:
+            for stats in step.operators.values():
+                totals[stats.name] = totals.get(stats.name, 0.0) + stats.total_duration_us
+        ranked = sorted(totals, key=lambda name: (-totals[name], name))
+        return frozenset(ranked[:top_k])
 
     # --- the two entry conditions -----------------------------------------
 

@@ -1,0 +1,217 @@
+"""Phase-keyed tuning knowledge base.
+
+TPUPoint's phase detector already reduces a run to a handful of
+repeating behaviors, each summarized by the operators that dominate it.
+That summary doubles as a *key*: two runs whose critical phases execute
+the same top operators are, for pipeline-tuning purposes, the same
+workload — so a configuration that won the search once should seed the
+search next time instead of restarting from defaults.
+
+Entries map a **phase signature** (the top-K operator names of the
+critical phase, compared with the paper's Equation 1 similarity — the
+same measure OLS uses to segment phases) to the best configuration a
+finished search found, together with how much it improved and how many
+trials it cost. Lookups return the nearest stored signature above a
+similarity threshold, or nothing — a miss means the engine starts cold
+from defaults, exactly as if the knowledge base did not exist.
+
+Persistence goes through :class:`repro.storage.JsonDocumentStore`, so a
+knowledge directory can be shared between runs, between tenants of the
+fleet service (``FleetService.tuning_priors``), or shipped around as a
+plain JSON file. A corrupt store degrades to an empty prior set rather
+than failing the run: warm starts are an optimization, never a
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD, step_similarity
+from repro.errors import ConfigurationError, OptimizerError, StorageError
+from repro.host.pipeline import PipelineConfig
+from repro.storage import JsonDocumentStore
+
+_DOCUMENT = "tuning_knowledge"
+
+_KB_LOOKUPS = obs.counter(
+    "repro_optimizer_kb_lookups_total",
+    "Knowledge-base lookups, by outcome (hit or miss).",
+    labels=("outcome",),
+)
+_KB_ENTRIES = obs.gauge(
+    "repro_optimizer_kb_entries",
+    "Entries held by the most recently opened tuning knowledge base.",
+).labels()
+
+
+@dataclass(frozen=True)
+class KnowledgeEntry:
+    """One remembered search result, keyed by phase signature."""
+
+    signature: frozenset[str]
+    config: dict[str, object]
+    improvement: float
+    trials: int
+    workload: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.signature:
+            raise OptimizerError("knowledge entry needs a non-empty phase signature")
+        if self.trials <= 0:
+            raise OptimizerError("knowledge entry needs a positive trial count")
+
+    def pipeline_config(self) -> PipelineConfig:
+        """Rebuild the stored configuration.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the stored
+        knobs no longer validate (e.g. a schema change since the entry
+        was written); callers treat that as a miss.
+        """
+        return self.apply_to(PipelineConfig())
+
+    def apply_to(self, base: PipelineConfig) -> PipelineConfig:
+        """Overlay the stored knobs onto ``base``.
+
+        Knobs outside the stored set (e.g. jitter) keep ``base``'s
+        values, so a warm start never disturbs workload-specific
+        settings the search did not touch.
+        """
+        try:
+            return base.with_updates(**self.config)
+        except TypeError as error:
+            raise ConfigurationError(f"stored config has unknown knobs: {error}")
+
+    def to_document(self) -> dict:
+        return {
+            "signature": sorted(self.signature),
+            "config": dict(self.config),
+            "improvement": self.improvement,
+            "trials": self.trials,
+            "workload": self.workload,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> KnowledgeEntry:
+        try:
+            return cls(
+                signature=frozenset(document["signature"]),
+                config=dict(document["config"]),
+                improvement=float(document["improvement"]),
+                trials=int(document["trials"]),
+                workload=str(document.get("workload", "")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StorageError(f"malformed knowledge entry: {error}")
+
+
+@dataclass(frozen=True)
+class KnowledgeMatch:
+    """A lookup hit: the entry plus how closely its signature matched."""
+
+    entry: KnowledgeEntry
+    similarity: float
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self.entry.pipeline_config()
+
+
+@dataclass
+class TuningKnowledgeBase:
+    """In-memory prior set with optional JSON persistence."""
+
+    store: JsonDocumentStore | None = None
+    _entries: list[KnowledgeEntry] = field(default_factory=list)
+
+    # --- construction -----------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str | Path) -> TuningKnowledgeBase:
+        """Load (or create) the knowledge base under ``directory``.
+
+        A corrupt document logs as an empty prior set — the warm start
+        is skipped, the run proceeds cold.
+        """
+        store = JsonDocumentStore(directory)
+        kb = cls(store=store)
+        try:
+            document = store.load(_DOCUMENT)
+        except StorageError:
+            document = None
+        if document is not None:
+            for raw in document.get("entries", []):
+                try:
+                    kb._entries.append(KnowledgeEntry.from_document(raw))
+                except StorageError:
+                    continue
+        _KB_ENTRIES.set(len(kb._entries))
+        return kb
+
+    # --- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[KnowledgeEntry, ...]:
+        return tuple(self._entries)
+
+    def lookup(
+        self,
+        signature: frozenset[str],
+        threshold: float = DEFAULT_SIMILARITY_THRESHOLD,
+    ) -> KnowledgeMatch | None:
+        """Nearest stored entry whose signature clears ``threshold``.
+
+        Similarity is Equation 1 over operator-name sets; ties prefer
+        the entry with the larger recorded improvement, so the most
+        valuable prior wins when several phases look alike.
+        """
+        if not signature:
+            raise OptimizerError("cannot look up an empty phase signature")
+        best: KnowledgeMatch | None = None
+        for entry in self._entries:
+            similarity = step_similarity(signature, entry.signature)
+            if similarity < threshold:
+                continue
+            if (
+                best is None
+                or similarity > best.similarity
+                or (
+                    similarity == best.similarity
+                    and entry.improvement > best.entry.improvement
+                )
+            ):
+                best = KnowledgeMatch(entry=entry, similarity=similarity)
+        _KB_LOOKUPS.labels(outcome="hit" if best else "miss").inc()
+        return best
+
+    # --- updates ----------------------------------------------------------
+
+    def record(self, entry: KnowledgeEntry) -> None:
+        """Insert or merge one search result.
+
+        An exact-signature duplicate keeps whichever result improved
+        more — re-running a workload never degrades its prior.
+        """
+        for index, existing in enumerate(self._entries):
+            if existing.signature == entry.signature:
+                if entry.improvement > existing.improvement:
+                    self._entries[index] = entry
+                break
+        else:
+            self._entries.append(entry)
+        _KB_ENTRIES.set(len(self._entries))
+
+    def save(self) -> Path | None:
+        """Persist to the backing store; no-op for in-memory bases."""
+        if self.store is None:
+            return None
+        document = {
+            "version": 1,
+            "entries": [entry.to_document() for entry in self._entries],
+        }
+        return self.store.save(_DOCUMENT, document)

@@ -1,0 +1,411 @@
+"""Pluggable search strategies for the autotuning engine.
+
+The paper's tuner is a single-direction hill climb (Section VII-B);
+this module generalizes it into a strategy interface so the engine can
+trade trials for coverage:
+
+* :class:`HillClimbStrategy` — the paper's one-parameter-at-a-time
+  directional walk, re-expressed over the offline trial evaluator.
+* :class:`SimulatedAnnealingStrategy` — seeded Metropolis search that
+  proposes a *batch* of neighbor configurations per temperature level.
+  Proposals and acceptance draws come from one driver-side RNG stream
+  consumed in a fixed order, while the batch's measurements fan out on
+  the :mod:`repro.parallel` pool — so any worker count replays the
+  same search bit-for-bit.
+* :class:`SuccessiveHalvingStrategy` — racing: a seeded population of
+  candidate configurations is measured concurrently on a small step
+  budget, the top ``1/eta`` survive to a rung with ``eta``× the
+  budget, and so on until one remains. Warm starts slot naturally into
+  racing: the start configuration always races at index 0, so a good
+  prior is confirmed on the very first trial.
+
+Determinism contract (pinned by ``tests/property/test_prop_autotune``):
+a strategy may only draw randomness from its driver RNG (sequential,
+worker-independent) and from per-trial substreams named by the trial
+key — never from completion order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Protocol, Sequence
+
+from repro import obs
+from repro.core.optimizer.parameters import AdjustableParameter
+from repro.errors import OptimizerError
+from repro.host.pipeline import PipelineConfig
+from repro.rng import stream as rng_stream
+
+_STRATEGY_TRIALS = obs.counter(
+    "repro_optimizer_strategy_trials_total",
+    "Autotune trials measured, by search strategy.",
+    labels=("strategy",),
+)
+
+#: Relative improvement a hill-climb move must clear (matches the online
+#: tuner's jitter guard).
+MIN_IMPROVEMENT = 1.02
+
+
+@dataclass(frozen=True)
+class CandidateTrial:
+    """One measured candidate configuration.
+
+    Unlike the online tuner's :class:`~repro.core.optimizer.tuner.TuningTrial`
+    (which names the single parameter being moved), a candidate trial
+    carries the whole configuration — annealing and racing move several
+    knobs at once.
+    """
+
+    key: str
+    config: PipelineConfig
+    steps: int
+    elapsed_us: float
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0 or self.elapsed_us <= 0:
+            raise OptimizerError(
+                f"degenerate trial {self.key!r}: steps={self.steps}, "
+                f"elapsed_us={self.elapsed_us}; invalid measurements must "
+                "be rejected, not recorded"
+            )
+
+    @property
+    def throughput(self) -> float:
+        """Training steps per second during the trial."""
+        return self.steps / (self.elapsed_us / 1e6)
+
+
+class TrialEvaluator(Protocol):
+    """Measures candidate configurations.
+
+    ``evaluate`` receives ``(key, config, steps)`` requests and returns
+    one :class:`CandidateTrial` per request *in request order*. The key
+    names the trial's RNG substream, so a given ``(key, config, steps)``
+    always measures identically — the property that lets strategies fan
+    evaluation out over a worker pool without losing determinism.
+    """
+
+    def evaluate(
+        self, requests: Sequence[tuple[str, PipelineConfig, int]]
+    ) -> list[CandidateTrial]: ...
+
+
+@dataclass
+class SearchOutcome:
+    """What one strategy run measured and concluded."""
+
+    strategy: str
+    initial_config: PipelineConfig
+    best_config: PipelineConfig
+    baseline_throughput: float
+    best_throughput: float
+    trials: list[CandidateTrial] = field(default_factory=list)
+
+    @property
+    def steps_consumed(self) -> int:
+        return sum(trial.steps for trial in self.trials)
+
+    @property
+    def improvement(self) -> float:
+        """Best over baseline throughput (>1 means faster)."""
+        if self.baseline_throughput <= 0:
+            return 1.0
+        return self.best_throughput / self.baseline_throughput
+
+    def trials_to_config(self, config: PipelineConfig) -> int | None:
+        """1-based index of the first trial that measured ``config``."""
+        for index, trial in enumerate(self.trials, start=1):
+            if trial.config == config:
+                return index
+        return None
+
+    @property
+    def trials_to_best(self) -> int:
+        """Trials spent before the winning configuration was measured."""
+        found = self.trials_to_config(self.best_config)
+        return found if found is not None else len(self.trials)
+
+
+def _apply(config: PipelineConfig, name: str, value: int) -> PipelineConfig:
+    """Set one knob, preserving bool-typed fields (the map/batch toggle)."""
+    current = getattr(config, name)
+    return config.with_updates(**{name: bool(value) if isinstance(current, bool) else value})
+
+
+def _perturb(
+    config: PipelineConfig,
+    parameters: Sequence[AdjustableParameter],
+    rng,
+    moves: int = 1,
+) -> PipelineConfig:
+    """A random neighbor of ``config``: ``moves`` single-knob steps."""
+    out = config
+    for _ in range(max(moves, 1)):
+        parameter = parameters[int(rng.integers(len(parameters)))]
+        candidates = parameter.candidate_values(int(getattr(out, parameter.name)))
+        if not candidates:
+            continue
+        out = _apply(out, parameter.name, candidates[int(rng.integers(len(candidates)))])
+    return out
+
+
+class SearchStrategy:
+    """Base class: one search over the adjustable-parameter space."""
+
+    name = "abstract"
+
+    def search(
+        self,
+        parameters: Sequence[AdjustableParameter],
+        initial_config: PipelineConfig,
+        evaluator: TrialEvaluator,
+        seed: int,
+    ) -> SearchOutcome:
+        raise NotImplementedError
+
+    # --- shared plumbing ---------------------------------------------------
+
+    def _measure(
+        self,
+        evaluator: TrialEvaluator,
+        requests: Sequence[tuple[str, PipelineConfig, int]],
+        log: list[CandidateTrial],
+    ) -> list[CandidateTrial]:
+        """Evaluate a batch, append to the trial log, count in obs."""
+        trials = evaluator.evaluate(list(requests))
+        log.extend(trials)
+        _STRATEGY_TRIALS.labels(strategy=self.name).inc(len(trials))
+        return trials
+
+
+@dataclass
+class HillClimbStrategy(SearchStrategy):
+    """The paper's directional hill climb over the offline evaluator.
+
+    One parameter at a time: try each neighbor of the current best; on
+    an accepted move keep stepping in the same direction until it stops
+    helping. Sequential by construction — each trial depends on the
+    previous accept — so it gains nothing from extra workers; it is the
+    reference strategy warm starts and the racers are compared against.
+    """
+
+    trial_steps: int = 6
+    min_improvement: float = MIN_IMPROVEMENT
+
+    name = "hill-climb"
+
+    def __post_init__(self) -> None:
+        if self.trial_steps <= 0:
+            raise OptimizerError("trial_steps must be positive")
+        if self.min_improvement < 1.0:
+            raise OptimizerError("min_improvement must be >= 1.0")
+
+    def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        log: list[CandidateTrial] = []
+        serial = 0
+
+        def measure(config: PipelineConfig) -> CandidateTrial:
+            nonlocal serial
+            serial += 1
+            return self._measure(
+                evaluator, [(f"hill:{serial}", config, self.trial_steps)], log
+            )[0]
+
+        baseline = measure(initial_config)
+        best, best_throughput = initial_config, baseline.throughput
+
+        for parameter in parameters:
+            start_value = int(getattr(best, parameter.name))
+            is_bool = isinstance(getattr(best, parameter.name), bool)
+            for first_value in parameter.candidate_values(start_value):
+                value, anchor = first_value, start_value
+                while True:
+                    candidate = _apply(best, parameter.name, value)
+                    trial = measure(candidate)
+                    if trial.throughput < best_throughput * self.min_improvement:
+                        break
+                    best, best_throughput = candidate, trial.throughput
+                    if is_bool:
+                        break
+                    direction = 1 if value > anchor else -1
+                    onward = [
+                        v
+                        for v in parameter.candidate_values(value)
+                        if (v - value) * direction > 0
+                    ]
+                    if not onward:
+                        break
+                    anchor, value = value, onward[0]
+
+        return SearchOutcome(
+            strategy=self.name,
+            initial_config=initial_config,
+            best_config=best,
+            baseline_throughput=baseline.throughput,
+            best_throughput=best_throughput,
+            trials=log,
+        )
+
+
+@dataclass
+class SimulatedAnnealingStrategy(SearchStrategy):
+    """Seeded batched Metropolis search.
+
+    Each round proposes ``batch`` random neighbors of the current
+    configuration (driver RNG), measures them concurrently, then folds
+    them back in proposal order: an improvement is always accepted, a
+    regression with probability ``exp(relative_loss / temperature)``.
+    The temperature cools geometrically per round, narrowing the walk
+    from exploration to exploitation.
+    """
+
+    rounds: int = 6
+    batch: int = 4
+    trial_steps: int = 6
+    initial_temperature: float = 0.08
+    cooling: float = 0.6
+
+    name = "annealing"
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0 or self.batch <= 0 or self.trial_steps <= 0:
+            raise OptimizerError("rounds, batch, and trial_steps must be positive")
+        if self.initial_temperature <= 0 or not 0.0 < self.cooling < 1.0:
+            raise OptimizerError("temperature must be positive and cooling in (0, 1)")
+
+    def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        rng = rng_stream("optimizer:strategy:annealing", seed)
+        log: list[CandidateTrial] = []
+        baseline = self._measure(
+            evaluator, [("anneal:baseline", initial_config, self.trial_steps)], log
+        )[0]
+        current, current_throughput = initial_config, baseline.throughput
+        best, best_throughput = current, current_throughput
+
+        temperature = self.initial_temperature
+        for round_index in range(self.rounds):
+            requests = []
+            for slot in range(self.batch):
+                proposal = _perturb(current, parameters, rng)
+                requests.append(
+                    (f"anneal:r{round_index}:c{slot}", proposal, self.trial_steps)
+                )
+            for trial in self._measure(evaluator, requests, log):
+                gain = trial.throughput / current_throughput - 1.0
+                accept = gain > 0 or float(rng.random()) < math.exp(gain / temperature)
+                if accept:
+                    current, current_throughput = trial.config, trial.throughput
+                if trial.throughput > best_throughput:
+                    best, best_throughput = trial.config, trial.throughput
+            temperature *= self.cooling
+
+        return SearchOutcome(
+            strategy=self.name,
+            initial_config=initial_config,
+            best_config=best,
+            baseline_throughput=baseline.throughput,
+            best_throughput=best_throughput,
+            trials=log,
+        )
+
+
+@dataclass
+class SuccessiveHalvingStrategy(SearchStrategy):
+    """Racing: measure a population cheaply, halve, re-measure deeper.
+
+    Rung ``r`` measures every survivor for ``trial_steps * eta**r``
+    steps and keeps the top ``1/eta`` (ties broken by submission order,
+    never completion order). The start configuration always occupies
+    population slot 0; the remaining slots are seeded perturbations of
+    it, so the race explores *around* the start point — which is what
+    makes a knowledge-base warm start pay: a near-optimal prior is
+    measured first and defended by every later rung.
+    """
+
+    population: int = 8
+    eta: int = 2
+    trial_steps: int = 4
+    exploration_moves: int = 2
+
+    name = "racing"
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise OptimizerError("racing needs a population of at least 2")
+        if self.eta < 2:
+            raise OptimizerError("eta must be at least 2")
+        if self.trial_steps <= 0 or self.exploration_moves <= 0:
+            raise OptimizerError("trial_steps and exploration_moves must be positive")
+
+    def _population(self, parameters, initial_config, seed) -> list[PipelineConfig]:
+        rng = rng_stream("optimizer:strategy:racing", seed)
+        population = [initial_config]
+        attempts = 0
+        while len(population) < self.population and attempts < self.population * 20:
+            attempts += 1
+            moves = 1 + int(rng.integers(self.exploration_moves))
+            candidate = _perturb(initial_config, parameters, rng, moves=moves)
+            if candidate not in population:
+                population.append(candidate)
+        return population
+
+    def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        log: list[CandidateTrial] = []
+        survivors = self._population(parameters, initial_config, seed)
+        baseline_throughput = 0.0
+        ranked: list[tuple[PipelineConfig, float]] = []
+
+        rung = 0
+        while True:
+            steps = self.trial_steps * self.eta**rung
+            requests = [
+                (f"race:r{rung}:c{slot}", config, steps)
+                for slot, config in enumerate(survivors)
+            ]
+            trials = self._measure(evaluator, requests, log)
+            if rung == 0:
+                baseline_throughput = trials[0].throughput
+            ranked = sorted(
+                ((trial.config, trial.throughput) for trial in trials),
+                key=lambda pair: -pair[1],
+            )
+            if len(survivors) <= 1:
+                break
+            keep = max(1, math.ceil(len(survivors) / self.eta))
+            survivors = [config for config, _ in ranked[:keep]]
+            rung += 1
+
+        best_config, best_throughput = ranked[0]
+        return SearchOutcome(
+            strategy=self.name,
+            initial_config=initial_config,
+            best_config=best_config,
+            baseline_throughput=baseline_throughput,
+            best_throughput=best_throughput,
+            trials=log,
+        )
+
+
+#: Registry the CLI's ``--strategy`` flag and the engine resolve against.
+STRATEGIES: dict[str, type[SearchStrategy]] = {
+    HillClimbStrategy.name: HillClimbStrategy,
+    SimulatedAnnealingStrategy.name: SimulatedAnnealingStrategy,
+    SuccessiveHalvingStrategy.name: SuccessiveHalvingStrategy,
+}
+
+
+def build_strategy(name: str, **options) -> SearchStrategy:
+    """Instantiate a registered strategy, validating its options."""
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        known = ", ".join(sorted(STRATEGIES))
+        raise OptimizerError(f"unknown search strategy {name!r} (known: {known})")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(options) - allowed
+    if unknown:
+        raise OptimizerError(
+            f"strategy {name!r} does not accept options {sorted(unknown)}"
+        )
+    return cls(**options)

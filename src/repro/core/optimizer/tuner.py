@@ -51,9 +51,20 @@ class TuningTrial:
 
     @property
     def throughput(self) -> float:
-        """Training steps per second during the trial."""
+        """Training steps per second during the trial.
+
+        A trial that consumed no simulated time is not "infinitely slow"
+        — it is invalid evidence. Returning 0.0 here would make a
+        degenerate zero-time trial *lose* to any real measurement and
+        silently walk the search; rejecting it loudly keeps every
+        accept/reject decision grounded in a real measurement.
+        """
         if self.elapsed_us <= 0:
-            return 0.0
+            raise OptimizerError(
+                f"degenerate trial for {self.parameter!r}: elapsed_us="
+                f"{self.elapsed_us} with {self.steps} steps; zero-time "
+                "trials must be rejected, not compared"
+            )
         return self.steps / (self.elapsed_us / 1e6)
 
 

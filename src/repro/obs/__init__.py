@@ -106,6 +106,24 @@ def ensure_core_metrics() -> None:
         labels=("accepted",),
     )
     counter(
+        "repro_optimizer_strategy_trials_total",
+        "Autotune trials measured, by search strategy.",
+        labels=("strategy",),
+    )
+    counter(
+        "repro_optimizer_kb_lookups_total",
+        "Knowledge-base lookups, by outcome (hit or miss).",
+        labels=("outcome",),
+    )
+    counter(
+        "repro_optimizer_warmstart_rollbacks_total",
+        "Warm-started searches rolled back by the quality/throughput guard.",
+    )
+    gauge(
+        "repro_optimizer_kb_entries",
+        "Entries held by the most recently opened tuning knowledge base.",
+    )
+    counter(
         "repro_workloads_runs_total",
         "Workload runs driven by the runner, by workload key.",
         labels=("workload",),

@@ -24,7 +24,12 @@ from repro.serve.live import LiveJobAnalysis, LivePhase
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.query import FleetSnapshot, JobSnapshot, PhaseView
 from repro.serve.registry import JobInfo, JobRegistry, JobState
-from repro.serve.service import FleetService, FleetServiceOptions, QuarantinedRecord
+from repro.serve.service import (
+    FleetService,
+    FleetServiceOptions,
+    QuarantinedRecord,
+    TuningPrior,
+)
 
 __all__ = [
     "DEFAULT_FLEET_WORKLOADS",
@@ -45,6 +50,7 @@ __all__ = [
     "PhaseView",
     "QuarantinedRecord",
     "ServiceMetrics",
+    "TuningPrior",
     "run_fleet",
     "validate_record",
 ]

@@ -18,6 +18,7 @@ from typing import Callable
 
 from repro import obs
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
+from repro.core.optimizer.knowledge import TuningKnowledgeBase
 from repro.core.profiler.record import ProfileRecord
 from repro.core.profiler.serialize import record_checksum
 from repro.errors import ProfilerError, ServeError
@@ -41,6 +42,26 @@ class QuarantinedRecord:
     job_id: str
     record: ProfileRecord
     reason: str
+
+
+@dataclass(frozen=True)
+class TuningPrior:
+    """One knowledge-base configuration matched to a live job's phase.
+
+    The fleet counterpart of the autotuner's warm start: a tenant asks
+    which stored best-configurations look like the phases its job is
+    executing *right now*, and seeds its own search from the closest
+    one. The prior carries the evidence (similarity, improvement, trial
+    count, source workload) so the consumer can apply its own bar.
+    """
+
+    job_id: str
+    phase_id: int
+    similarity: float
+    config: dict[str, object]
+    improvement: float
+    trials: int
+    workload: str
 
 
 @dataclass(frozen=True)
@@ -86,6 +107,18 @@ class FleetService:
         )
         self._tick = 0
         self._last_accept_tick: dict[str, int] = {}
+        self._knowledge: TuningKnowledgeBase | None = None
+
+    # --- shared tuning knowledge -------------------------------------------
+
+    def attach_knowledge(self, knowledge: TuningKnowledgeBase) -> None:
+        """Share one tuning knowledge base across every tenant.
+
+        Priors flow both ways conceptually — tenants query stored best
+        configurations via :meth:`tuning_priors`, and their own finished
+        searches land in the same base through the autotune engine.
+        """
+        self._knowledge = knowledge
 
     # --- tenancy -----------------------------------------------------------
 
@@ -290,6 +323,55 @@ class FleetService:
                 pairs = analysis.similar_phase_pairs(threshold)
             span.set(phases=analysis.num_phases, pairs=len(pairs))
             return pairs
+
+    def tuning_priors(
+        self, job_id: str, threshold: float | None = None, top_k: int = 8
+    ) -> list[TuningPrior]:
+        """Stored best-configurations matching one job's live phases.
+
+        Each of the job's phases is fingerprinted the way the autotune
+        engine keys its knowledge base (top-``top_k`` operators by
+        accumulated duration) and looked up against the attached
+        :class:`TuningKnowledgeBase`. Matches come back ordered by
+        similarity (then by the phase's share of run time), one per
+        distinct stored entry, so a tenant warm-starts from the closest
+        prior the fleet has collected.
+        """
+        if self._knowledge is None:
+            raise ServeError("no tuning knowledge base attached to this service")
+        cutoff = threshold if threshold is not None else self.options.threshold
+        with obs.trace("serve.tuning_priors", job=job_id) as span, \
+                self.metrics.time_query():
+            analysis = self.analysis(job_id)
+            priors: list[TuningPrior] = []
+            claimed: set[frozenset[str]] = set()
+            ranked_phases = sorted(
+                analysis.phases.values(), key=lambda phase: -phase.duration_us
+            )
+            for phase in ranked_phases:
+                names = frozenset(
+                    stats.name for stats in phase.top_operators(top_k)
+                )
+                if not names:
+                    continue
+                match = self._knowledge.lookup(names, cutoff)
+                if match is None or match.entry.signature in claimed:
+                    continue
+                claimed.add(match.entry.signature)
+                priors.append(
+                    TuningPrior(
+                        job_id=job_id,
+                        phase_id=phase.phase_id,
+                        similarity=match.similarity,
+                        config=dict(match.entry.config),
+                        improvement=match.entry.improvement,
+                        trials=match.entry.trials,
+                        workload=match.entry.workload,
+                    )
+                )
+            priors.sort(key=lambda prior: -prior.similarity)
+            span.set(phases=len(analysis.phases), priors=len(priors))
+            return priors
 
     def job_snapshot(self, job_id: str) -> JobSnapshot:
         """Freeze one job's live view; never mutates service state."""

@@ -2,6 +2,7 @@
 
 from repro.storage.bucket import Bucket, BucketStats
 from repro.storage.checkpoints import Checkpoint, CheckpointStore
+from repro.storage.kvstore import JsonDocumentStore
 from repro.storage.objects import DatasetShard, StorageObject, shard_dataset
 
 __all__ = [
@@ -10,6 +11,7 @@ __all__ = [
     "Checkpoint",
     "CheckpointStore",
     "DatasetShard",
+    "JsonDocumentStore",
     "StorageObject",
     "shard_dataset",
 ]

@@ -1,0 +1,87 @@
+"""Durable JSON document store.
+
+Small subsystem state that must survive across runs — most prominently
+the autotuner's knowledge base (:mod:`repro.core.optimizer.knowledge`)
+— persists through this store rather than ad-hoc file handling. Two
+properties matter:
+
+* **Atomic writes.** Documents are written to a temporary sibling and
+  moved into place with :func:`os.replace`, so a crash mid-save leaves
+  either the old document or the new one, never a torn file. (The same
+  discipline as the profiler's crash-safe journal, minus the append
+  log: documents here are small and rewritten whole.)
+* **Explicit corruption.** An unreadable document raises
+  :class:`~repro.errors.StorageError` with the offending path; callers
+  that can degrade (the knowledge base falls back to an empty prior
+  set) catch it, callers that cannot see a precise failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import StorageError
+
+_SUFFIX = ".json"
+
+
+class JsonDocumentStore:
+    """Named JSON documents under one directory, written atomically."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise StorageError(f"cannot create store directory {directory}: {error}")
+
+    def path(self, name: str) -> Path:
+        """Filesystem path of one document."""
+        if not name or "/" in name or name.startswith("."):
+            raise StorageError(f"invalid document name {name!r}")
+        return self.directory / f"{name}{_SUFFIX}"
+
+    def exists(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    def names(self) -> list[str]:
+        """All stored document names, sorted."""
+        return sorted(p.stem for p in self.directory.glob(f"*{_SUFFIX}"))
+
+    def load(self, name: str) -> dict | None:
+        """Read one document; None when absent, StorageError when corrupt."""
+        path = self.path(name)
+        if not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise StorageError(f"unreadable document {path}: {error}")
+        if not isinstance(document, dict):
+            raise StorageError(f"document {path} is not a JSON object")
+        return document
+
+    def save(self, name: str, document: dict) -> Path:
+        """Write one document atomically; returns the path written."""
+        path = self.path(name)
+        try:
+            payload = json.dumps(document, indent=2, sort_keys=True)
+        except (TypeError, ValueError) as error:
+            raise StorageError(f"document {name!r} is not JSON-serializable: {error}")
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(payload + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as error:
+            raise StorageError(f"cannot write document {path}: {error}")
+        return path
+
+    def delete(self, name: str) -> bool:
+        """Remove one document; returns whether it existed."""
+        path = self.path(name)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True

@@ -84,6 +84,33 @@ class TestCli:
         assert "speedup" in out
         assert "best config" in out or "tuning trials" in out
 
+    def test_tune_cold_then_warm(self, capsys, tmp_path):
+        argv = [
+            "tune", "naive-dcgan-mnist",
+            "--strategy", "racing",
+            "--knowledge-dir", str(tmp_path),
+            "--trial-steps", "3",
+        ]
+        assert cli_main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "offline autotune (racing)" in cold
+        assert "phase signature" in cold
+        assert "0 entries" in cold and "(miss)" in cold
+        assert "warm start      : no" in cold
+        assert "recorded" in cold
+
+        assert cli_main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 entries" in warm
+        assert "hit, similarity 1.00" in warm
+        assert "warm start      : yes" in warm
+
+    def test_tune_rejects_unknown_strategy(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["tune", "naive-dcgan-mnist", "--strategy", "grid"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestCliErrorHygiene:
     """ReproError -> one-line stderr message, exit code 1, no traceback."""

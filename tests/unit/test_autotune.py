@@ -1,0 +1,207 @@
+"""The offline autotune engine: warm starts, rollbacks, fleet priors."""
+
+import pytest
+
+from repro.core.optimizer import (
+    AutotuneOptions,
+    KnowledgeEntry,
+    TuningKnowledgeBase,
+    autotune,
+    detect_phase_signature,
+)
+from repro.errors import OptimizerError, ServeError
+from repro.models.naive import naive_pipeline_config
+from repro.serve import FleetService, FleetServiceOptions
+from repro.workloads.runner import attach_record_sink
+
+
+def _slow_factory(tiny_model, tiny_dataset):
+    """Fresh throttled estimators per config (offline-trial contract)."""
+    from dataclasses import replace
+
+    heavy = replace(tiny_dataset, decode_cpu_us=400.0, preprocess_cpu_us=200.0)
+    return lambda config: tiny_model.build_estimator(heavy, pipeline_config=config)
+
+
+_INITIAL = naive_pipeline_config().with_updates(jitter=0.0)
+_QUICK = {"population": 4, "trial_steps": 3}
+_OPTIONS = AutotuneOptions(strategy="racing", detection_steps=10, workload="tiny")
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            AutotuneOptions(detection_steps=0)
+        with pytest.raises(OptimizerError):
+            AutotuneOptions(signature_top_k=0)
+        with pytest.raises(OptimizerError):
+            AutotuneOptions(knowledge_threshold=1.5)
+
+
+class TestDetection:
+    def test_signature_from_short_window(self, tiny_model, tiny_dataset):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        signature = detect_phase_signature(factory, _INITIAL, _OPTIONS)
+        assert signature
+        assert all(isinstance(name, str) for name in signature)
+
+    def test_signature_deterministic(self, tiny_model, tiny_dataset):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        first = detect_phase_signature(factory, _INITIAL, _OPTIONS)
+        second = detect_phase_signature(factory, _INITIAL, _OPTIONS)
+        assert first == second
+
+
+class TestAutotune:
+    def test_cold_search_improves_and_records(self, tiny_model, tiny_dataset, tmp_path):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        result = autotune(
+            factory, _INITIAL, _OPTIONS, knowledge=kb, strategy_options=_QUICK
+        )
+        assert not result.warm_started
+        assert result.improvement > 1.0
+        assert result.knowledge_recorded
+        assert len(kb) == 1
+        assert len(TuningKnowledgeBase.open(tmp_path)) == 1
+
+    def test_warm_start_finds_best_first(self, tiny_model, tiny_dataset, tmp_path):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        cold = autotune(
+            factory, _INITIAL, _OPTIONS, knowledge=kb, strategy_options=_QUICK
+        )
+        warm = autotune(
+            factory, _INITIAL, _OPTIONS,
+            knowledge=TuningKnowledgeBase.open(tmp_path),
+            strategy_options=_QUICK,
+        )
+        assert warm.warm_started and not warm.rolled_back
+        assert warm.warm_similarity == 1.0
+        # The cold search's winner is the warm search's very first trial.
+        assert warm.outcome.trials_to_config(cold.best_config) == 1
+        assert warm.outcome.trials_to_config(cold.best_config) < (
+            cold.outcome.trials_to_config(cold.best_config)
+        )
+
+    def test_invalid_stored_config_rolls_back_to_cold(
+        self, tiny_model, tiny_dataset, tmp_path
+    ):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        signature = detect_phase_signature(factory, _INITIAL, _OPTIONS)
+        kb.record(
+            KnowledgeEntry(
+                signature=signature,
+                config={"num_parallel_calls": -7},  # no longer validates
+                improvement=9.9,
+                trials=3,
+            )
+        )
+        result = autotune(
+            factory, _INITIAL, _OPTIONS, knowledge=kb, strategy_options=_QUICK
+        )
+        assert not result.warm_started
+        assert result.rolled_back
+        assert result.improvement > 1.0  # the cold search still ran
+
+    def test_regressing_warm_start_rolls_back_to_defaults(
+        self, tiny_model, tiny_dataset, tmp_path
+    ):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        # Defaults are already well tuned here; the stored "prior" makes
+        # the pipeline slower, and the frozen hill climb cannot escape it.
+        initial = _INITIAL.with_updates(
+            num_parallel_calls=8, prefetch_depth=4, infeed_threads=4
+        )
+        kb = TuningKnowledgeBase.open(tmp_path)
+        signature = detect_phase_signature(factory, initial, _OPTIONS)
+        kb.record(
+            KnowledgeEntry(
+                signature=signature,
+                config={"num_parallel_calls": 1, "prefetch_depth": 0,
+                        "infeed_threads": 1},
+                improvement=2.0,
+                trials=3,
+            )
+        )
+        options = AutotuneOptions(
+            strategy="hill-climb", detection_steps=10, workload="tiny"
+        )
+        result = autotune(
+            factory, initial, options, knowledge=kb,
+            strategy_options={"trial_steps": 3, "min_improvement": 100.0},
+        )
+        assert result.warm_started
+        assert result.rolled_back
+        assert result.best_config == initial
+        # A rolled-back result is never recorded over the stored entry.
+        assert not result.knowledge_recorded
+
+    def test_no_knowledge_runs_cold(self, tiny_model, tiny_dataset):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        result = autotune(factory, _INITIAL, _OPTIONS, strategy_options=_QUICK)
+        assert not result.warm_started
+        assert result.warm_similarity is None
+        assert not result.knowledge_recorded
+        assert result.improvement > 1.0
+
+
+class TestFleetTuningPriors:
+    def _service_with_job(self, tiny_model, tiny_dataset):
+        from dataclasses import replace
+
+        from repro.core.profiler import ProfilerOptions
+
+        heavy = replace(tiny_dataset, decode_cpu_us=400.0, preprocess_cpu_us=200.0)
+        estimator = tiny_model.build_estimator(heavy, pipeline_config=_INITIAL)
+        service = FleetService(options=FleetServiceOptions())
+        info = service.register("tiny")
+        profiler = attach_record_sink(
+            estimator,
+            service.sink(info.job_id),
+            options=ProfilerOptions(
+                request_interval_ms=200.0, record_to_storage=False
+            ),
+        )
+        estimator.train()
+        profiler.stop()
+        service.pump()
+        return service, info
+
+    def test_requires_attached_knowledge(self, tiny_model, tiny_dataset):
+        service, info = self._service_with_job(tiny_model, tiny_dataset)
+        with pytest.raises(ServeError, match="knowledge"):
+            service.tuning_priors(info.job_id)
+
+    def test_priors_match_recorded_search(self, tiny_model, tiny_dataset, tmp_path):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        tuned = autotune(
+            factory, _INITIAL, _OPTIONS, knowledge=kb, strategy_options=_QUICK
+        )
+        service, info = self._service_with_job(tiny_model, tiny_dataset)
+        service.attach_knowledge(kb)
+        priors = service.tuning_priors(info.job_id, threshold=0.5)
+        assert priors, "the tuned workload's phases must match its own entry"
+        best = priors[0]
+        assert best.job_id == info.job_id
+        assert best.improvement == pytest.approx(tuned.improvement)
+        assert best.workload == "tiny"
+        # The prior's config is exactly what the search stored.
+        stored = kb.entries[0].config
+        assert best.config == stored
+
+    def test_unrelated_kb_yields_no_priors(self, tiny_model, tiny_dataset):
+        service, info = self._service_with_job(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase()
+        kb.record(
+            KnowledgeEntry(
+                signature=frozenset({"NoSuchOpA", "NoSuchOpB", "NoSuchOpC"}),
+                config={"prefetch_depth": 8},
+                improvement=1.4,
+                trials=5,
+            )
+        )
+        service.attach_knowledge(kb)
+        assert service.tuning_priors(info.job_id) == []

@@ -1,0 +1,77 @@
+"""The docs link checker keeps the documentation graph healthy."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", _REPO_ROOT / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(root: Path, relative: str, text: str) -> None:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+class TestRepositoryDocs:
+    def test_repo_docs_have_no_broken_links(self, checker):
+        assert checker.check_links(_REPO_ROOT) == []
+
+    def test_every_docs_page_linked_from_index(self, checker):
+        index = (_REPO_ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+        for page in sorted((_REPO_ROOT / "docs").glob("*.md")):
+            if page.name == "index.md":
+                continue
+            assert f"({page.name})" in index, f"{page.name} missing from index"
+
+
+class TestChecker:
+    def test_clean_tree_passes(self, checker, tmp_path):
+        _write(tmp_path, "docs/index.md", "[guide](guide.md) [up](../README.md)")
+        _write(tmp_path, "docs/guide.md", "back to [index](index.md)")
+        _write(tmp_path, "README.md", "[docs](docs/index.md)")
+        assert checker.check_links(tmp_path) == []
+
+    def test_broken_link_reported(self, checker, tmp_path):
+        _write(tmp_path, "docs/index.md", "[gone](missing.md)")
+        problems = checker.check_links(tmp_path)
+        assert any("broken link -> missing.md" in p for p in problems)
+
+    def test_unreachable_page_reported(self, checker, tmp_path):
+        _write(tmp_path, "docs/index.md", "no links here")
+        _write(tmp_path, "docs/orphan.md", "never linked")
+        problems = checker.check_links(tmp_path)
+        assert any("orphan.md is not reachable" in p for p in problems)
+
+    def test_external_urls_and_anchors_ignored(self, checker, tmp_path):
+        _write(
+            tmp_path,
+            "docs/index.md",
+            "[web](https://example.com) [sec](#section) [ok](page.md#part)",
+        )
+        _write(tmp_path, "docs/page.md", "")
+        assert checker.check_links(tmp_path) == []
+
+    def test_missing_index_reported(self, checker, tmp_path):
+        (tmp_path / "docs").mkdir()
+        problems = checker.check_links(tmp_path)
+        assert "docs/index.md is missing" in problems
+
+    def test_main_exit_codes(self, checker, tmp_path, capsys):
+        _write(tmp_path, "docs/index.md", "[gone](missing.md)")
+        assert checker.main([str(tmp_path)]) == 1
+        assert "broken link" in capsys.readouterr().err
+        _write(tmp_path, "docs/index.md", "fine")
+        assert checker.main([str(tmp_path)]) == 0
+        assert "docs links OK" in capsys.readouterr().out

@@ -5,7 +5,7 @@ import pytest
 from repro.core.optimizer.optimizer import OptimizerOptions, TPUPointOptimizer
 from repro.core.optimizer.parameters import discover_parameters
 from repro.core.optimizer.quality import QualityController
-from repro.core.optimizer.tuner import HillClimbTuner
+from repro.core.optimizer.tuner import HillClimbTuner, TuningTrial
 from repro.errors import OptimizerError
 from repro.host.pipeline import PipelineConfig
 from repro.models.naive import naive_pipeline_config
@@ -24,6 +24,20 @@ def _slow_estimator(tiny_model, tiny_dataset):
         heavy,
         pipeline_config=naive_pipeline_config().with_updates(jitter=0.0),
     )
+
+
+class TestTuningTrial:
+    def test_throughput(self):
+        trial = TuningTrial("p", 2, steps=4, elapsed_us=2e6, accepted=True)
+        assert trial.throughput == pytest.approx(2.0)
+
+    def test_degenerate_elapsed_time_rejected(self):
+        # A zero-time trial is invalid evidence, not an infinitely slow
+        # one: it must raise rather than quietly lose the comparison.
+        for elapsed_us in (0.0, -1.0):
+            trial = TuningTrial("p", 2, steps=4, elapsed_us=elapsed_us, accepted=False)
+            with pytest.raises(OptimizerError, match="degenerate trial"):
+                trial.throughput
 
 
 class TestTuner:

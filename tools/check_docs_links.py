@@ -1,0 +1,91 @@
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans every tracked markdown page (docs/*.md plus the top-level guides),
+extracts inline ``[text](target)`` links, and verifies that each
+relative target exists on disk (anchors and external URLs are ignored).
+Also asserts the docs index actually is an index: every page under
+docs/ must be reachable from docs/index.md by following relative links.
+
+Run from the repository root (CI's docs job does):
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+_TOP_LEVEL_PAGES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+
+def _markdown_pages(root: Path) -> list[Path]:
+    pages = sorted((root / "docs").glob("*.md"))
+    pages += [root / name for name in _TOP_LEVEL_PAGES if (root / name).exists()]
+    return pages
+
+
+def _relative_targets(page: Path) -> list[str]:
+    targets = []
+    for match in _LINK.finditer(page.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return targets
+
+
+def check_links(root: Path) -> list[str]:
+    """Return a list of human-readable problems (empty = all good)."""
+    problems = []
+    pages = _markdown_pages(root)
+    for page in pages:
+        for target in _relative_targets(page):
+            resolved = (page.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{page.relative_to(root)}: broken link -> {target}"
+                )
+
+    index = root / "docs" / "index.md"
+    if not index.exists():
+        problems.append("docs/index.md is missing")
+        return problems
+
+    # Reachability: walk relative links out of the index, transitively.
+    reachable = {index.resolve()}
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        for target in _relative_targets(page):
+            resolved = (page.parent / target).resolve()
+            if resolved.suffix == ".md" and resolved.exists():
+                if resolved not in reachable:
+                    reachable.add(resolved)
+                    frontier.append(resolved)
+    for page in sorted((root / "docs").glob("*.md")):
+        if page.resolve() not in reachable:
+            problems.append(
+                f"docs/{page.name} is not reachable from docs/index.md"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path.cwd()
+    problems = check_links(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        pages = len(_markdown_pages(root))
+        print(f"docs links OK ({pages} pages checked)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
