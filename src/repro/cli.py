@@ -19,7 +19,11 @@ Subcommands mirror the toolchain:
   and parallelized across ``--workers`` without changing results.
 * ``tpupoint fleet`` — drive N concurrent workloads through the
   multi-tenant live profiling service (:mod:`repro.serve`) and print
-  each job's live phases plus the fleet rollup.
+  each job's live phases plus the fleet rollup; ``--shards N`` spreads
+  tenants over a consistent-hashed :class:`~repro.serve.ShardedFleet`
+  with identical results plus goodput accounting and topology.
+* ``tpupoint goodput`` — run a fleet on the sharded tier and print the
+  per-tenant goodput/badput report (identical at any shard count).
 * ``tpupoint obs <files>`` — validate and summarize observability dumps
   (toolchain/workload chrome traces, Prometheus or JSON metrics).
 * ``tpupoint recover <journal>`` — load a crash-safe record journal
@@ -190,7 +194,45 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stall ACTIVE jobs silent for this many pump rounds",
     )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="spread tenants over this many fleet shards (consistent hashing)",
+    )
     _add_obs_flags(fleet)
+
+    goodput = subparsers.add_parser(
+        "goodput",
+        help="run a fleet and report per-tenant goodput/badput accounting",
+    )
+    goodput.add_argument("--jobs", type=int, default=4, help="number of concurrent jobs")
+    goodput.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workload keys to cycle over (default: a fast Table I mix)",
+    )
+    goodput.add_argument("--generation", default="v2", choices=["v2", "v3"])
+    goodput.add_argument(
+        "--chunk", type=int, default=16, help="train steps per scheduling quantum"
+    )
+    goodput.add_argument(
+        "--queue-capacity", type=int, default=64, help="per-job ingest queue bound"
+    )
+    goodput.add_argument(
+        "--threshold", type=float, default=0.70, help="live OLS similarity threshold"
+    )
+    goodput.add_argument(
+        "--faults", default=None, help="JSON fault plan to inject (see docs/robustness.md)"
+    )
+    goodput.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="fleet shards to run on (the report is identical at any count)",
+    )
+    _add_obs_flags(goodput)
 
     recover = subparsers.add_parser(
         "recover", help="recover records from a crash-safe journal and analyze them"
@@ -520,6 +562,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         chunk_steps=args.chunk,
         service_options=options,
         fault_plan=fault_plan,
+        shards=args.shards,
     )
     if fault_plan is not None:
         quarantined = result.service.quarantined()
@@ -529,6 +572,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  quarantined {entry.job_id} record "
                   f"#{entry.record.index}: {entry.reason}")
 
+    # Section order matters to CI: everything above the service-metrics
+    # marker is bit-identical at any shard count, so the shard smoke job
+    # diffs the sharded and unsharded runs up to that line.
     print(f"== fleet of {len(workloads)} jobs on TPU{args.generation} "
           f"({result.rounds} scheduling rounds) ==")
     for job in result.jobs:
@@ -537,10 +583,61 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print("\n-- fleet rollup --")
     for line in result.rollup.format():
         print(line)
+    if result.goodput is not None:
+        print("\n-- goodput --")
+        for line in result.goodput.format():
+            print(line)
     print("\n-- service metrics --")
     for line in result.service.metrics.format():
         print(line)
-    _dump_obs(args, extra_registries=[result.service.metrics.registry])
+    if args.shards is not None:
+        print("\n-- shard topology --")
+        for shard, tenants in enumerate(result.service.shard_tenants()):
+            print(f"shard {shard}: {', '.join(tenants) or '-'}")
+        result.service.close()
+    registries = getattr(result.service, "registries", None)
+    if registries is None:
+        registries = [result.service.metrics.registry]
+    _dump_obs(args, extra_registries=registries)
+    return 0
+
+
+def _cmd_goodput(args: argparse.Namespace) -> int:
+    """Run a fleet on the sharded tier and print the goodput report.
+
+    The report depends only on the tenants' simulated timelines, so the
+    output is identical at any shard count — which is exactly what the
+    CI smoke job pins by diffing ``--shards 1`` against ``--shards 2``.
+    """
+    from repro.errors import ConfigurationError
+    from repro.serve import DEFAULT_FLEET_WORKLOADS, FleetServiceOptions, run_fleet
+
+    if args.jobs <= 0:
+        raise ConfigurationError("--jobs must be positive")
+    fault_plan = None
+    if args.faults:
+        from repro.faults import load_plan
+
+        fault_plan = load_plan(args.faults)
+    keys = tuple(args.workloads) if args.workloads else DEFAULT_FLEET_WORKLOADS
+    workloads = [keys[i % len(keys)] for i in range(args.jobs)]
+    options = FleetServiceOptions(
+        queue_capacity=args.queue_capacity, threshold=args.threshold
+    )
+    result = run_fleet(
+        workloads,
+        generation=args.generation,
+        chunk_steps=args.chunk,
+        service_options=options,
+        fault_plan=fault_plan,
+        shards=args.shards,
+    )
+    print(f"== goodput report: {len(workloads)} jobs on TPU{args.generation} ==")
+    for line in result.goodput.format():
+        print(line)
+    registries = result.service.registries
+    result.service.close()
+    _dump_obs(args, extra_registries=registries)
     return 0
 
 
@@ -705,6 +802,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimize": lambda: _cmd_optimize(args),
         "tune": lambda: _cmd_tune(args),
         "fleet": lambda: _cmd_fleet(args),
+        "goodput": lambda: _cmd_goodput(args),
         "obs": lambda: _cmd_obs(args),
         "recover": lambda: _cmd_recover(args),
         "compare": lambda: _cmd_compare(args),

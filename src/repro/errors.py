@@ -86,6 +86,14 @@ class ServeError(ReproError):
     """Fleet profiling service misuse (unknown job, bad lifecycle move)."""
 
 
+class UnknownJobError(ServeError):
+    """A query or ingest named a job id the fleet has never registered."""
+
+
+class ShardError(ServeError):
+    """Sharded-fleet misuse (bad shard count, resize while ingesting)."""
+
+
 class ObsError(ReproError):
     """Self-observability misuse (bad metric name, unparseable dump)."""
 

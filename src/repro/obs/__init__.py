@@ -128,6 +128,19 @@ def ensure_core_metrics() -> None:
         "Workload runs driven by the runner, by workload key.",
         labels=("workload",),
     )
+    gauge(
+        "repro_serve_shards",
+        "Shards in the current sharded-fleet topology.",
+    )
+    counter(
+        "repro_serve_shard_pumps_total",
+        "Per-shard pump passes, by trigger (batch-full vs global drain).",
+        labels=("trigger",),
+    )
+    counter(
+        "repro_serve_shard_rebalanced_tenants_total",
+        "Tenants that changed shard across resize rebalances.",
+    )
 
 
 __all__ = [

@@ -30,6 +30,14 @@ from repro.serve.service import (
     QuarantinedRecord,
     TuningPrior,
 )
+from repro.serve.shard import (
+    GoodputLedger,
+    GoodputReport,
+    HashRing,
+    ShardedFleet,
+    ShardedFleetOptions,
+    TenantLedger,
+)
 
 __all__ = [
     "DEFAULT_FLEET_WORKLOADS",
@@ -39,6 +47,9 @@ __all__ = [
     "FleetService",
     "FleetServiceOptions",
     "FleetSnapshot",
+    "GoodputLedger",
+    "GoodputReport",
+    "HashRing",
     "IngestAck",
     "IngestQueue",
     "JobInfo",
@@ -50,6 +61,9 @@ __all__ = [
     "PhaseView",
     "QuarantinedRecord",
     "ServiceMetrics",
+    "ShardedFleet",
+    "ShardedFleetOptions",
+    "TenantLedger",
     "TuningPrior",
     "run_fleet",
     "validate_record",

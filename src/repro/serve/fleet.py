@@ -19,6 +19,7 @@ from repro.core.profiler import ProfilerOptions
 from repro.errors import ServeError
 from repro.serve.query import FleetSnapshot, JobSnapshot
 from repro.serve.service import FleetService, FleetServiceOptions
+from repro.serve.shard import GoodputReport, ShardedFleet, ShardedFleetOptions
 from repro.workloads.runner import attach_record_sink, build_estimator
 from repro.workloads.spec import WorkloadSpec
 
@@ -26,7 +27,8 @@ from repro.workloads.spec import WorkloadSpec
 DEFAULT_FLEET_WORKLOADS = ("bert-mrpc", "dcgan-mnist", "dcgan-cifar10", "bert-cola")
 
 #: Invoked after every scheduling round with (service, round_index).
-RoundHook = Callable[[FleetService, int], None]
+#: The service is a FleetService, or a ShardedFleet when sharding is on.
+RoundHook = Callable[[object, int], None]
 
 
 @dataclass(frozen=True)
@@ -42,12 +44,18 @@ class FleetJobResult:
 
 @dataclass(frozen=True)
 class FleetRunResult:
-    """Outcome of one fleet run."""
+    """Outcome of one fleet run.
 
-    service: FleetService
+    ``goodput`` is populated when the service tier carries a goodput
+    ledger (the sharded fleet always does); plain single-service runs
+    leave it None.
+    """
+
+    service: FleetService | ShardedFleet
     jobs: tuple[FleetJobResult, ...]
     rollup: FleetSnapshot
     rounds: int
+    goodput: GoodputReport | None = None
 
 
 @dataclass
@@ -64,11 +72,12 @@ def run_fleet(
     workloads: Sequence[str],
     generation: str = "v2",
     chunk_steps: int = 16,
-    service: FleetService | None = None,
+    service: FleetService | ShardedFleet | None = None,
     service_options: FleetServiceOptions | None = None,
     profiler_options: ProfilerOptions | None = None,
     on_round: RoundHook | None = None,
     fault_plan=None,
+    shards: int | None = None,
 ) -> FleetRunResult:
     """Run every workload to completion through a shared fleet service.
 
@@ -77,13 +86,28 @@ def run_fleet(
     drops and corruption stay deterministic per tenant), and the plan is
     also handed to every profiler unless ``profiler_options`` already
     carries one.
+
+    With ``shards``, tenants spread over a :class:`ShardedFleet` of
+    that many shards instead of one service — queries and snapshots are
+    bit-identical either way, and the run result additionally carries
+    the fleet's goodput/badput report.
     """
     if not workloads:
         raise ServeError("fleet run needs at least one workload")
     if chunk_steps <= 0:
         raise ServeError("chunk_steps must be positive")
+    if shards is not None and service is not None:
+        raise ServeError("pass either a service instance or shards, not both")
     if service is None:
-        service = FleetService(options=service_options or FleetServiceOptions())
+        if shards is not None:
+            service = ShardedFleet(
+                ShardedFleetOptions(
+                    shards=shards,
+                    service=service_options or FleetServiceOptions(),
+                )
+            )
+        else:
+            service = FleetService(options=service_options or FleetServiceOptions())
     if fault_plan is not None:
         from dataclasses import replace
 
@@ -111,6 +135,7 @@ def run_fleet(
             _FleetJob(job_id=info.job_id, spec=spec, estimator=estimator, profiler=profiler)
         )
 
+    ledger = getattr(service, "ledger", None)
     rounds = 0
     while any(not job.done for job in jobs):
         for job in jobs:
@@ -124,6 +149,14 @@ def run_fleet(
                 service.pump(job.job_id)
                 service.complete(job.job_id)
                 job.done = True
+                if ledger is not None:
+                    # Resilience overhead (retries, lost windows) lands
+                    # in the tenant's badput at the moment it finishes.
+                    ledger.observe_fault_report(
+                        job.job_id,
+                        job.profiler.fault_report(),
+                        request_interval_ms=job.profiler.options.request_interval_ms,
+                    )
         service.pump()
         rounds += 1
         if on_round is not None:
@@ -140,5 +173,9 @@ def run_fleet(
         for job in jobs
     )
     return FleetRunResult(
-        service=service, jobs=results, rollup=service.fleet_snapshot(), rounds=rounds
+        service=service,
+        jobs=results,
+        rollup=service.fleet_snapshot(),
+        rounds=rounds,
+        goodput=ledger.report() if ledger is not None else None,
     )

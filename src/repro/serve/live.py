@@ -12,6 +12,7 @@ regardless of run length, and queries read the accumulators directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -99,6 +100,10 @@ class LiveJobAnalysis:
     mxu_flops: float = 0.0
     _step_numbers: list[int] = field(default_factory=list)
     finished: bool = False
+    #: Invoked with each step the moment it is attributed to a phase.
+    #: The goodput ledger hangs off this; replayed analyses leave it unset
+    #: so a rebalance never double-charges a tenant.
+    on_step: Callable[[StepStats], None] | None = None
 
     def __post_init__(self) -> None:
         if self._scanner is None:
@@ -140,6 +145,8 @@ class LiveJobAnalysis:
         self.tpu_idle_us += step.tpu_idle_us
         self.mxu_flops += step.mxu_flops
         self._step_numbers.append(step.step)
+        if self.on_step is not None:
+            self.on_step(step)
 
     # --- live queries ------------------------------------------------------
 

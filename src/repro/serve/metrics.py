@@ -68,6 +68,15 @@ class ServiceMetrics:
             "repro_serve_evicted_dropped_records_total",
             "Shed-record counts folded in from evicted jobs.",
         ).labels()
+        self._job_quarantines = self.registry.counter(
+            "repro_serve_job_quarantined_records_total",
+            "Records quarantined from one live job's stream.",
+            labels=("job",),
+        )
+        self._evicted_quarantines = self.registry.counter(
+            "repro_serve_evicted_quarantined_records_total",
+            "Quarantined-record counts folded in from evicted jobs.",
+        ).labels()
         self._steps = self.registry.counter(
             "repro_serve_steps_assembled_total",
             "Steps assembled from ingested records.",
@@ -119,6 +128,19 @@ class ServiceMetrics:
         return int(self._evicted_drops.value)
 
     @property
+    def quarantined_by_job(self) -> dict[str, int]:
+        """Quarantine counts per *live* job (evicted jobs fold into a total)."""
+        return {
+            child.label_values["job"]: int(child.value)
+            for child in self._job_quarantines.children()
+        }
+
+    @property
+    def evicted_quarantines(self) -> int:
+        """Quarantined records attributed to jobs since evicted."""
+        return int(self._evicted_quarantines.value)
+
+    @property
     def queries_served(self) -> int:
         return self._query.count
 
@@ -139,16 +161,28 @@ class ServiceMetrics:
         self.records_dropped += count
         self._job_drops.labels(job=job_id).inc(count)
 
+    def record_quarantine(self, job_id: str, count: int = 1) -> None:
+        """Count records quarantined from one job's stream."""
+        if count <= 0:
+            return
+        self.records_quarantined += count
+        self._job_quarantines.labels(job=job_id).inc(count)
+
     def record_eviction(self, job_id: str) -> None:
-        """Fold an evicted job's drop count into the bounded total.
+        """Fold an evicted job's per-tenant counts into bounded totals.
 
         Keeps the per-job series from growing without bound as tenants
-        churn: the job's labeled counter is removed and its value lands
-        in ``evicted_drops`` (``records_dropped`` already includes it).
+        churn: the job's labeled drop and quarantine counters are removed
+        and their values land in ``evicted_drops`` / ``evicted_quarantines``
+        (the fleet-wide ``records_dropped`` / ``records_quarantined``
+        totals already include them).
         """
         child = self._job_drops.remove(job=job_id)
         if child is not None and child.value > 0:
             self._evicted_drops.inc(child.value)
+        child = self._job_quarantines.remove(job=job_id)
+        if child is not None and child.value > 0:
+            self._evicted_quarantines.inc(child.value)
 
     @contextmanager
     def time_query(self):
@@ -197,6 +231,8 @@ class ServiceMetrics:
             "query_seconds_max": self.query_seconds_max,
             "dropped_by_job": self.dropped_by_job,
             "evicted_drops": self.evicted_drops,
+            "quarantined_by_job": self.quarantined_by_job,
+            "evicted_quarantines": self.evicted_quarantines,
         }
 
     def format(self) -> list[str]:

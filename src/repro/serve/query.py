@@ -54,6 +54,7 @@ class JobSnapshot:
     records_ingested: int
     records_dropped: int
     phases: tuple[PhaseView, ...]
+    records_quarantined: int = 0
 
     def format(self) -> list[str]:
         lines = [
@@ -86,6 +87,7 @@ class FleetSnapshot:
     idle_fraction: float
     mxu_utilization: float
     phase_histogram: dict[int, int]
+    total_quarantined: int = 0
 
     @property
     def num_jobs(self) -> int:
@@ -113,6 +115,7 @@ def job_snapshot(
     queue: IngestQueue,
     max_phases: int = 5,
     top_operators: int = 3,
+    quarantined: int = 0,
 ) -> JobSnapshot:
     """Freeze one job's live state into a query result."""
     phases = tuple(
@@ -151,6 +154,7 @@ def job_snapshot(
         records_ingested=analysis.records_seen,
         records_dropped=queue.dropped,
         phases=phases,
+        records_quarantined=quarantined,
     )
 
 
@@ -180,4 +184,5 @@ def fleet_snapshot(snapshots: list[JobSnapshot]) -> FleetSnapshot:
             min(achieved_flops / possible_flops, 1.0) if possible_flops > 0 else 0.0
         ),
         phase_histogram=histogram,
+        total_quarantined=sum(snap.records_quarantined for snap in snapshots),
     )

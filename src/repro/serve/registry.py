@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import ServeError
+from repro.errors import ServeError, UnknownJobError
 from repro.tpu.specs import TpuGeneration, chip_spec
 
 
@@ -115,10 +115,10 @@ class JobRegistry:
         return info
 
     def get(self, job_id: str) -> JobInfo:
-        """Look a job up; unknown ids raise :class:`ServeError`."""
+        """Look a job up; unknown ids raise :class:`UnknownJobError`."""
         info = self._jobs.get(job_id)
         if info is None:
-            raise ServeError(f"unknown job {job_id!r}")
+            raise UnknownJobError(f"unknown job {job_id!r}")
         return info
 
     def transition(self, job_id: str, state: JobState) -> JobInfo:

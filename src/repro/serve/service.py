@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from functools import partial
+from typing import Callable, Sequence
 
 from repro import obs
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
@@ -108,6 +109,7 @@ class FleetService:
         self._tick = 0
         self._last_accept_tick: dict[str, int] = {}
         self._knowledge: TuningKnowledgeBase | None = None
+        self._ledger = None
 
     # --- shared tuning knowledge -------------------------------------------
 
@@ -119,6 +121,19 @@ class FleetService:
         searches land in the same base through the autotune engine.
         """
         self._knowledge = knowledge
+
+    def attach_ledger(self, ledger) -> None:
+        """Charge goodput/badput for every tenant to ``ledger``.
+
+        ``ledger`` is a :class:`repro.serve.shard.GoodputLedger` (duck-
+        typed: anything with ``observe_step`` / ``observe_quarantine``).
+        Steps already folded before attachment are not back-charged —
+        the sharded tier exploits this to replay journals during a
+        rebalance without double-counting any tenant's wall time.
+        """
+        self._ledger = ledger
+        for job_id, analysis in self._analyses.items():
+            analysis.on_step = partial(ledger.observe_step, job_id)
 
     # --- tenancy -----------------------------------------------------------
 
@@ -136,9 +151,12 @@ class FleetService:
         self._queues[info.job_id] = IngestQueue(
             job_id=info.job_id, capacity=self.options.queue_capacity
         )
-        self._analyses[info.job_id] = LiveJobAnalysis(
+        analysis = LiveJobAnalysis(
             threshold=self.options.threshold, peak_flops=info.peak_flops
         )
+        if self._ledger is not None:
+            analysis.on_step = partial(self._ledger.observe_step, info.job_id)
+        self._analyses[info.job_id] = analysis
         self.metrics.jobs_registered += 1
         self._last_accept_tick[info.job_id] = self._tick
         return info
@@ -199,11 +217,71 @@ class FleetService:
         self.metrics.record_drop(job_id, ack.dropped)
         return ack
 
+    def submit_many(
+        self,
+        job_id: str,
+        records: Sequence[ProfileRecord],
+        checksums: Sequence[int | None] | None = None,
+    ) -> list[IngestAck]:
+        """Enqueue a batch for one job: one validation pass, one lock hold.
+
+        Semantically identical to calling :meth:`submit` per record —
+        same quarantine decisions, same counters, same first-record
+        activation — but records that survive validation reach the queue
+        through :meth:`IngestQueue.offer_many`, so a concurrent producer
+        can never interleave inside the batch. The sharded tier's
+        batched ingest pumps ride on this.
+        """
+        if checksums is None:
+            checksums = [None] * len(records)
+        if len(checksums) != len(records):
+            raise ServeError("checksums must align one-to-one with records")
+        info = self.registry.get(job_id)
+        if not info.live:
+            raise ServeError(f"job {job_id!r} is {info.state.value}; cannot ingest")
+        if not records:
+            return []
+        self.metrics.records_submitted += len(records)
+        accepted: list[ProfileRecord] = []
+        refusals: list[int] = []
+        for position, (record, checksum) in enumerate(zip(records, checksums)):
+            reason = validate_record(record, checksum=checksum)
+            if reason is None:
+                accepted.append(record)
+            else:
+                self._quarantine_record(job_id, record, reason)
+                refusals.append(position)
+        if accepted:
+            if info.state is JobState.REGISTERED:
+                self.registry.activate(job_id)
+            elif info.state is JobState.STALLED:
+                self.registry.resume(job_id)
+                self.metrics.jobs_resumed += 1
+            self._last_accept_tick[job_id] = self._tick
+        queue = self._queues[job_id]
+        queue_acks = iter(queue.offer_many(accepted))
+        refused = set(refusals)
+        acks: list[IngestAck] = []
+        for position in range(len(records)):
+            if position in refused:
+                acks.append(
+                    IngestAck(
+                        job_id=job_id, accepted=False, dropped=0, depth=queue.depth
+                    )
+                )
+            else:
+                ack = next(queue_acks)
+                self.metrics.record_drop(job_id, ack.dropped)
+                acks.append(ack)
+        return acks
+
     def _quarantine_record(self, job_id: str, record: ProfileRecord, reason: str) -> None:
         self._quarantine.append(
             QuarantinedRecord(job_id=job_id, record=record, reason=reason)
         )
-        self.metrics.records_quarantined += 1
+        self.metrics.record_quarantine(job_id)
+        if self._ledger is not None:
+            self._ledger.observe_quarantine(job_id, record)
 
     def quarantined(self, job_id: str | None = None) -> list[QuarantinedRecord]:
         """The retained tail of refused records, optionally per job."""
@@ -298,7 +376,12 @@ class FleetService:
         return self._queue(job_id).depth
 
     def analysis(self, job_id: str) -> LiveJobAnalysis:
-        """Direct access to one job's live state (parity tests use this)."""
+        """Direct access to one job's live state (parity tests use this).
+
+        Unknown ids raise :class:`repro.errors.UnknownJobError` (via the
+        registry); known-but-evicted jobs raise plain ``ServeError``.
+        """
+        self.registry.get(job_id)
         analysis = self._analyses.get(job_id)
         if analysis is None:
             raise ServeError(f"job {job_id!r} holds no live state")
@@ -383,12 +466,14 @@ class FleetService:
                 self._queue(job_id),
                 max_phases=self.options.snapshot_phases,
                 top_operators=self.options.snapshot_operators,
+                quarantined=self.metrics.quarantined_by_job.get(job_id, 0),
             )
 
     def fleet_snapshot(self) -> FleetSnapshot:
         """Roll every non-evicted job into the fleet view."""
         with obs.trace("serve.fleet_snapshot", jobs=len(self.registry)), \
                 self.metrics.time_query():
+            quarantined = self.metrics.quarantined_by_job
             snapshots = [
                 job_snapshot(
                     info,
@@ -396,6 +481,7 @@ class FleetService:
                     self._queues[info.job_id],
                     max_phases=self.options.snapshot_phases,
                     top_operators=self.options.snapshot_operators,
+                    quarantined=quarantined.get(info.job_id, 0),
                 )
                 for info in self.registry.jobs()
                 if info.job_id in self._analyses

@@ -1,0 +1,255 @@
+"""Per-tenant goodput/badput accounting.
+
+*Machine Learning Fleet Efficiency with ML Productivity Goodput* frames
+the fleet-level metric TPUPoint's toolchain never computed: of each
+tenant's wall time, how much advanced training (goodput) and how much
+was wasted, bucketed by cause (badput). This ledger implements that
+accounting over the signals the serve tier already produces:
+
+* every step the live analysis attributes to a phase is split into
+  productive device time and infeed stall (the step's TPU idle time);
+* non-training step kinds (init, checkpoint, shutdown) are protective
+  overhead, not progress — their busy time lands in ``checkpoint``;
+* quarantined records charge the wall time their steps cover to
+  ``quarantine`` (the work was done, the evidence was unusable);
+* the retry/backoff, recovery/replay, and tuning-trial machinery report
+  their wasted time through :meth:`GoodputLedger.charge` (the fleet
+  driver wires the resilient profile client's counters in).
+
+The invariant — per tenant, ``goodput + sum(badput buckets) == total
+wall time charged`` — holds by construction: every charge lands in
+exactly one bucket and in the tenant's total. All times are simulated
+microseconds, so reports are deterministic and diffable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.profiler.record import ProfileRecord, StepStats
+from repro.errors import ServeError
+from repro.obs import MetricsRegistry
+from repro.runtime.events import StepKind
+
+#: The productive bucket.
+GOODPUT_BUCKET = "goodput"
+
+#: Wasted-time buckets, by cause. Order is the canonical report order.
+BADPUT_BUCKETS = (
+    "infeed_stall",     # TPU idle inside productive steps (starved pipeline)
+    "checkpoint",       # init/checkpoint/shutdown step time (protective overhead)
+    "retry_backoff",    # resilient-client retries and backoff waits
+    "recovery_replay",  # profile windows lost to faults, journal replay
+    "quarantine",       # wall time covered by records the service refused
+    "tuning_trials",    # steps spent measuring autotune candidates
+)
+
+ALL_BUCKETS = (GOODPUT_BUCKET,) + BADPUT_BUCKETS
+
+#: Step kinds whose busy time counts as training progress.
+_PRODUCTIVE_KINDS = frozenset({StepKind.TRAIN, StepKind.EVAL})
+
+
+@dataclass(frozen=True)
+class TenantLedger:
+    """One tenant's frozen goodput/badput row."""
+
+    job_id: str
+    buckets: dict[str, float]  # bucket -> accumulated microseconds
+
+    @property
+    def goodput_us(self) -> float:
+        return self.buckets.get(GOODPUT_BUCKET, 0.0)
+
+    @property
+    def badput_us(self) -> float:
+        return sum(self.buckets.get(bucket, 0.0) for bucket in BADPUT_BUCKETS)
+
+    @property
+    def total_us(self) -> float:
+        """All wall time charged to this tenant (goodput + badput)."""
+        return self.goodput_us + self.badput_us
+
+    @property
+    def goodput_fraction(self) -> float:
+        total = self.total_us
+        return (self.goodput_us / total) if total > 0 else 0.0
+
+    def format(self) -> str:
+        causes = ", ".join(
+            f"{bucket} {self.buckets[bucket] / 1e3:.1f}ms"
+            for bucket in BADPUT_BUCKETS
+            if self.buckets.get(bucket, 0.0) > 0
+        )
+        return (
+            f"{self.job_id}: goodput {self.goodput_fraction:.1%} "
+            f"({self.goodput_us / 1e3:.1f}ms of {self.total_us / 1e3:.1f}ms)"
+            + (f"  badput: {causes}" if causes else "")
+        )
+
+
+@dataclass(frozen=True)
+class GoodputReport:
+    """Fleet-wide goodput rollup: one row per tenant plus totals."""
+
+    tenants: tuple[TenantLedger, ...]
+
+    @property
+    def goodput_us(self) -> float:
+        return sum(tenant.goodput_us for tenant in self.tenants)
+
+    @property
+    def badput_us(self) -> float:
+        return sum(tenant.badput_us for tenant in self.tenants)
+
+    @property
+    def total_us(self) -> float:
+        return self.goodput_us + self.badput_us
+
+    @property
+    def goodput_fraction(self) -> float:
+        total = self.total_us
+        return (self.goodput_us / total) if total > 0 else 0.0
+
+    def bucket_us(self, bucket: str) -> float:
+        return sum(tenant.buckets.get(bucket, 0.0) for tenant in self.tenants)
+
+    def to_dict(self) -> dict:
+        return {
+            "goodput_fraction": self.goodput_fraction,
+            "total_us": self.total_us,
+            "buckets": {bucket: self.bucket_us(bucket) for bucket in ALL_BUCKETS},
+            "tenants": {
+                tenant.job_id: dict(tenant.buckets) for tenant in self.tenants
+            },
+        }
+
+    def format(self) -> list[str]:
+        lines = [
+            f"fleet goodput   : {self.goodput_fraction:.1%} "
+            f"({self.goodput_us / 1e3:.1f}ms of {self.total_us / 1e3:.1f}ms)"
+        ]
+        for bucket in BADPUT_BUCKETS:
+            wasted = self.bucket_us(bucket)
+            if self.total_us > 0:
+                lines.append(
+                    f"  badput {bucket:<15s}: {wasted / 1e3:>10.1f}ms "
+                    f"({wasted / self.total_us:.1%})"
+                )
+        for tenant in self.tenants:
+            lines.append(tenant.format())
+        return lines
+
+
+class GoodputLedger:
+    """Accumulates per-tenant goodput/badput charges.
+
+    Attach one ledger per fleet tier (``FleetService.attach_ledger`` or
+    a :class:`~repro.serve.shard.ShardedFleet`, which owns one). Charges
+    also land on a ``repro_serve_goodput_us_total{bucket}`` counter
+    family so the split exports through the usual Prometheus/JSON
+    exposition; the registry is per-instance, like
+    :class:`~repro.serve.metrics.ServiceMetrics`.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._family = self.registry.counter(
+            "repro_serve_goodput_us_total",
+            "Per-cause split of fleet wall time, microseconds.",
+            labels=("bucket",),
+        )
+        for bucket in ALL_BUCKETS:  # stable exposition: all series from zero
+            self._family.labels(bucket=bucket)
+        self._tenants: dict[str, dict[str, float]] = {}
+        # Shard pumps run on worker-pool threads, each charging its own
+        # tenants; one lock keeps the tenant table consistent.
+        self._lock = threading.Lock()
+
+    # --- charging ----------------------------------------------------------
+
+    def charge(self, job_id: str, bucket: str, us: float) -> None:
+        """Attribute ``us`` microseconds of one tenant's wall time."""
+        if bucket not in ALL_BUCKETS:
+            raise ServeError(
+                f"unknown goodput bucket {bucket!r} (one of {ALL_BUCKETS})"
+            )
+        if us < 0:
+            raise ServeError("goodput charges must be non-negative")
+        if us == 0:
+            return
+        with self._lock:
+            buckets = self._tenants.setdefault(job_id, {})
+            buckets[bucket] = buckets.get(bucket, 0.0) + us
+            self._family.labels(bucket=bucket).inc(us)
+
+    def observe_step(self, job_id: str, step: StepStats) -> None:
+        """Classify one assembled step's wall time.
+
+        TPU idle inside the step is infeed stall; the busy remainder is
+        goodput for train/eval steps and checkpoint overhead for the
+        init/checkpoint/shutdown bookends. Steps with no metadata (kind
+        None) are presumed productive.
+        """
+        elapsed = step.elapsed_us
+        if elapsed <= 0:
+            return
+        stalled = min(max(step.tpu_idle_us, 0.0), elapsed)
+        busy = elapsed - stalled
+        self.charge(job_id, "infeed_stall", stalled)
+        if step.kind is None or step.kind in _PRODUCTIVE_KINDS:
+            self.charge(job_id, GOODPUT_BUCKET, busy)
+        else:
+            self.charge(job_id, "checkpoint", busy)
+
+    def observe_quarantine(self, job_id: str, record: ProfileRecord) -> None:
+        """Charge the wall time a refused record covered to quarantine."""
+        covered = sum(step.elapsed_us for step in record.steps.values())
+        if covered <= 0:
+            covered = max(record.window_end_us - record.window_start_us, 0.0)
+        self.charge(job_id, "quarantine", covered)
+
+    def observe_fault_report(
+        self,
+        job_id: str,
+        report: dict,
+        request_interval_ms: float = 1000.0,
+    ) -> None:
+        """Charge one tenant's resilience overhead from its fault report.
+
+        ``report`` is a :meth:`repro.core.profiler.Profiler.fault_report`
+        dict: backoff waits spent inside the resilient client become
+        ``retry_backoff``; profile windows the client skipped or
+        abandoned each cost one request interval of lost coverage,
+        charged to ``recovery_replay``.
+        """
+        client = report.get("client") or {}
+        self.charge(
+            job_id, "retry_backoff", float(client.get("backoff_ms_total", 0.0)) * 1e3
+        )
+        lost_windows = float(report.get("windows_skipped", 0)) + float(
+            report.get("windows_abandoned", 0)
+        )
+        self.charge(
+            job_id, "recovery_replay", lost_windows * request_interval_ms * 1e3
+        )
+
+    # --- reading -----------------------------------------------------------
+
+    def tenant(self, job_id: str) -> TenantLedger:
+        """One tenant's frozen row (all-zero if never charged)."""
+        with self._lock:
+            return TenantLedger(
+                job_id=job_id, buckets=dict(self._tenants.get(job_id, {}))
+            )
+
+    def report(self) -> GoodputReport:
+        """All tenants, ordered by job id for a deterministic rollup."""
+        with self._lock:
+            job_ids = sorted(self._tenants)
+            rows = tuple(
+                TenantLedger(job_id=job_id, buckets=dict(self._tenants[job_id]))
+                for job_id in job_ids
+            )
+        return GoodputReport(tenants=rows)

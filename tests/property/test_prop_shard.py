@@ -1,0 +1,109 @@
+"""Sharding is routing, not semantics: results never depend on N.
+
+Pins the tentpole invariants of the sharded fleet tier on arbitrary
+tenant populations and record streams:
+
+* the consistent-hash ring is a pure deterministic function of
+  (tenant id, seed, shard count), and growing it strands as few
+  tenants as consistent hashing promises;
+* scatter-gather queries through a :class:`ShardedFleet` are
+  bit-identical to one :class:`FleetService` at 1, 2, and 8 shards —
+  shard topology can never leak into an answer;
+* per-tenant goodput buckets always sum to the tenant's total charged
+  wall time (every charge lands in exactly one bucket).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiler.record import ProfileRecord, StepStats
+from repro.core.profiler.serialize import record_checksum
+from repro.runtime.events import DeviceKind
+from repro.serve import FleetService, HashRing, ShardedFleet, ShardedFleetOptions
+
+_OP_SETS = (
+    ("matmul", "fusion", "relu"),
+    ("conv", "pool", "softmax"),
+)
+
+tenant_ids = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+def _record(index, mix, idle_us):
+    record = ProfileRecord(index=index, window_start_us=0.0, window_end_us=1.0)
+    step = StepStats(step=index)
+    for name in _OP_SETS[mix]:
+        step.observe(name, DeviceKind.TPU, 10.0)
+    step.start_us = index * 100.0
+    step.end_us = (index + 1) * 100.0
+    step.tpu_idle_us = idle_us
+    step.mxu_flops = 1e6
+    record.steps[index] = step
+    return record
+
+
+#: Per-tenant streams: each element is (behaviour mix, idle microseconds).
+streams = st.lists(
+    st.tuples(st.integers(0, 1), st.floats(0.0, 100.0)),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tenant_ids, st.integers(1, 8), st.integers(0, 2**32 - 1))
+def test_routing_is_deterministic_and_in_range(tenants, shards, seed):
+    one = HashRing(shards, seed=seed)
+    two = HashRing(shards, seed=seed)
+    for tenant in tenants:
+        route = one.route(tenant)
+        assert route == two.route(tenant)
+        assert 0 <= route < shards
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 7), st.integers(0, 2**32 - 1))
+def test_resize_strands_only_arc_claimed_tenants(shards, seed):
+    ring = HashRing(shards, seed=seed)
+    grown = ring.resized(shards + 1)
+    for i in range(300):
+        before, after = ring.route(f"t{i}"), grown.route(f"t{i}")
+        # a tenant either stays put or moves to the newly added shard
+        assert after == before or after == shards
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.dictionaries(st.sampled_from("abcdef"), streams, min_size=1, max_size=4))
+def test_scatter_gather_identical_at_any_shard_count(population):
+    def drive(service):
+        for tenant in population:
+            service.register("bert-mrpc", job_id=tenant)
+        for tenant, stream in population.items():
+            for index, (mix, idle) in enumerate(stream):
+                record = _record(index, mix, idle)
+                service.submit(tenant, record, checksum=record_checksum(record))
+        service.pump()
+        for tenant in population:
+            service.complete(tenant)
+
+    single = FleetService()
+    drive(single)
+    reference = single.fleet_snapshot()
+    for shards in (1, 2, 8):
+        with ShardedFleet(ShardedFleetOptions(shards=shards)) as fleet:
+            drive(fleet)
+            assert fleet.fleet_snapshot() == reference
+            for tenant in population:
+                assert fleet.job_snapshot(tenant) == single.job_snapshot(tenant)
+                assert fleet.similar_phases(tenant) == single.similar_phases(tenant)
+            report = fleet.goodput_report()
+            for row in report.tenants:
+                assert abs(row.total_us - (row.goodput_us + row.badput_us)) < 1e-6
