@@ -24,6 +24,14 @@ Subcommands mirror the toolchain:
   with identical results plus goodput accounting and topology.
 * ``tpupoint goodput`` — run a fleet on the sharded tier and print the
   per-tenant goodput/badput report (identical at any shard count).
+* ``tpupoint health`` — run a fleet under a :class:`HealthMonitor` and
+  render the health dashboard: telemetry rings, per-job phase drift,
+  SLO burn rates, and the alert timeline (``--faults`` plus the
+  ``--checkpoint-*``/``--eval-*`` plan overrides build deterministic
+  degradation scenarios; ``--out`` dumps the full health JSON).
+* ``tpupoint alerts`` — the same monitored run, reported as the alert
+  event log alone (bit-identical at any ``--shards`` count); ``--ack``
+  acknowledges a firing rule, ``--out`` writes the alert dump JSON.
 * ``tpupoint obs <files>`` — validate and summarize observability dumps
   (toolchain/workload chrome traces, Prometheus or JSON metrics).
 * ``tpupoint recover <journal>`` — load a crash-safe record journal
@@ -234,6 +242,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(goodput)
 
+    health = subparsers.add_parser(
+        "health",
+        help="run a monitored fleet and render the health dashboard "
+        "(rings, drift, SLO burn rates, alerts)",
+    )
+    _add_monitored_fleet_flags(health)
+    health.add_argument(
+        "--every",
+        type=int,
+        default=0,
+        help="also print the dashboard every N scheduling rounds (0 = final only)",
+    )
+    health.add_argument(
+        "--out", default=None, help="write the full health dump as JSON"
+    )
+
+    alerts = subparsers.add_parser(
+        "alerts",
+        help="run a monitored fleet and print the alert timeline "
+        "(identical at any shard count)",
+    )
+    _add_monitored_fleet_flags(alerts)
+    alerts.add_argument(
+        "--ack",
+        default=None,
+        metavar="RULE",
+        help="acknowledge still-firing alerts of this rule before reporting",
+    )
+    alerts.add_argument(
+        "--out", default=None, help="write the alert dump (rules, events, active) as JSON"
+    )
+
     recover = subparsers.add_parser(
         "recover", help="recover records from a crash-safe journal and analyze them"
     )
@@ -306,6 +346,75 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_monitored_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    """Fleet + monitoring flags shared by ``health`` and ``alerts``."""
+    parser.add_argument("--jobs", type=int, default=4, help="number of concurrent jobs")
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workload keys to cycle over (default: a fast Table I mix)",
+    )
+    parser.add_argument("--generation", default="v2", choices=["v2", "v3"])
+    parser.add_argument(
+        "--chunk", type=int, default=16, help="train steps per scheduling quantum"
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, help="per-job ingest queue bound"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.70, help="live OLS similarity threshold"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="fleet shards (alert sequences are identical at any count)",
+    )
+    parser.add_argument(
+        "--faults", default=None, help="JSON fault plan to inject (see docs/robustness.md)"
+    )
+    parser.add_argument(
+        "--request-interval",
+        type=float,
+        default=250.0,
+        help="simulated ms between profile requests (denser than the "
+        "profiler default so live telemetry tracks mid-run recovery)",
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="health sampling cadence in scheduling rounds",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="session-plan override: checkpoint every N steps (induces a "
+        "deterministic phase excursion the drift detector must catch)",
+    )
+    parser.add_argument(
+        "--checkpoint-bytes",
+        type=float,
+        default=None,
+        help="session-plan override: checkpoint size in bytes",
+    )
+    parser.add_argument(
+        "--eval-every",
+        type=int,
+        default=None,
+        help="session-plan override: run evaluation every N steps",
+    )
+    parser.add_argument(
+        "--eval-steps",
+        type=int,
+        default=None,
+        help="session-plan override: evaluation steps per round",
+    )
+    _add_obs_flags(parser)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -641,6 +750,122 @@ def _cmd_goodput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _monitor_from_flags(args: argparse.Namespace):
+    """A fresh :class:`HealthMonitor` configured from the shared flags."""
+    from repro.obs import HealthMonitor, HealthOptions
+
+    return HealthMonitor(HealthOptions(sample_every=args.sample_every))
+
+
+def _run_monitored_fleet(args: argparse.Namespace, health, on_round=None):
+    """Drive one fleet run under ``health`` (a :class:`HealthMonitor`).
+
+    Returns the finished :class:`FleetRunResult`; the monitor's residual
+    alerts are resolved. Shared by ``tpupoint health`` and ``tpupoint
+    alerts`` so both commands observe the exact same deterministic
+    scenario for a given flag set.
+    """
+    from repro.core.profiler import ProfilerOptions
+    from repro.errors import ConfigurationError
+    from repro.serve import DEFAULT_FLEET_WORKLOADS, FleetServiceOptions, run_fleet
+
+    if args.jobs <= 0:
+        raise ConfigurationError("--jobs must be positive")
+    fault_plan = None
+    if args.faults:
+        from repro.faults import load_plan
+
+        fault_plan = load_plan(args.faults)
+    keys = tuple(args.workloads) if args.workloads else DEFAULT_FLEET_WORKLOADS
+    workloads = [keys[i % len(keys)] for i in range(args.jobs)]
+    overrides = {
+        name: value
+        for name, value in (
+            ("checkpoint_every", args.checkpoint_every),
+            ("checkpoint_bytes", args.checkpoint_bytes),
+            ("eval_every", args.eval_every),
+            ("eval_steps", args.eval_steps),
+        )
+        if value is not None
+    }
+    return run_fleet(
+        workloads,
+        generation=args.generation,
+        chunk_steps=args.chunk,
+        service_options=FleetServiceOptions(
+            queue_capacity=args.queue_capacity, threshold=args.threshold
+        ),
+        profiler_options=ProfilerOptions(request_interval_ms=args.request_interval),
+        fault_plan=fault_plan,
+        shards=args.shards,
+        health=health,
+        plan_overrides=overrides or None,
+        on_round=on_round,
+    )
+
+
+def _write_json(path: str, payload: dict) -> str:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    monitor = _monitor_from_flags(args)
+
+    def on_round(service, rounds):
+        del service
+        if rounds % args.every == 0:
+            for line in monitor.dashboard():
+                print(line)
+            print()
+
+    result = _run_monitored_fleet(
+        args, monitor, on_round=on_round if args.every > 0 else None
+    )
+    for line in monitor.dashboard():
+        print(line)
+    if monitor.engine.events:
+        print("\n-- alert timeline --")
+        for event in monitor.engine.events:
+            print(event.format())
+    if args.out:
+        print(f"\nwrote health dump: {_write_json(args.out, monitor.to_dict())}")
+    close = getattr(result.service, "close", None)
+    if callable(close):
+        close()
+    _dump_obs(args)
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    monitor = _monitor_from_flags(args)
+    result = _run_monitored_fleet(args, monitor)
+    if args.ack:
+        acked = monitor.engine.ack(args.ack)
+        print(f"acked {acked} firing alert(s) of rule {args.ack}")
+    print(f"== alert timeline ({len(monitor.engine.events)} transitions, "
+          f"{result.rounds} rounds) ==")
+    for event in monitor.engine.events:
+        print(event.format())
+    active = monitor.engine.active()
+    print(f"\n-- still firing ({len(active)}) --")
+    for alert in active:
+        marker = " [acked]" if alert.acked else ""
+        print(f"{alert.rule.severity.value.upper():8} {alert.rule.name} "
+              f"({alert.scope}) since tick {alert.since_tick}{marker}")
+    if args.out:
+        print(f"\nwrote alert dump: {_write_json(args.out, monitor.alerts_dict())}")
+    close = getattr(result.service, "close", None)
+    if callable(close):
+        close()
+    _dump_obs(args)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.profiler.serialize import load_records
 
@@ -803,6 +1028,8 @@ def main(argv: list[str] | None = None) -> int:
         "tune": lambda: _cmd_tune(args),
         "fleet": lambda: _cmd_fleet(args),
         "goodput": lambda: _cmd_goodput(args),
+        "health": lambda: _cmd_health(args),
+        "alerts": lambda: _cmd_alerts(args),
         "obs": lambda: _cmd_obs(args),
         "recover": lambda: _cmd_recover(args),
         "compare": lambda: _cmd_compare(args),

@@ -189,6 +189,26 @@ class TuningKnowledgeBase:
         _KB_LOOKUPS.labels(outcome="hit" if best else "miss").inc()
         return best
 
+    def nearest(self, signature: frozenset[str]) -> KnowledgeMatch | None:
+        """Closest stored entry regardless of threshold; None when empty.
+
+        The health monitor's drift detector uses this: it wants the
+        *distance* to the nearest fingerprint, not a warm-start hit, so
+        no threshold applies and the lookup counters stay untouched
+        (a monitoring scrape must not skew the hit/miss telemetry).
+        """
+        if not signature:
+            raise OptimizerError("cannot look up an empty phase signature")
+        best: KnowledgeMatch | None = None
+        for entry in self._entries:
+            similarity = step_similarity(signature, entry.signature)
+            if best is None or similarity > best.similarity or (
+                similarity == best.similarity
+                and entry.improvement > best.entry.improvement
+            ):
+                best = KnowledgeMatch(entry=entry, similarity=similarity)
+        return best
+
     # --- updates ----------------------------------------------------------
 
     def record(self, entry: KnowledgeEntry) -> None:

@@ -24,14 +24,10 @@ Naming convention: ``repro_<subsystem>_<name>_<unit>`` (see
 ``docs/observability.md``).
 """
 
-from repro.obs.inspect import (
-    load_metrics,
-    load_trace,
-    parse_prometheus,
-    summarize,
-    summarize_metrics,
-    summarize_trace,
-)
+# metrics/tracing bind first: instrumented modules outside this package
+# (profiler, analyzer, optimizer) re-enter `repro.obs` and read
+# `obs.counter`/`obs.trace` at import time, so anything imported below
+# them must never pull those modules in before these names exist.
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricFamily,
@@ -44,6 +40,7 @@ from repro.obs.metrics import (
     write_metrics,
 )
 from repro.obs.tracing import (
+    DEFAULT_MAX_SPANS,
     NULL_SPAN,
     Span,
     Tracer,
@@ -51,6 +48,45 @@ from repro.obs.tracing import (
     set_tracing_enabled,
     trace,
     write_trace,
+)
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    AlertSeverity,
+    AlertState,
+    builtin_rules,
+)
+from repro.obs.drift import (
+    DriftBand,
+    PhaseDriftDetector,
+    mix_distance,
+    phase_fingerprint,
+    window_fingerprint,
+)
+from repro.obs.health import HealthMonitor, HealthOptions
+from repro.obs.inspect import (
+    load_alerts,
+    load_health,
+    load_metrics,
+    load_trace,
+    parse_prometheus,
+    summarize,
+    summarize_alerts,
+    summarize_health,
+    summarize_metrics,
+    summarize_trace,
+)
+from repro.obs.slo import DEFAULT_SLOS, SLOEngine, SLOSpec
+from repro.obs.timeseries import (
+    DEFAULT_RING_CAPACITY,
+    RegistrySampler,
+    RingBuffer,
+    RingStore,
+    histogram_quantile,
+    merge_stores,
+    sparkline,
 )
 
 #: Seconds-scale buckets for per-algorithm analyzer durations.
@@ -145,27 +181,56 @@ def ensure_core_metrics() -> None:
 
 __all__ = [
     "ALGORITHM_BUCKETS",
+    "Alert",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "AlertSeverity",
+    "AlertState",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SPANS",
+    "DEFAULT_RING_CAPACITY",
+    "DEFAULT_SLOS",
+    "DriftBand",
+    "HealthMonitor",
+    "HealthOptions",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PhaseDriftDetector",
+    "RegistrySampler",
+    "RingBuffer",
+    "RingStore",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
     "Tracer",
+    "builtin_rules",
     "counter",
     "default_registry",
     "default_tracer",
     "ensure_core_metrics",
     "gauge",
     "histogram",
+    "histogram_quantile",
+    "load_alerts",
+    "load_health",
     "load_metrics",
     "load_trace",
+    "merge_stores",
+    "mix_distance",
     "parse_prometheus",
+    "phase_fingerprint",
     "render_prometheus",
     "set_tracing_enabled",
+    "sparkline",
     "summarize",
+    "summarize_alerts",
+    "summarize_health",
     "summarize_metrics",
     "summarize_trace",
     "trace",
+    "window_fingerprint",
     "write_metrics",
     "write_trace",
 ]

@@ -1,0 +1,212 @@
+"""SLO burn-rate accounting over the goodput ledger.
+
+An SLO here is a target fraction of "good" over "total" — goodput
+microseconds over all charged microseconds (the
+:class:`~repro.serve.shard.ledger.GoodputLedger` invariant), or records
+accepted over records submitted (the ingest SLO). Each sampling tick
+the engine turns the cumulative totals into a **windowed ratio** (the
+delta since the previous sample) and derives the SRE burn rate:
+
+    burn = (1 - ratio) / (1 - target)
+
+i.e. how many times faster than budget the error budget is burning; 1.0
+means exactly on target. Alerts use the classic **multi-window** form:
+only when *both* a short window (fast signal) and a long window
+(sustained signal) burn above ``burn_factor`` does the ``:burning``
+series flip to 1 — a single bad tick cannot page, and a long-cold
+window cannot hide a fresh regression.
+
+Series written per spec (all fleet-level, shard-invariant):
+
+* ``slo:<name>:ratio`` — windowed good/total ratio (1.0 when idle);
+* ``slo:<name>:burn_short`` / ``slo:<name>:burn_long`` — burn rates;
+* ``slo:<name>:burning`` — 1.0 while both windows exceed the factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ObsError
+from repro.obs.timeseries import RingStore
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: a target good/total fraction plus burn windows."""
+
+    name: str
+    target: float
+    short_window: int = 3
+    long_window: int = 9
+    burn_factor: float = 2.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ObsError("SLO spec needs a name")
+        if not 0.0 < self.target < 1.0:
+            raise ObsError(f"SLO {self.name} target must be inside (0, 1)")
+        if self.short_window <= 0 or self.long_window <= self.short_window:
+            raise ObsError(
+                f"SLO {self.name} needs 0 < short_window < long_window"
+            )
+        if self.burn_factor <= 0:
+            raise ObsError(f"SLO {self.name} burn_factor must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad fraction."""
+        return 1.0 - self.target
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "short_window": self.short_window,
+            "long_window": self.long_window,
+            "burn_factor": self.burn_factor,
+        }
+
+
+#: The stock objectives the health monitor installs: most wall time
+#: should advance training, and nearly every submitted record should be
+#: accepted without shedding.
+DEFAULT_SLOS = (
+    SLOSpec(
+        name="goodput",
+        target=0.5,
+        short_window=3,
+        long_window=9,
+        # Calibrated against the fleet workloads: a healthy run's long
+        # burn stays <=0.67 (short <=0.74), while a retry/backoff burst
+        # pushes both windows past 1.0 for several rounds.
+        burn_factor=1.0,
+        description="fraction of charged wall time that advanced training",
+    ),
+    SLOSpec(
+        name="ingest",
+        target=0.95,
+        short_window=3,
+        long_window=9,
+        burn_factor=2.0,
+        description="fraction of submitted records accepted without shedding",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One spec's current standing (dashboard row)."""
+
+    spec: SLOSpec
+    ratio: float
+    burn_short: float
+    burn_long: float
+    burning: bool
+
+    def format(self) -> str:
+        flame = " BURNING" if self.burning else ""
+        return (
+            f"{self.spec.name:<10} ratio {self.ratio:6.1%}  "
+            f"target {self.spec.target:.0%}  "
+            f"burn {self.burn_short:.2f}x/{self.burn_long:.2f}x{flame}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "target": self.spec.target,
+            "ratio": self.ratio,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "burning": self.burning,
+        }
+
+
+class SLOEngine:
+    """Turns cumulative good/total counters into burn-rate series."""
+
+    def __init__(self, specs: tuple[SLOSpec, ...] = DEFAULT_SLOS):
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ObsError("SLO spec names must be unique")
+        self.specs = {spec.name: spec for spec in specs}
+        self._totals: dict[str, tuple[float, float]] = {}
+
+    def observe(
+        self, name: str, good: float, total: float, store: RingStore, tick: int
+    ) -> SLOStatus:
+        """Fold one cumulative ``(good, total)`` reading at ``tick``.
+
+        The first reading establishes the baseline (an idle ratio of
+        1.0), so good/total accumulated before monitoring began never
+        reads as a burn.
+        """
+        spec = self.specs.get(name)
+        if spec is None:
+            raise ObsError(f"unknown SLO {name!r}")
+        if good < 0 or total < 0 or good > total + 1e-9:
+            raise ObsError(f"SLO {name} needs 0 <= good <= total")
+        previous = self._totals.get(name)
+        self._totals[name] = (good, total)
+        if previous is None:
+            ratio = 1.0
+        else:
+            delta_good = good - previous[0]
+            delta_total = total - previous[1]
+            # Idle windows (no charges) are on-target by definition.
+            ratio = (delta_good / delta_total) if delta_total > 0 else 1.0
+        ratio = min(max(ratio, 0.0), 1.0)
+        store.record(f"slo:{name}:ratio", tick, ratio)
+        ring = store.series(f"slo:{name}:ratio")
+        burn_short = self._burn(ring.window(spec.short_window), spec, spec.short_window)
+        burn_long = self._burn(ring.window(spec.long_window), spec, spec.long_window)
+        burning = burn_short >= spec.burn_factor and burn_long >= spec.burn_factor
+        store.record(f"slo:{name}:burn_short", tick, burn_short)
+        store.record(f"slo:{name}:burn_long", tick, burn_long)
+        store.record(f"slo:{name}:burning", tick, 1.0 if burning else 0.0)
+        return SLOStatus(
+            spec=spec,
+            ratio=ratio,
+            burn_short=burn_short,
+            burn_long=burn_long,
+            burning=burning,
+        )
+
+    @staticmethod
+    def _burn(ratios: list[float], spec: SLOSpec, window: int) -> float:
+        """Mean error over the window, in budget multiples.
+
+        The divisor is the *nominal* window length: early in a run the
+        missing pre-history counts as on-target, so the first ticks
+        cannot page on a half-filled window.
+        """
+        if not ratios:
+            return 0.0
+        error = sum(1.0 - value for value in ratios) / max(window, len(ratios))
+        return error / spec.budget
+
+    def status(self, store: RingStore) -> list[SLOStatus]:
+        """Current standing of every spec that has observed samples."""
+        rows: list[SLOStatus] = []
+        for name in sorted(self.specs):
+            spec = self.specs[name]
+            ring = store.get(f"slo:{name}:ratio")
+            if ring is None or ring.last() is None:
+                continue
+            burn_short = self._burn(
+                ring.window(spec.short_window), spec, spec.short_window
+            )
+            burn_long = self._burn(ring.window(spec.long_window), spec, spec.long_window)
+            rows.append(
+                SLOStatus(
+                    spec=spec,
+                    ratio=ring.last(),
+                    burn_short=burn_short,
+                    burn_long=burn_long,
+                    burning=burn_short >= spec.burn_factor
+                    and burn_long >= spec.burn_factor,
+                )
+            )
+        return rows

@@ -36,6 +36,12 @@ from pathlib import Path
 _PID = 1
 _TRACER_NAME = "repro.obs toolchain"
 
+#: Finished spans a tracer retains before it starts dropping. Long
+#: fleet runs emit spans every scheduling round; the cap keeps trace
+#: memory bounded while ``repro_obs_spans_dropped_total`` records how
+#: much history the export is missing.
+DEFAULT_MAX_SPANS = 100_000
+
 
 @dataclass
 class Span:
@@ -57,6 +63,26 @@ class Span:
     @property
     def finished(self) -> bool:
         return self.duration_us is not None
+
+
+_SPANS_DROPPED = None
+
+
+def _spans_dropped_counter():
+    """The process-wide drop counter, bound on first drop.
+
+    Imported lazily so this module stays importable on its own without
+    pulling :mod:`repro.obs.metrics` in at load time.
+    """
+    global _SPANS_DROPPED
+    if _SPANS_DROPPED is None:
+        from repro.obs.metrics import counter
+
+        _SPANS_DROPPED = counter(
+            "repro_obs_spans_dropped_total",
+            "Finished spans evicted from bounded tracer storage.",
+        ).labels()
+    return _SPANS_DROPPED
 
 
 class _NullSpan:
@@ -84,10 +110,20 @@ def _jsonable(value):
 
 
 class Tracer:
-    """Collects spans for one process; thread-safe."""
+    """Collects spans for one process; thread-safe.
 
-    def __init__(self, enabled: bool = True):
+    Storage is bounded: once ``max_spans`` finished spans are held, the
+    oldest span is dropped per new arrival (the recent history is the
+    diagnostic one) and ``repro_obs_spans_dropped_total`` counts what
+    the export will be missing.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = DEFAULT_MAX_SPANS):
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
         self.enabled = enabled
+        self.max_spans = max_spans
+        self.dropped_spans = 0
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
         self._spans: list[Span] = []
@@ -136,6 +172,10 @@ class Tracer:
             stack.pop()
             with self._lock:
                 self._spans.append(span)
+                if len(self._spans) > self.max_spans:
+                    del self._spans[0]
+                    self.dropped_spans += 1
+                    _spans_dropped_counter().inc()
 
     # --- reading -----------------------------------------------------------
 
@@ -152,6 +192,7 @@ class Tracer:
         """Drop finished spans and restart the clock epoch."""
         with self._lock:
             self._spans.clear()
+            self.dropped_spans = 0
             self._epoch = time.perf_counter()
 
     # --- export ------------------------------------------------------------

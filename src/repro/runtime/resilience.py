@@ -57,6 +57,13 @@ _WINDOWS_ABANDONED_TOTAL = obs.counter(
     "repro_profiler_windows_abandoned_total",
     "Profile windows abandoned after exhausting every retry attempt.",
 ).labels()
+_CIRCUIT_STATE = obs.gauge(
+    "repro_profiler_circuit_state",
+    "State of the most recently active circuit breaker "
+    "(0 closed, 1 half-open, 2 open).",
+).labels()
+
+_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
 
 
 @dataclass(frozen=True)
@@ -214,7 +221,9 @@ class ResilientProfileStub(ProfileStub):
         cursor is untouched, so a later request recovers the same data —
         failures defer profile windows, they never lose them.
         """
-        if not self.breaker.allow():
+        allowed = self.breaker.allow()
+        _CIRCUIT_STATE.set(_STATE_VALUES[self.breaker.state.value])
+        if not allowed:
             _CIRCUIT_SKIPS_TOTAL.inc()
             raise CircuitOpenError("profile circuit open; request skipped")
         attempt = 1
@@ -233,6 +242,7 @@ class ResilientProfileStub(ProfileStub):
                 _FAILURES_TOTAL.labels(kind=str(getattr(error, "kind", "error"))).inc()
                 if self.breaker.record_failure():
                     _CIRCUIT_TRIPS_TOTAL.inc()
+                    _CIRCUIT_STATE.set(_STATE_VALUES[self.breaker.state.value])
                     raise CircuitOpenError(
                         f"profile circuit opened after "
                         f"{self.breaker.failure_threshold} consecutive failures"
@@ -250,6 +260,7 @@ class ResilientProfileStub(ProfileStub):
                 attempt += 1
                 continue
             self.breaker.record_success()
+            _CIRCUIT_STATE.set(_STATE_VALUES[self.breaker.state.value])
             return response
 
     def stats(self) -> dict:

@@ -48,7 +48,8 @@ class FleetRunResult:
 
     ``goodput`` is populated when the service tier carries a goodput
     ledger (the sharded fleet always does); plain single-service runs
-    leave it None.
+    leave it None. ``health`` is the monitor passed to ``run_fleet``
+    (already finished — residual alerts resolved), or None.
     """
 
     service: FleetService | ShardedFleet
@@ -56,6 +57,7 @@ class FleetRunResult:
     rollup: FleetSnapshot
     rounds: int
     goodput: GoodputReport | None = None
+    health: object | None = None
 
 
 @dataclass
@@ -78,8 +80,16 @@ def run_fleet(
     on_round: RoundHook | None = None,
     fault_plan=None,
     shards: int | None = None,
+    health=None,
+    plan_overrides: dict | None = None,
 ) -> FleetRunResult:
     """Run every workload to completion through a shared fleet service.
+
+    With ``plan_overrides`` (e.g. ``{"eval_every": 40, "eval_steps": 12}``),
+    every job's default session plan is rebuilt with those fields
+    replaced — the lever the health CLI uses to induce a deterministic
+    mid-run phase shift (an eval or checkpoint excursion) that the
+    drift detector must catch and watch resolve.
 
     With ``fault_plan``, each job's producer→service wire goes through
     its own :class:`repro.faults.RecordTransit` (keyed by job id, so
@@ -91,6 +101,11 @@ def run_fleet(
     that many shards instead of one service — queries and snapshots are
     bit-identical either way, and the run result additionally carries
     the fleet's goodput/badput report.
+
+    With ``health`` (a :class:`repro.obs.health.HealthMonitor`), the
+    monitor observes the service after every scheduling round — its
+    tick axis *is* the round index — and is finished (residual alerts
+    resolved) before the result returns.
     """
     if not workloads:
         raise ServeError("fleet run needs at least one workload")
@@ -121,6 +136,18 @@ def run_fleet(
     jobs: list[_FleetJob] = []
     for key in workloads:
         spec = WorkloadSpec(key, generation=generation)
+        if plan_overrides:
+            from dataclasses import replace
+
+            entry = spec.resolve()
+            try:
+                plan = replace(
+                    entry.model.defaults(entry.dataset).session_plan(),
+                    **plan_overrides,
+                )
+            except TypeError as error:
+                raise ServeError(f"unknown session-plan override: {error}")
+            spec = WorkloadSpec(key, generation=generation, plan=plan)
         info = service.register(key, generation=generation)
         estimator = build_estimator(spec)
         transit = None
@@ -136,6 +163,32 @@ def run_fleet(
         )
 
     ledger = getattr(service, "ledger", None)
+    charged: dict[str, tuple[float, float]] = {}
+
+    def charge_resilience(job: _FleetJob) -> None:
+        # Charge the *delta* of the profiler's resilience overhead since
+        # the last round, so retry/backoff and lost-window badput land
+        # in the rounds the faults actually happen — the health
+        # monitor's burn-rate windows see the degradation while it is
+        # going on, not as one spike when the tenant finishes.
+        report = job.profiler.fault_report()
+        client = report.get("client") or {}
+        backoff_ms = float(client.get("backoff_ms_total", 0.0))
+        lost = float(report.get("windows_skipped", 0)) + float(
+            report.get("windows_abandoned", 0)
+        )
+        previous_backoff, previous_lost = charged.get(job.job_id, (0.0, 0.0))
+        interval_ms = job.profiler.options.request_interval_ms
+        ledger.charge(
+            job.job_id, "retry_backoff", max(backoff_ms - previous_backoff, 0.0) * 1e3
+        )
+        ledger.charge(
+            job.job_id,
+            "recovery_replay",
+            max(lost - previous_lost, 0.0) * interval_ms * 1e3,
+        )
+        charged[job.job_id] = (backoff_ms, lost)
+
     rounds = 0
     while any(not job.done for job in jobs):
         for job in jobs:
@@ -149,19 +202,17 @@ def run_fleet(
                 service.pump(job.job_id)
                 service.complete(job.job_id)
                 job.done = True
-                if ledger is not None:
-                    # Resilience overhead (retries, lost windows) lands
-                    # in the tenant's badput at the moment it finishes.
-                    ledger.observe_fault_report(
-                        job.job_id,
-                        job.profiler.fault_report(),
-                        request_interval_ms=job.profiler.options.request_interval_ms,
-                    )
+            if ledger is not None:
+                charge_resilience(job)
         service.pump()
         rounds += 1
+        if health is not None:
+            health.observe(service, tick=rounds)
         if on_round is not None:
             on_round(service, rounds)
 
+    if health is not None:
+        health.finish()
     results = tuple(
         FleetJobResult(
             job_id=job.job_id,
@@ -178,4 +229,5 @@ def run_fleet(
         rollup=service.fleet_snapshot(),
         rounds=rounds,
         goodput=ledger.report() if ledger is not None else None,
+        health=health,
     )

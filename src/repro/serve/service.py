@@ -168,7 +168,8 @@ class FleetService:
         :class:`repro.faults.RecordTransit` or anything with the same
         ``apply``) touches the record, so corruption on the wire is
         detectable at submit. A transit returning None models a lost
-        record: nothing is submitted.
+        record: nothing reaches the queue, but the loss still counts as
+        a submitted-then-dropped record so the ingest SLO sees it.
         """
         self.registry.get(job_id)
 
@@ -176,6 +177,8 @@ class FleetService:
             checksum = record_checksum(record)
             delivered = record if transit is None else transit.apply(record)
             if delivered is None:
+                self.metrics.records_submitted += 1
+                self.metrics.record_drop(job_id, 1)
                 return
             self.submit(job_id, delivered, checksum=checksum)
 
@@ -386,6 +389,24 @@ class FleetService:
         if analysis is None:
             raise ServeError(f"job {job_id!r} holds no live state")
         return analysis
+
+    def live_analyses(self) -> list[tuple[str, LiveJobAnalysis]]:
+        """``(job_id, analysis)`` for every job still holding live state.
+
+        Registration order, completed jobs excluded — the scrape surface
+        the health monitor's drift detector walks. The sharded tier
+        exposes the same method with the same ordering, so drift series
+        are identical at any shard count.
+        """
+        return [
+            (info.job_id, self._analyses[info.job_id])
+            for info in self.registry.jobs()
+            if info.state is not JobState.COMPLETED and info.job_id in self._analyses
+        ]
+
+    def health_targets(self) -> list[tuple[str, object]]:
+        """``(label, ServiceMetrics)`` scrape targets for health rings."""
+        return [("service", self.metrics)]
 
     def similar_phases(
         self, job_id: str, threshold: float | None = None

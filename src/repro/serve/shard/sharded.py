@@ -255,6 +255,12 @@ class ShardedFleet:
             checksum = record_checksum(record)
             delivered = record if transit is None else transit.apply(record)
             if delivered is None:
+                # Charge the wire loss to the owning shard so the
+                # aggregate submitted/dropped counters stay
+                # shard-invariant (see FleetService.sink).
+                metrics = self.shards[self._entry(job_id).shard].metrics
+                metrics.records_submitted += 1
+                metrics.record_drop(job_id, 1)
                 return
             self.submit(job_id, delivered, checksum=checksum)
 
@@ -466,6 +472,32 @@ class ShardedFleet:
         # submission order; quarantines of since-evicted tenants sort last.
         found.sort(key=lambda q: (order.get(q.job_id, len(order)), q.job_id))
         return found
+
+    # --- health ------------------------------------------------------------
+
+    def live_analyses(self) -> list[tuple[str, LiveJobAnalysis]]:
+        """``(job_id, analysis)`` per live tenant, in registration order.
+
+        Gathers from the owning shards but orders by the fleet-global
+        sequence — the same order a single service reports — so the
+        health monitor's drift series are shard-count invariant.
+        """
+        found: list[tuple[str, LiveJobAnalysis]] = []
+        for entry in self._ordered_tenants():
+            if entry.completed:
+                continue
+            try:
+                found.append((entry.job_id, self.analysis(entry.job_id)))
+            except ServeError:
+                continue  # evicted mid-walk
+        return found
+
+    def health_targets(self) -> list[tuple[str, object]]:
+        """``(label, ServiceMetrics)`` scrape targets, one per shard."""
+        return [
+            (f"shard-{index}", service.metrics)
+            for index, service in enumerate(self.shards)
+        ]
 
     # --- goodput -----------------------------------------------------------
 

@@ -219,3 +219,115 @@ class TestCliFaults:
         assert code == 0
         out = capsys.readouterr().out
         assert "no intact records survived" in out
+
+class TestCliObsDumps:
+    """Every long-running command can dump the toolchain's own telemetry."""
+
+    def test_tune_writes_obs_dumps(self, capsys, tmp_path):
+        trace = tmp_path / "tune_trace.json"
+        metrics = tmp_path / "tune_metrics.prom"
+        code = cli_main(
+            [
+                "tune", "naive-dcgan-mnist",
+                "--strategy", "racing",
+                "--trial-steps", "3",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offline autotune" in out
+        from repro import obs
+
+        events = obs.load_trace(trace)
+        assert any(e.get("name", "").startswith("optimizer.") for e in events)
+        samples = obs.parse_prometheus(metrics.read_text(encoding="utf-8"))
+        assert "repro_optimizer_strategy_trials_total" in samples
+        assert "repro_optimizer_improvement_ratio" in samples
+
+    def test_goodput_writes_obs_dumps(self, capsys, tmp_path):
+        trace = tmp_path / "goodput_trace.json"
+        metrics = tmp_path / "goodput_metrics.json"
+        code = cli_main(
+            [
+                "goodput", "--jobs", "2",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        from repro import obs
+
+        assert obs.load_trace(trace)
+        samples = obs.load_metrics(metrics)
+        assert "repro_serve_goodput_us_total" in samples
+
+
+class TestCliHealth:
+    PLAN = str(
+        Path(__file__).resolve().parents[2]
+        / "examples"
+        / "faults"
+        / "health_burst.json"
+    )
+    BURST = [
+        "--faults", PLAN,
+        "--checkpoint-every", "48",
+        "--checkpoint-bytes", "4e9",
+    ]
+
+    def test_health_dashboard_and_dump(self, capsys, tmp_path):
+        out_path = tmp_path / "health.json"
+        code = cli_main(["health", *self.BURST, "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== fleet health @ tick" in out
+        assert "-- shards --" in out
+        assert "-- slo --" in out
+        assert "-- alert timeline --" in out
+        assert "CIRCUIT_FLAP" in out and "PHASE_DRIFT" in out
+        from repro import obs
+
+        payload = obs.load_health(out_path)
+        assert payload["alerts"]["events"]
+
+    def test_health_periodic_dashboard(self, capsys):
+        assert cli_main(["health", "--jobs", "2", "--shards", "1", "--every", "4"]) == 0
+        out = capsys.readouterr().out
+        # At least one mid-run dashboard plus the final one.
+        assert out.count("== fleet health @ tick") >= 2
+
+    def test_alerts_timeline_is_shard_invariant(self, capsys, tmp_path):
+        dumps = []
+        for shards in ("1", "2"):
+            out_path = tmp_path / f"alerts_{shards}.json"
+            code = cli_main(
+                ["alerts", *self.BURST, "--shards", shards, "--out", str(out_path)]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "== alert timeline (" in out
+            assert "fired" in out and "resolved" in out
+            dumps.append(out_path.read_text(encoding="utf-8"))
+        assert dumps[0] == dumps[1]
+        from repro import obs
+
+        payload = obs.load_alerts(tmp_path / "alerts_1.json")
+        assert {event["rule"] for event in payload["events"]} >= {
+            "CIRCUIT_FLAP", "GOODPUT_BURN", "PHASE_DRIFT",
+        }
+
+    def test_alerts_ack(self, capsys):
+        # A healthy run has nothing firing, so the ack count is zero —
+        # the flag path still has to work.
+        assert cli_main(["alerts", "--jobs", "2", "--ack", "CIRCUIT_FLAP"]) == 0
+        out = capsys.readouterr().out
+        assert "acked 0 firing alert(s) of rule CIRCUIT_FLAP" in out
+        assert "-- still firing (0) --" in out
+
+    def test_health_rejects_bad_jobs(self, capsys):
+        assert cli_main(["health", "--jobs", "0"]) == 1
+        assert "error:" in capsys.readouterr().err

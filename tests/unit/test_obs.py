@@ -126,6 +126,36 @@ class TestSpans:
         tracer.reset()
         assert tracer.spans() == []
 
+    def test_bounded_storage_drops_oldest_and_counts(self):
+        family = obs.default_registry().get("repro_obs_spans_dropped_total")
+        before = (
+            sum(child.value for child in family.children()) if family else 0.0
+        )
+        tracer = Tracer(max_spans=4)
+        for index in range(6):
+            with tracer.trace(f"span-{index}"):
+                pass
+        kept = [span.name for span in tracer.spans()]
+        # The recent history is the diagnostic one: oldest two dropped.
+        assert kept == ["span-2", "span-3", "span-4", "span-5"]
+        assert tracer.dropped_spans == 2
+        family = obs.default_registry().get("repro_obs_spans_dropped_total")
+        after = sum(child.value for child in family.children())
+        assert after - before == 2.0
+
+    def test_reset_clears_drop_accounting(self):
+        tracer = Tracer(max_spans=1)
+        for _ in range(3):
+            with tracer.trace("s"):
+                pass
+        assert tracer.dropped_spans == 2
+        tracer.reset()
+        assert tracer.dropped_spans == 0
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
 
 class TestMetricsRegistry:
     def test_counter_monotonic(self):
@@ -262,6 +292,19 @@ class TestExposition:
         samples = obs.parse_prometheus(registry.render())
         [(labels, value)] = samples["repro_x_total"]
         assert value == 1.0
+        # The parser must invert the writer's escaping, not just survive it.
+        assert labels == {"job": 'we"ird\\job'}
+
+    def test_label_escaping_round_trips_every_escape(self):
+        # Newlines, quotes, lone backslashes, and the adversarial
+        # backslash-before-n (which must NOT decode as a newline).
+        hard = 'multi\nline "quoted" back\\slash tail\\n'
+        registry = MetricsRegistry()
+        registry.gauge("repro_y", labels=("name",)).labels(name=hard).set(2.0)
+        samples = obs.parse_prometheus(registry.render())
+        [(labels, value)] = samples["repro_y"]
+        assert value == 2.0
+        assert labels == {"name": hard}
 
     def test_malformed_exposition_rejected(self):
         with pytest.raises(ObsError):
