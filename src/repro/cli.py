@@ -32,6 +32,11 @@ Subcommands mirror the toolchain:
 * ``tpupoint alerts`` — the same monitored run, reported as the alert
   event log alone (bit-identical at any ``--shards`` count); ``--ack``
   acknowledges a firing rule, ``--out`` writes the alert dump JSON.
+* ``tpupoint scrub`` — run the seeded checkered self-test across N
+  simulated chips (optionally under a fault plan's ``sdc`` section) and
+  name the chips whose step digests, timings, or MXU utilization
+  diverge from the golden reference — the confirmation step behind the
+  fleet's ``CHIP_SDC_SUSPECT`` quarantine.
 * ``tpupoint obs <files>`` — validate and summarize observability dumps
   (toolchain/workload chrome traces, Prometheus or JSON metrics).
 * ``tpupoint recover <journal>`` — load a crash-safe record journal
@@ -273,6 +278,38 @@ def _build_parser() -> argparse.ArgumentParser:
     alerts.add_argument(
         "--out", default=None, help="write the alert dump (rules, events, active) as JSON"
     )
+
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="run the seeded checkered self-test across simulated chips "
+        "and name the SDC suspects",
+    )
+    scrub.add_argument(
+        "--chips",
+        type=int,
+        default=4,
+        help="how many chips to scan (chip-0..chip-N-1, default 4)",
+    )
+    scrub.add_argument(
+        "--generation", default="v2", choices=["v2", "v3"], help="TPU generation"
+    )
+    scrub.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="fault plan JSON; its 'sdc' section is injected during the scan "
+        "(omit for a clean reference scan)",
+    )
+    scrub.add_argument(
+        "--seed", type=int, default=None, help="scrub schedule seed (default: plan seed)"
+    )
+    scrub.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="self-test steps per chip (default 96)",
+    )
+    scrub.add_argument("--out", default=None, help="write the scrub report as JSON")
 
     recover = subparsers.add_parser(
         "recover", help="recover records from a crash-safe journal and analyze them"
@@ -866,6 +903,34 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.tpu.sdc import DEFAULT_SCRUB_STEPS, run_scrub
+
+    if args.chips <= 0:
+        raise ConfigurationError("--chips must be positive")
+    plan = None
+    if args.faults:
+        from repro.faults import load_plan
+
+        plan = load_plan(args.faults)
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    report = run_scrub(
+        args.chips,
+        generation=args.generation,
+        plan=plan,
+        steps=args.steps if args.steps is not None else DEFAULT_SCRUB_STEPS,
+        **kwargs,
+    )
+    for line in report.format():
+        print(line)
+    if args.out:
+        print(f"\nwrote scrub report: {_write_json(args.out, report.to_dict())}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.profiler.serialize import load_records
 
@@ -1030,6 +1095,7 @@ def main(argv: list[str] | None = None) -> int:
         "goodput": lambda: _cmd_goodput(args),
         "health": lambda: _cmd_health(args),
         "alerts": lambda: _cmd_alerts(args),
+        "scrub": lambda: _cmd_scrub(args),
         "obs": lambda: _cmd_obs(args),
         "recover": lambda: _cmd_recover(args),
         "compare": lambda: _cmd_compare(args),

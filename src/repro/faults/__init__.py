@@ -22,6 +22,7 @@ from repro.faults.plan import (
     load_plan,
     save_plan,
 )
+from repro.tpu.sdc import SdcFaultModel, SdcInjector, SdcSpec
 
 __all__ = [
     "FaultInjector",
@@ -32,6 +33,9 @@ __all__ = [
     "FaultyProfileService",
     "LOSSLESS_KINDS",
     "RecordTransit",
+    "SdcFaultModel",
+    "SdcInjector",
+    "SdcSpec",
     "corrupt_record",
     "count_injected",
     "load_plan",

@@ -25,6 +25,14 @@ from pathlib import Path
 
 from repro import rng as rng_mod
 from repro.errors import ConfigurationError
+from repro.tpu.sdc import (
+    SdcInjector,
+    SdcSpec,
+    coerce_float,
+    coerce_int,
+    coerce_int_tuple,
+    coerce_optional_int,
+)
 
 
 class FaultKind(enum.Enum):
@@ -46,6 +54,7 @@ class FaultTarget(enum.Enum):
     PROFILE = "profile"  # client → master profile requests
     INGEST = "ingest"  # producer → FleetService.submit transit
     RECORDER = "recorder"  # the journaling recording thread
+    DEVICE = "device"  # silent data corruption inside the chip ('sdc' section)
 
 
 #: Faults the pipeline absorbs without losing any profile data: errors
@@ -68,6 +77,9 @@ _VALID_BY_TARGET = {
     ),
     FaultTarget.INGEST: frozenset({FaultKind.CORRUPT, FaultKind.DROP}),
     FaultTarget.RECORDER: frozenset({FaultKind.CRASH}),
+    # Chip-level faults are silent by definition: no wire FaultKind
+    # applies; they are declared in the plan's 'sdc' section instead.
+    FaultTarget.DEVICE: frozenset(),
 }
 
 
@@ -107,6 +119,11 @@ class FaultSpec:
             raise ConfigurationError("delay_ms must be non-negative")
         if self.truncate_events <= 0:
             raise ConfigurationError("truncate_events must be positive")
+        if self.target is FaultTarget.DEVICE:
+            raise ConfigurationError(
+                "device faults are silent-data-corruption models; declare "
+                "them in the plan's 'sdc' section, not 'faults'"
+            )
         if self.kind not in _VALID_BY_TARGET[self.target]:
             raise ConfigurationError(
                 f"fault kind {self.kind.value!r} does not apply to "
@@ -162,9 +179,11 @@ class FaultSpec:
             kind = FaultKind(payload["kind"])
         except KeyError:
             raise ConfigurationError("fault spec is missing 'kind'") from None
-        except ValueError:
+        except (ValueError, TypeError):
+            known_kinds = ", ".join(k.value for k in FaultKind)
             raise ConfigurationError(
-                f"unknown fault kind {payload.get('kind')!r}"
+                f"unknown fault kind {payload.get('kind')!r}; "
+                f"expected one of {known_kinds}"
             ) from None
         target_value = payload.get("target")
         if target_value is None:
@@ -172,9 +191,11 @@ class FaultSpec:
         else:
             try:
                 target = FaultTarget(target_value)
-            except ValueError:
+            except (ValueError, TypeError):
+                known_targets = ", ".join(t.value for t in FaultTarget)
                 raise ConfigurationError(
-                    f"unknown fault target {target_value!r}"
+                    f"unknown fault target {target_value!r}; "
+                    f"expected one of {known_targets}"
                 ) from None
         known = {
             "kind", "target", "probability", "every_nth", "nth",
@@ -188,13 +209,13 @@ class FaultSpec:
         return cls(
             kind=kind,
             target=target,
-            probability=float(payload.get("probability", 0.0)),
-            every_nth=payload.get("every_nth"),
-            nth=tuple(int(n) for n in payload.get("nth", ())),
-            first_request=int(payload.get("first_request", 1)),
-            last_request=payload.get("last_request"),
-            delay_ms=float(payload.get("delay_ms", 0.0)),
-            truncate_events=int(payload.get("truncate_events", 64)),
+            probability=coerce_float(payload.get("probability", 0.0), "probability"),
+            every_nth=coerce_optional_int(payload.get("every_nth"), "every_nth"),
+            nth=coerce_int_tuple(payload.get("nth", ()), "nth"),
+            first_request=coerce_int(payload.get("first_request", 1), "first_request"),
+            last_request=coerce_optional_int(payload.get("last_request"), "last_request"),
+            delay_ms=coerce_float(payload.get("delay_ms", 0.0), "delay_ms"),
+            truncate_events=coerce_int(payload.get("truncate_events", 64), "truncate_events"),
         )
 
 
@@ -239,11 +260,18 @@ class FaultInjector:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A seed, a set of fault specs, and optional client-policy knobs."""
+    """A seed, fault specs, SDC specs, and optional client-policy knobs.
+
+    The ``faults`` section injects at the wire/recorder boundaries; the
+    ``sdc`` section (:class:`repro.tpu.sdc.SdcSpec`) injects silent data
+    corruption inside the chips themselves and is addressed through
+    :attr:`FaultTarget.DEVICE`.
+    """
 
     seed: int = 0
     specs: tuple[FaultSpec, ...] = ()
     client: dict = field(default_factory=dict)
+    sdc: tuple[SdcSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.client, dict):
@@ -251,22 +279,34 @@ class FaultPlan:
 
     def targets(self, target: FaultTarget) -> bool:
         """Whether any spec applies to ``target``."""
+        if target is FaultTarget.DEVICE:
+            return bool(self.sdc)
         return any(spec.target is target for spec in self.specs)
 
     @property
     def lossless(self) -> bool:
-        """Whether every fault in the plan is absorbable without loss."""
-        return all(spec.lossless for spec in self.specs)
+        """Whether every fault in the plan is absorbable without loss.
+
+        Silent data corruption is never lossless: the corrupted numbers
+        are gone even though no record is dropped.
+        """
+        return not self.sdc and all(spec.lossless for spec in self.specs)
 
     def injector(self, target: FaultTarget, key: str = "") -> FaultInjector:
         """A fresh deterministic injector for one boundary instance."""
         return FaultInjector(self.specs, self.seed, target, key=key)
+
+    def sdc_injector(self, chip_id: str) -> SdcInjector:
+        """A fresh deterministic chip-level injector for ``chip_id``."""
+        return SdcInjector(self.sdc, self.seed, chip_id)
 
     def to_dict(self) -> dict:
         payload: dict = {
             "seed": self.seed,
             "faults": [spec.to_dict() for spec in self.specs],
         }
+        if self.sdc:
+            payload["sdc"] = [spec.to_dict() for spec in self.sdc]
         if self.client:
             payload["client"] = dict(self.client)
         return payload
@@ -275,7 +315,7 @@ class FaultPlan:
     def from_dict(cls, payload: dict) -> "FaultPlan":
         if not isinstance(payload, dict):
             raise ConfigurationError("fault plan must be a JSON object")
-        unknown = set(payload) - {"seed", "faults", "client"}
+        unknown = set(payload) - {"seed", "faults", "sdc", "client"}
         if unknown:
             raise ConfigurationError(
                 f"unknown fault plan fields: {', '.join(sorted(unknown))}"
@@ -283,10 +323,14 @@ class FaultPlan:
         faults = payload.get("faults", [])
         if not isinstance(faults, list):
             raise ConfigurationError("fault plan 'faults' must be a list")
+        sdc = payload.get("sdc", [])
+        if not isinstance(sdc, list):
+            raise ConfigurationError("fault plan 'sdc' must be a list")
         return cls(
-            seed=int(payload.get("seed", 0)),
+            seed=coerce_int(payload.get("seed", 0), "seed"),
             specs=tuple(FaultSpec.from_dict(entry) for entry in faults),
             client=dict(payload.get("client", {})),
+            sdc=tuple(SdcSpec.from_dict(entry) for entry in sdc),
         )
 
 

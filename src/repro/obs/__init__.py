@@ -59,8 +59,10 @@ from repro.obs.alerts import (
     builtin_rules,
 )
 from repro.obs.drift import (
+    DEFAULT_SDC_DROP,
     DriftBand,
     PhaseDriftDetector,
+    UtilizationAnomalyDetector,
     mix_distance,
     phase_fingerprint,
     window_fingerprint,
@@ -190,6 +192,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_MAX_SPANS",
     "DEFAULT_RING_CAPACITY",
+    "DEFAULT_SDC_DROP",
     "DEFAULT_SLOS",
     "DriftBand",
     "HealthMonitor",
@@ -205,6 +208,7 @@ __all__ = [
     "SLOSpec",
     "Span",
     "Tracer",
+    "UtilizationAnomalyDetector",
     "builtin_rules",
     "counter",
     "default_registry",

@@ -26,7 +26,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ObsError
-from repro.obs.drift import DEFAULT_DRIFT_DISTANCE
+from repro.obs.drift import DEFAULT_DRIFT_DISTANCE, DEFAULT_SDC_DROP
 from repro.obs.timeseries import RingStore
 
 
@@ -336,6 +336,7 @@ class AlertEngine:
 def builtin_rules(
     drift_distance: float = DEFAULT_DRIFT_DISTANCE,
     goodput_floor: float = 0.25,
+    sdc_drop: float = DEFAULT_SDC_DROP,
 ) -> tuple[AlertRule, ...]:
     """The stock fleet rule set the health monitor installs.
 
@@ -420,5 +421,19 @@ def builtin_rules(
             clear_ticks=1,
             severity=AlertSeverity.WARNING,
             description="live phase fingerprint drifted from its baseline",
+        ),
+        AlertRule(
+            name="CHIP_SDC_SUSPECT",
+            series="chip_sdc:*",
+            kind="threshold",
+            threshold=sdc_drop,
+            comparison="above",
+            # Two consecutive bad windows before paging: one anomalous
+            # window can be an excursion; a chip silently corrupting
+            # its accumulators stays degraded.
+            for_ticks=2,
+            clear_ticks=2,
+            severity=AlertSeverity.CRITICAL,
+            description="chip MXU throughput dropped like a silent-data-corruption fault",
         ),
     )

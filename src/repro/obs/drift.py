@@ -55,6 +55,14 @@ DEFAULT_FINGERPRINT_K = 8
 #: Steps a job must have folded before its fingerprint is trusted.
 DEFAULT_MIN_STEPS = 4
 
+#: Relative windowed MXU-throughput drop above which a job reads as an
+#: SDC suspect. Calibrated against the fleet workloads: healthy windows
+#: jitter within ~0.10 of their pinned baseline rate, while the default
+#: fault severity (0.25) reads ~0.25 from either model — a stuck-at
+#: fault stretches op durations 1.33x (rate drop 0.25) and a bit flip
+#: voids 25% of the window's MXU credit outright. 0.18 splits the gap.
+DEFAULT_SDC_DROP = 0.18
+
 
 @dataclass(frozen=True)
 class DriftBand:
@@ -216,3 +224,76 @@ class PhaseDriftDetector:
         self._totals.pop(job_id, None)
         self._baselines.pop(job_id, None)
         self.last_distance.pop(job_id, None)
+
+
+class UtilizationAnomalyDetector:
+    """Tracks each live job's windowed MXU-throughput drop from baseline.
+
+    The SDC signature the mix detector cannot see: a silently corrupted
+    chip keeps executing the *same operators* (so the phase fingerprint
+    and mix shares barely move for a pure accumulator fault) but
+    delivers fewer useful MXU FLOPs per microsecond — stretched op
+    durations for a stuck-at fault, voided accumulation credit for a
+    bit flip. Like :class:`PhaseDriftDetector`, each look measures the
+    *delta* window since the previous one (``mxu_flops`` over
+    ``total_duration_us``) and pins the first full window as the job's
+    healthy throughput baseline; the score is the relative drop from
+    that baseline, clamped to [0, 1]. Peak FLOPs cancel out of the
+    ratio, so the score is generation-independent.
+
+    Scores land in per-chip ``chip_sdc:<chip>`` rings (the health
+    monitor takes the max over a chip's resident jobs) and feed the
+    ``CHIP_SDC_SUSPECT`` rule.
+    """
+
+    def __init__(self, band: DriftBand | None = None, fire_drop: float = DEFAULT_SDC_DROP):
+        if not 0.0 < fire_drop <= 1.0:
+            raise ObsError("sdc fire_drop must be in (0, 1]")
+        self.band = band or DriftBand()
+        self.fire_drop = fire_drop
+        self._previous: dict[str, tuple[float, float]] = {}
+        self._baselines: dict[str, float] = {}
+        self.last_drop: dict[str, float] = {}
+
+    def baseline(self, job_id: str) -> float | None:
+        """The pinned healthy FLOPs/us rate for ``job_id`` (if any)."""
+        return self._baselines.get(job_id)
+
+    def observe(self, job_id: str, analysis) -> float | None:
+        """Fold one look at a live job; returns its utilization drop.
+
+        Mirrors :meth:`PhaseDriftDetector.observe`: None while the job
+        is too young or on the priming look, and a window with no
+        elapsed device time holds the previous score.
+        """
+        if analysis.steps_seen < self.band.min_steps:
+            return None
+        totals = (float(analysis.mxu_flops), float(analysis.total_duration_us))
+        previous = self._previous.get(job_id)
+        self._previous[job_id] = totals
+        if previous is None:
+            return None
+        flops = totals[0] - previous[0]
+        duration = totals[1] - previous[1]
+        if duration <= 0.0:
+            return self.last_drop.get(job_id)
+        rate = max(flops, 0.0) / duration
+        baseline = self._baselines.get(job_id)
+        if baseline is None:
+            # The first full window is the job's healthy throughput —
+            # pin it, so a degraded chip reads as a persistent drop
+            # rather than shifting its own baseline down.
+            self._baselines[job_id] = rate
+            baseline = rate
+        if baseline <= 0.0:
+            drop = 0.0
+        else:
+            drop = min(max(1.0 - rate / baseline, 0.0), 1.0)
+        self.last_drop[job_id] = drop
+        return drop
+
+    def forget(self, job_id: str) -> None:
+        """Drop a job's window state, baseline, and last score."""
+        self._previous.pop(job_id, None)
+        self._baselines.pop(job_id, None)
+        self.last_drop.pop(job_id, None)

@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from repro import rng as rng_mod
 from repro.errors import ObsError
 from repro.obs.alerts import AlertEngine, AlertEvent, AlertRule, builtin_rules
-from repro.obs.drift import DriftBand, PhaseDriftDetector
+from repro.obs.drift import (
+    DEFAULT_SDC_DROP,
+    DriftBand,
+    PhaseDriftDetector,
+    UtilizationAnomalyDetector,
+)
 from repro.obs.metrics import counter, default_registry, gauge
 from repro.obs.slo import DEFAULT_SLOS, SLOEngine, SLOSpec
 from repro.obs.timeseries import (
@@ -98,6 +103,7 @@ class HealthOptions:
     sample_every: int = 1
     seed: int = DEFAULT_SEED
     drift: DriftBand = field(default_factory=DriftBand)
+    sdc_drop: float = DEFAULT_SDC_DROP
     slos: tuple[SLOSpec, ...] = DEFAULT_SLOS
     rules: tuple[AlertRule, ...] | None = None  # None -> builtin_rules()
 
@@ -106,6 +112,8 @@ class HealthOptions:
             raise ObsError("health ring capacity must be positive")
         if self.sample_every <= 0:
             raise ObsError("health sample_every must be positive")
+        if not 0.0 < self.sdc_drop <= 1.0:
+            raise ObsError("health sdc_drop must be in (0, 1]")
 
 
 def scrape_targets(service) -> list[tuple[str, object]]:
@@ -132,6 +140,18 @@ def live_analyses(service) -> list[tuple[str, object]]:
     return []
 
 
+def chip_assignments(service) -> dict[str, str]:
+    """``job_id -> chip`` placements, empty for tiers without SDC wiring.
+
+    Both fleet tiers report assignments in registration order, so the
+    per-chip series the SDC rule reads are shard-count invariant.
+    """
+    assignments = getattr(service, "chip_assignments", None)
+    if callable(assignments):
+        return assignments()
+    return {}
+
+
 class HealthMonitor:
     """Samples a fleet tier into rings and evaluates alert rules."""
 
@@ -141,9 +161,16 @@ class HealthMonitor:
         self.shard_rings: dict[str, RingStore] = {}
         rules = self.options.rules
         if rules is None:
-            rules = builtin_rules(drift_distance=self.options.drift.fire_distance)
+            rules = builtin_rules(
+                drift_distance=self.options.drift.fire_distance,
+                sdc_drop=self.options.sdc_drop,
+            )
         self.engine = AlertEngine(rules)
         self.drift = PhaseDriftDetector(knowledge=knowledge, band=self.options.drift)
+        self.sdc = UtilizationAnomalyDetector(
+            band=self.options.drift, fire_drop=self.options.sdc_drop
+        )
+        self.chip_quarantines: dict[str, int] = {}
         self.slo = SLOEngine(self.options.slos)
         self.tick = 0
         self.samples = 0
@@ -221,14 +248,31 @@ class HealthMonitor:
                     store, f"{series}:rate", tick, getattr(shard_metrics, attribute)
                 )
 
-        # Phase drift per live job.
+        # Phase drift per live job, and SDC throughput drop per chip
+        # (the max over a chip's resident jobs: any one degraded tenant
+        # implicates the chip).
         drift_max = 0.0
+        chips = chip_assignments(service)
+        chip_drops: dict[str, float] = {}
         for job_id, analysis in live_analyses(service):
             distance = self.drift.observe(job_id, analysis)
             if distance is not None:
                 self.rings.record(f"drift:{job_id}", tick, distance)
                 drift_max = max(drift_max, distance)
+            chip = chips.get(job_id)
+            if chip is None:
+                continue
+            drop = self.sdc.observe(job_id, analysis)
+            if drop is not None:
+                chip_drops[chip] = max(chip_drops.get(chip, 0.0), drop)
+        for chip, drop in chip_drops.items():
+            self.rings.record(f"chip_sdc:{chip}", tick, drop)
         _DRIFT_MAX_CHILD.set(drift_max)
+
+        # Chip quarantine counts (dashboard only; the rule reads rings).
+        counts = getattr(service, "chip_quarantine_counts", None)
+        if callable(counts):
+            self.chip_quarantines = dict(counts())
 
         # SLOs over the goodput ledger and the ingest counters.
         report = None
@@ -313,6 +357,16 @@ class HealthMonitor:
                     f"{name[len('drift:'):]:<24} "
                     f"{sparkline(ring.values()):<24} last {ring.last():.2f}"
                 )
+        if self.chip_quarantines:
+            lines.append("-- chips --")
+            lines.append(f"{'chip':<12} {'sdc drop':>9} {'quarantined':>12}")
+            for chip in sorted(self.chip_quarantines):
+                ring = self.rings.get(f"chip_sdc:{chip}")
+                last = ring.last() if ring is not None else None
+                drop = f"{last:.2f}" if last is not None else "-"
+                lines.append(
+                    f"{chip:<12} {drop:>9} {self.chip_quarantines[chip]:>12}"
+                )
         statuses = self.slo.status(self.rings)
         if statuses:
             lines.append("-- slo --")
@@ -341,6 +395,10 @@ class HealthMonitor:
             "shards": {
                 label: store.to_dict()
                 for label, store in sorted(self.shard_rings.items())
+            },
+            "chips": {
+                chip: self.chip_quarantines[chip]
+                for chip in sorted(self.chip_quarantines)
             },
             "alerts": self.engine.to_dict(),
             "slos": [status.to_dict() for status in self.slo.status(self.rings)],

@@ -69,6 +69,7 @@ class TPUEstimator:
         self._session: TrainingSession | None = None
         self._train_program: CompiledProgram | None = None
         self._eval_program: CompiledProgram | None = None
+        self._sdc_injector = None
 
     # --- compilation -----------------------------------------------------
 
@@ -91,6 +92,8 @@ class TPUEstimator:
             config = self.pipeline_config or PipelineConfig()
             pipeline = self.pipeline_factory(config, self.bucket)
             device = TpuDevice(self.spec)
+            if self._sdc_injector is not None:
+                device.attach_sdc(self._sdc_injector)
             rng = self.rng if self.rng is not None else np.random.default_rng(0)
             self._session = TrainingSession(
                 plan=self.plan,
@@ -102,6 +105,18 @@ class TPUEstimator:
                 eval_program=self._eval_program,
             )
         return self._session
+
+    def attach_sdc(self, injector) -> None:
+        """Wire a silent-data-corruption injector into the device.
+
+        Takes effect on the (possibly future) session's device; attach
+        before training starts so the whole run shares one injector
+        state. Pass an :class:`~repro.tpu.sdc.SdcInjector` (duck-typed
+        here to keep the runtime layer free of fault imports).
+        """
+        self._sdc_injector = injector
+        if self._session is not None:
+            self._session.device.attach_sdc(injector)
 
     def add_step_hook(self, hook: StepHook) -> None:
         """Register a per-step callback on the (possibly future) session."""

@@ -106,6 +106,13 @@ def run_fleet(
     monitor observes the service after every scheduling round — its
     tick axis *is* the round index — and is finished (residual alerts
     resolved) before the result returns.
+
+    A ``fault_plan`` with an ``sdc`` section additionally places every
+    job on a simulated chip (``chip-<i>`` in registration order), wires
+    that chip's seeded :class:`~repro.tpu.sdc.SdcInjector` into the
+    job's device, and — when a health monitor is watching — quarantines
+    any chip whose ``CHIP_SDC_SUSPECT`` alert fires, charging each
+    resident tenant one scrub pass of ``sdc_scrub`` badput.
     """
     if not workloads:
         raise ServeError("fleet run needs at least one workload")
@@ -123,6 +130,7 @@ def run_fleet(
             )
         else:
             service = FleetService(options=service_options or FleetServiceOptions())
+    sdc_on = False
     if fault_plan is not None:
         from dataclasses import replace
 
@@ -132,9 +140,10 @@ def run_fleet(
             profiler_options = ProfilerOptions(fault_plan=fault_plan)
         elif profiler_options.fault_plan is None:
             profiler_options = replace(profiler_options, fault_plan=fault_plan)
+        sdc_on = fault_plan.targets(FaultTarget.DEVICE)
 
     jobs: list[_FleetJob] = []
-    for key in workloads:
+    for index, key in enumerate(workloads):
         spec = WorkloadSpec(key, generation=generation)
         if plan_overrides:
             from dataclasses import replace
@@ -150,6 +159,15 @@ def run_fleet(
             spec = WorkloadSpec(key, generation=generation, plan=plan)
         info = service.register(key, generation=generation)
         estimator = build_estimator(spec)
+        if sdc_on:
+            # One simulated chip per job, named by registration order so
+            # placement — and therefore which tenants a corrupted chip
+            # degrades — is identical at any shard count.
+            from repro.tpu.sdc import chip_name
+
+            chip = chip_name(index)
+            estimator.attach_sdc(fault_plan.sdc_injector(chip))
+            service.assign_chip(info.job_id, chip)
         transit = None
         if fault_plan is not None and fault_plan.targets(FaultTarget.INGEST):
             transit = RecordTransit(fault_plan, key=info.job_id)
@@ -207,7 +225,16 @@ def run_fleet(
         service.pump()
         rounds += 1
         if health is not None:
-            health.observe(service, tick=rounds)
+            events = health.observe(service, tick=rounds)
+            # Close the SDC loop: a confirmed suspect chip leaves
+            # service. Quarantine is idempotent and keyed to the alert's
+            # *fired* transition, so re-fires after a resolve charge
+            # nothing new.
+            quarantine = getattr(service, "quarantine_chip", None)
+            if callable(quarantine):
+                for event in events:
+                    if event.rule == "CHIP_SDC_SUSPECT" and event.transition == "fired":
+                        quarantine(event.scope)
         if on_round is not None:
             on_round(service, rounds)
 

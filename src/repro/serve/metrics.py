@@ -81,6 +81,10 @@ class ServiceMetrics:
             "repro_serve_steps_assembled_total",
             "Steps assembled from ingested records.",
         ).labels()
+        self._chip_quarantines = self.registry.counter(
+            "repro_serve_chips_quarantined_total",
+            "Chips pulled from service as SDC suspects.",
+        ).labels()
         self._query = self.registry.histogram(
             "repro_serve_query_seconds",
             "Snapshot query latency.",
@@ -113,6 +117,14 @@ class ServiceMetrics:
     @steps_assembled.setter
     def steps_assembled(self, value: int) -> None:
         self._steps.inc(value - self._steps.value)
+
+    @property
+    def chips_quarantined(self) -> int:
+        return int(self._chip_quarantines.value)
+
+    @chips_quarantined.setter
+    def chips_quarantined(self, value: int) -> None:
+        self._chip_quarantines.inc(value - self._chip_quarantines.value)
 
     @property
     def dropped_by_job(self) -> dict[str, int]:
@@ -225,6 +237,7 @@ class ServiceMetrics:
             "records_quarantined": self.records_quarantined,
             "drop_fraction": self.drop_fraction,
             "steps_assembled": self.steps_assembled,
+            "chips_quarantined": self.chips_quarantined,
             "queries_served": self.queries_served,
             "query_seconds_total": self.query_seconds_total,
             "query_seconds_mean": self.mean_query_seconds,

@@ -55,10 +55,18 @@ class JobSnapshot:
     records_dropped: int
     phases: tuple[PhaseView, ...]
     records_quarantined: int = 0
+    chip: str = ""  # assigned chip id ("" before SDC wiring assigns one)
+    chip_quarantined: bool = False
 
     def format(self) -> list[str]:
+        chip_note = ""
+        if self.chip:
+            chip_note = f" on {self.chip}" + (
+                " [QUARANTINED]" if self.chip_quarantined else ""
+            )
         lines = [
-            f"{self.job_id} [{self.state}] {self.workload} on TPU{self.generation}: "
+            f"{self.job_id} [{self.state}] {self.workload} on TPU{self.generation}"
+            f"{chip_note}: "
             f"{self.steps_seen} steps, {self.num_phases} phases "
             f"(top-3 cover {self.coverage_top3:.1%}), "
             f"idle {self.idle_fraction:.1%}, MXU {self.mxu_utilization:.1%}"
@@ -88,6 +96,7 @@ class FleetSnapshot:
     mxu_utilization: float
     phase_histogram: dict[int, int]
     total_quarantined: int = 0
+    quarantined_chips: tuple[str, ...] = ()
 
     @property
     def num_jobs(self) -> int:
@@ -97,7 +106,7 @@ class FleetSnapshot:
         histogram = ", ".join(
             f"{phases}p x{count}" for phases, count in sorted(self.phase_histogram.items())
         )
-        return [
+        lines = [
             f"jobs            : {self.num_jobs} "
             f"({self.active_jobs} active, {self.stalled_jobs} stalled, "
             f"{self.completed_jobs} completed)",
@@ -107,6 +116,11 @@ class FleetSnapshot:
             f"fleet MXU util  : {self.mxu_utilization:.1%}",
             f"phase histogram : {histogram or '-'}",
         ]
+        if self.quarantined_chips:
+            lines.append(
+                "quarantined chips: " + ", ".join(self.quarantined_chips)
+            )
+        return lines
 
 
 def job_snapshot(
@@ -116,6 +130,8 @@ def job_snapshot(
     max_phases: int = 5,
     top_operators: int = 3,
     quarantined: int = 0,
+    chip: str = "",
+    chip_quarantined: bool = False,
 ) -> JobSnapshot:
     """Freeze one job's live state into a query result."""
     phases = tuple(
@@ -155,6 +171,8 @@ def job_snapshot(
         records_dropped=queue.dropped,
         phases=phases,
         records_quarantined=quarantined,
+        chip=chip,
+        chip_quarantined=chip_quarantined,
     )
 
 
@@ -185,4 +203,9 @@ def fleet_snapshot(snapshots: list[JobSnapshot]) -> FleetSnapshot:
         ),
         phase_histogram=histogram,
         total_quarantined=sum(snap.records_quarantined for snap in snapshots),
+        quarantined_chips=tuple(
+            dict.fromkeys(  # registration-ordered, deduped across co-located jobs
+                snap.chip for snap in snapshots if snap.chip_quarantined and snap.chip
+            )
+        ),
     )

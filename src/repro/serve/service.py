@@ -33,6 +33,7 @@ from repro.serve.live import LiveJobAnalysis
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.query import FleetSnapshot, JobSnapshot, fleet_snapshot, job_snapshot
 from repro.serve.registry import JobInfo, JobRegistry, JobState
+from repro.tpu.sdc import scrub_cost_us
 from repro.tpu.specs import TpuGeneration
 
 
@@ -110,6 +111,8 @@ class FleetService:
         self._last_accept_tick: dict[str, int] = {}
         self._knowledge: TuningKnowledgeBase | None = None
         self._ledger = None
+        self._chips: dict[str, str] = {}  # job_id -> chip, registration order
+        self._quarantined_chips: dict[str, int] = {}  # chip -> quarantine count
 
     # --- shared tuning knowledge -------------------------------------------
 
@@ -134,6 +137,58 @@ class FleetService:
         self._ledger = ledger
         for job_id, analysis in self._analyses.items():
             analysis.on_step = partial(ledger.observe_step, job_id)
+
+    # --- chip placement + quarantine ---------------------------------------
+
+    def assign_chip(self, job_id: str, chip: str) -> None:
+        """Record which simulated chip ``job_id`` executes on.
+
+        The fleet driver assigns chips in registration order; the health
+        monitor reads the mapping back through :meth:`chip_assignments`
+        to build per-chip ``chip_sdc:*`` anomaly series.
+        """
+        self.registry.get(job_id)
+        if not chip:
+            raise ServeError("chip id must be non-empty")
+        self._chips[job_id] = chip
+
+    def chip_assignments(self) -> dict[str, str]:
+        """``job_id -> chip`` for every assigned job, registration order."""
+        return dict(self._chips)
+
+    def quarantine_chip(self, chip: str) -> list[str]:
+        """Pull an SDC-suspect chip from service; returns its resident jobs.
+
+        Idempotent: a chip already in quarantine returns ``[]`` and
+        charges nothing. Otherwise every job assigned to the chip is
+        charged one deterministic scrub pass (the self-test that
+        confirms the suspect) to the ledger's ``sdc_scrub`` badput
+        bucket — the fleet pays to know the chip is bad.
+        """
+        if not chip:
+            raise ServeError("chip id must be non-empty")
+        if chip in self._quarantined_chips:
+            return []
+        jobs = [job_id for job_id, assigned in self._chips.items() if assigned == chip]
+        self._quarantined_chips[chip] = 1
+        self.metrics.chips_quarantined += 1
+        if self._ledger is not None:
+            for job_id in jobs:
+                info = self.registry.get(job_id)
+                self._ledger.charge(job_id, "sdc_scrub", scrub_cost_us(info.generation))
+        return jobs
+
+    def quarantined_chips(self) -> list[str]:
+        """Chips pulled from service, in quarantine order."""
+        return list(self._quarantined_chips)
+
+    def chip_quarantine_counts(self) -> dict[str, int]:
+        """``chip -> quarantine count`` for every assigned chip (0 if healthy)."""
+        counts = {
+            chip: 0 for chip in dict.fromkeys(self._chips.values())
+        }
+        counts.update(self._quarantined_chips)
+        return counts
 
     # --- tenancy -----------------------------------------------------------
 
@@ -369,6 +424,7 @@ class FleetService:
         self._queues.pop(job_id, None)
         self._analyses.pop(job_id, None)
         self._last_accept_tick.pop(job_id, None)
+        self._chips.pop(job_id, None)
         self.metrics.jobs_evicted += 1
         self.metrics.record_eviction(job_id)
         return info
@@ -481,6 +537,7 @@ class FleetService:
         """Freeze one job's live view; never mutates service state."""
         with self.metrics.time_query():
             info = self.registry.get(job_id)
+            chip = self._chips.get(job_id, "")
             return job_snapshot(
                 info,
                 self.analysis(job_id),
@@ -488,6 +545,8 @@ class FleetService:
                 max_phases=self.options.snapshot_phases,
                 top_operators=self.options.snapshot_operators,
                 quarantined=self.metrics.quarantined_by_job.get(job_id, 0),
+                chip=chip,
+                chip_quarantined=chip in self._quarantined_chips,
             )
 
     def fleet_snapshot(self) -> FleetSnapshot:
@@ -503,6 +562,9 @@ class FleetService:
                     max_phases=self.options.snapshot_phases,
                     top_operators=self.options.snapshot_operators,
                     quarantined=quarantined.get(info.job_id, 0),
+                    chip=self._chips.get(info.job_id, ""),
+                    chip_quarantined=self._chips.get(info.job_id, "")
+                    in self._quarantined_chips,
                 )
                 for info in self.registry.jobs()
                 if info.job_id in self._analyses

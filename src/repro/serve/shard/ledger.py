@@ -43,6 +43,7 @@ BADPUT_BUCKETS = (
     "recovery_replay",  # profile windows lost to faults, journal replay
     "quarantine",       # wall time covered by records the service refused
     "tuning_trials",    # steps spent measuring autotune candidates
+    "sdc_scrub",        # self-test passes confirming SDC-suspect chips
 )
 
 ALL_BUCKETS = (GOODPUT_BUCKET,) + BADPUT_BUCKETS

@@ -164,6 +164,8 @@ class ShardedFleet:
         self._pool = WorkerPool(workers, label="serve-shard")
         self._tenants: dict[str, _TenantEntry] = {}
         self._sequence = 0
+        self._chips: dict[str, str] = {}  # fleet-level job -> chip
+        self._quarantined_chips: dict[str, int] = {}  # deduped across shards
         # Flushes can never shed: a full batch fits the queue whole.
         self.batch_size = min(
             self.options.batch_size, self.options.service.queue_capacity
@@ -354,6 +356,7 @@ class ShardedFleet:
         ]
         info = self.shards[entry.shard].evict(job_id)
         del self._tenants[job_id]
+        self._chips.pop(job_id, None)
         return info
 
     # --- shared tuning knowledge -------------------------------------------
@@ -363,6 +366,59 @@ class ShardedFleet:
         self._knowledge = knowledge
         for service in self.shards:
             service.attach_knowledge(knowledge)
+
+    # --- chip placement + quarantine ---------------------------------------
+
+    def assign_chip(self, job_id: str, chip: str) -> None:
+        """Record chip placement fleet-wide and on the owning shard."""
+        entry = self._entry(job_id)
+        self.shards[entry.shard].assign_chip(job_id, chip)
+        self._chips[job_id] = chip
+
+    def chip_assignments(self) -> dict[str, str]:
+        """``job_id -> chip`` in fleet-global registration order."""
+        return {
+            entry.job_id: self._chips[entry.job_id]
+            for entry in self._ordered_tenants()
+            if entry.job_id in self._chips
+        }
+
+    def quarantine_chip(self, chip: str) -> list[str]:
+        """Quarantine one chip on every shard hosting it.
+
+        The fleet-level set dedupes, so the chip count — and the ledger
+        charges, which land once per resident job on its single owning
+        shard — are identical at any shard count. Returns the affected
+        jobs in registration order.
+        """
+        if not chip:
+            raise ServeError("chip id must be non-empty")
+        if chip in self._quarantined_chips:
+            return []
+        self._quarantined_chips[chip] = 1
+        shard_indices = sorted(
+            {
+                self._entry(job_id).shard
+                for job_id, assigned in self._chips.items()
+                if assigned == chip
+            }
+        )
+        affected: list[str] = []
+        for shard in shard_indices:
+            affected.extend(self.shards[shard].quarantine_chip(chip))
+        order = {entry.job_id: entry.sequence for entry in self._ordered_tenants()}
+        affected.sort(key=lambda job_id: order.get(job_id, len(order)))
+        return affected
+
+    def quarantined_chips(self) -> list[str]:
+        """Chips pulled from service, in quarantine order."""
+        return list(self._quarantined_chips)
+
+    def chip_quarantine_counts(self) -> dict[str, int]:
+        """``chip -> quarantine count`` for every assigned chip."""
+        counts = {chip: 0 for chip in dict.fromkeys(self.chip_assignments().values())}
+        counts.update(self._quarantined_chips)
+        return counts
 
     # --- per-tenant queries (route to the owning shard) --------------------
 
@@ -574,6 +630,23 @@ class ShardedFleet:
                 if entry.completed:
                     service.complete(entry.job_id)
                 entry.shard = target
+            # Re-apply chip placements and quarantines before the ledger
+            # attaches: the original quarantine already charged each
+            # resident job's sdc_scrub cost, and a ledger-less shard
+            # records the quarantine without re-charging it.
+            for job_id, chip in self._chips.items():
+                entry = self._tenants[job_id]
+                services[entry.shard].assign_chip(job_id, chip)
+            for chip in self._quarantined_chips:
+                shard_indices = sorted(
+                    {
+                        self._tenants[job_id].shard
+                        for job_id, assigned in self._chips.items()
+                        if assigned == chip
+                    }
+                )
+                for shard in shard_indices:
+                    services[shard].quarantine_chip(chip)
             # Attach the ledger only now: replayed steps must not
             # re-charge goodput the original ingest already recorded.
             for service in services:
@@ -610,6 +683,17 @@ class AggregateMetrics:
         return (self.records_dropped / submitted) if submitted else 0.0
 
     @property
+    def chips_quarantined(self) -> int:
+        """Distinct quarantined chips, fleet-wide.
+
+        Deliberately not summed from the shard counters: a chip hosting
+        jobs on several shards increments each shard's counter, so the
+        sum would vary with shard count. The fleet-level dedup map is
+        the shard-invariant truth.
+        """
+        return len(self._fleet._quarantined_chips)
+
+    @property
     def dropped_by_job(self) -> dict[str, int]:
         merged: dict[str, int] = {}
         for service in self._fleet.shards:
@@ -626,6 +710,7 @@ class AggregateMetrics:
     def to_dict(self) -> dict:
         snap = {key: getattr(self, key) for key in _AGGREGATE_KEYS}
         snap["drop_fraction"] = self.drop_fraction
+        snap["chips_quarantined"] = self.chips_quarantined
         snap["dropped_by_job"] = self.dropped_by_job
         snap["quarantined_by_job"] = self.quarantined_by_job
         snap["shards"] = self._fleet.num_shards

@@ -6,20 +6,41 @@ from repro.tpu.device import (
     TpuOpCategory,
     TpuOpExecution,
     TpuOpWork,
+    fold_digest,
 )
 from repro.tpu.hbm import HbmModel
 from repro.tpu.mxu import MatmulShape, MxuModel
 from repro.tpu.queues import QueueItem, TransferQueue
+from repro.tpu.sdc import (
+    ChipScrubResult,
+    ScrubReport,
+    SdcEffect,
+    SdcEvent,
+    SdcFaultModel,
+    SdcInjector,
+    SdcSpec,
+    chip_name,
+    run_scrub,
+    scrub_cost_us,
+    scrub_schedule,
+)
 from repro.tpu.slice import TpuSliceSpec, scaling_efficiency, tpu_slice
 from repro.tpu.specs import TPU_V2, TPU_V3, TpuChipSpec, TpuGeneration, chip_spec
 
 __all__ = [
     "TPU_V2",
     "TPU_V3",
+    "ChipScrubResult",
     "HbmModel",
     "MatmulShape",
     "MxuModel",
     "QueueItem",
+    "ScrubReport",
+    "SdcEffect",
+    "SdcEvent",
+    "SdcFaultModel",
+    "SdcInjector",
+    "SdcSpec",
     "StepExecution",
     "TpuChipSpec",
     "TpuDevice",
@@ -29,7 +50,12 @@ __all__ = [
     "TpuOpWork",
     "TpuSliceSpec",
     "TransferQueue",
-    "scaling_efficiency",
-    "tpu_slice",
+    "chip_name",
     "chip_spec",
+    "fold_digest",
+    "run_scrub",
+    "scaling_efficiency",
+    "scrub_cost_us",
+    "scrub_schedule",
+    "tpu_slice",
 ]

@@ -11,12 +11,43 @@ utilization** (achieved matmul FLOPs against peak).
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.tpu.hbm import HbmModel
 from repro.tpu.mxu import MxuModel
 from repro.tpu.specs import TpuChipSpec, TpuGeneration, chip_spec
+
+# --- output digests -------------------------------------------------------
+#
+# The simulator carries no real tensor data, so "the numbers an op
+# produced" are modeled as a 64-bit FNV-1a digest folded op by op from
+# each op's observable outcome (name, achieved duration, and any
+# corruption salt a silent-data-corruption model mixed in). Digests are
+# only computed for injectors that ask for them (the scrubber's; fleet
+# injectors corrupt without collecting, so arming SDC stays cheap) and
+# are process-independent (SHA-256 name hashes, not randomized str
+# hashes) so scrub golden runs compare exactly across processes.
+
+DIGEST_SEED = 0xCBF29CE484222325
+_DIGEST_PRIME = 0x100000001B3
+_DIGEST_MASK = 0xFFFFFFFFFFFFFFFF
+_NAME_HASHES: dict[str, int] = {}
+
+
+def _name_hash(name: str) -> int:
+    value = _NAME_HASHES.get(name)
+    if value is None:
+        value = int.from_bytes(hashlib.sha256(name.encode("utf-8")).digest()[:8], "big")
+        _NAME_HASHES[name] = value
+    return value
+
+
+def fold_digest(digest: int, name: str, duration_us: float, salt: int = 0) -> int:
+    """Fold one op's observable output into a running step digest."""
+    value = _name_hash(name) ^ (int(duration_us * 1024.0) & _DIGEST_MASK) ^ (salt & _DIGEST_MASK)
+    return ((digest ^ value) * _DIGEST_PRIME) & _DIGEST_MASK
 
 
 class TpuOpCategory(enum.Enum):
@@ -83,6 +114,9 @@ class StepExecution:
     executions: list[TpuOpExecution] = field(default_factory=list)
     idle_us: float = 0.0
     mxu_flops: float = 0.0
+    #: Digest of the step's op outputs; ``None`` unless an SDC injector
+    #: is attached (clean runs skip digesting entirely).
+    output_digest: int | None = None
 
     @property
     def elapsed_us(self) -> float:
@@ -108,6 +142,16 @@ class TpuDevice:
         self.total_busy_us = 0.0
         self.total_idle_us = 0.0
         self.total_mxu_flops = 0.0
+        self.sdc = None
+
+    def attach_sdc(self, injector) -> None:
+        """Attach (or detach with ``None``) a silent-data-corruption injector.
+
+        The injector (see :mod:`repro.tpu.sdc`) perturbs op durations,
+        achieved-FLOPs credit, and output digests — it never raises, so
+        a corrupted chip is only distinguishable behaviorally.
+        """
+        self.sdc = injector
 
     # --- per-op costing --------------------------------------------------
 
@@ -138,11 +182,26 @@ class TpuDevice:
         """
         result = StepExecution(step_number=step_number, start_us=start_us, end_us=start_us)
         now = start_us
+        sdc = self.sdc
+        active = sdc.begin_step() if sdc is not None else None
+        collect = sdc is not None and sdc.digests
+        digest = DIGEST_SEED
         for op in schedule:
             data_wait = 0.0
             if op.category is TpuOpCategory.INFEED:
                 data_wait = max(0.0, infeed_ready_us - now)
             duration = self._op_duration_us(op, data_wait)
+            flops_credit = op.flops
+            if sdc is not None:
+                salt = 0
+                if active:
+                    effect = sdc.corrupt(op)
+                    if effect is not None:
+                        duration *= effect.duration_scale
+                        flops_credit = op.flops * effect.flops_scale
+                        salt = effect.digest_salt
+                if collect:
+                    digest = fold_digest(digest, op.name, duration, salt)
             execution = TpuOpExecution(
                 name=op.name,
                 category=op.category,
@@ -156,8 +215,10 @@ class TpuDevice:
             if op.category in (TpuOpCategory.INFEED, TpuOpCategory.OUTFEED):
                 result.idle_us += duration
             if op.uses_mxu:
-                result.mxu_flops += op.flops
+                result.mxu_flops += flops_credit
         result.end_us = now
+        if collect:
+            result.output_digest = digest
         self.total_busy_us += result.elapsed_us - result.idle_us
         self.total_idle_us += result.idle_us
         self.total_mxu_flops += result.mxu_flops

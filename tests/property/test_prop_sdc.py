@@ -1,0 +1,135 @@
+"""Property tests: SDC injection invariants.
+
+Two contracts keep the fault layer trustworthy:
+
+1. An *inert* plan — empty, zero-rate, aimed at another chip, or
+   scheduled past the end of the run — must leave the simulated run
+   bit-identical to an unfaulted baseline. Digest bookkeeping may run,
+   but timings, utilization, and phase structure cannot move.
+2. Injection is a pure function of (plan, seed, chip): repeat runs see
+   the same corrupted steps, the same effects, the same digests.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.profiler import ProfilerOptions, TPUPointProfiler
+from repro.faults import FaultPlan, SdcSpec
+from repro.tpu.sdc import SdcFaultModel, SdcInjector, run_scrub
+from tests.conftest import TINY_DATASET, TinyModel
+
+MODELS = st.sampled_from(list(SdcFaultModel))
+
+#: Specs that can never fire during a 40-step tiny run.
+inert_specs = st.one_of(
+    # Aimed at a chip the run does not place work on.
+    st.builds(
+        SdcSpec,
+        model=MODELS,
+        chips=st.just(("chip-elsewhere",)),
+        every_nth=st.integers(1, 4),
+    ),
+    # Window opens after the run ends.
+    st.builds(
+        SdcSpec,
+        model=MODELS,
+        every_nth=st.integers(1, 4),
+        first_step=st.integers(1_000, 2_000),
+    ),
+)
+
+#: Specs that do fire — used for determinism properties only.
+live_specs = st.builds(
+    SdcSpec,
+    model=MODELS,
+    probability=st.floats(0.05, 1.0),
+    severity=st.floats(0.05, 0.9),
+    first_step=st.integers(1, 20),
+)
+
+
+def _profiled_run(plan=None):
+    estimator = TinyModel().build_estimator(TINY_DATASET)
+    if plan is not None:
+        estimator.attach_sdc(plan.sdc_injector("chip-0"))
+    profiler = TPUPointProfiler(estimator, ProfilerOptions(request_interval_ms=200.0))
+    profiler.start(analyzer=True)
+    summary = estimator.train()
+    records = profiler.stop()
+    return estimator, summary, records
+
+
+def _fingerprint(estimator, summary, records):
+    device = estimator.session.device
+    return (
+        [
+            (m.step, m.start_us, m.end_us, m.tpu_idle_us, m.mxu_flops)
+            for m in estimator.session.log.steps
+        ],
+        device.total_elapsed_us,
+        device.mxu_utilization(),
+        summary.wall_us,
+        summary.mxu_utilization,
+        list(TPUPointAnalyzer(records).ols_phases().labels),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(specs=st.lists(inert_specs, max_size=3), seed=st.integers(0, 2**31 - 1))
+def test_inert_plan_is_bit_identical_to_baseline(specs, seed):
+    baseline = _fingerprint(*_profiled_run())
+    plan = FaultPlan(seed=seed, sdc=tuple(specs))
+    treated = _fingerprint(*_profiled_run(plan=plan))
+    assert treated == baseline
+
+
+@settings(max_examples=8, deadline=None)
+@given(specs=st.lists(live_specs, min_size=1, max_size=3), seed=st.integers(0, 2**31 - 1))
+def test_same_plan_and_seed_replays_identically(specs, seed):
+    plan = FaultPlan(seed=seed, sdc=tuple(specs))
+
+    def run():
+        estimator, summary, _ = _profiled_run(plan=plan)
+        injector = estimator.session.device.sdc
+        return (
+            injector.log(),
+            dict(injector.injected),
+            injector.events_total,
+            estimator.session.device.total_elapsed_us,
+            summary.mxu_utilization,
+        )
+
+    assert run() == run()
+
+
+@settings(max_examples=10, deadline=None)
+@given(specs=st.lists(live_specs, min_size=1, max_size=2), seed=st.integers(0, 2**31 - 1))
+def test_injector_streams_are_independent_of_other_chips(specs, seed):
+    """chip-0's decisions cannot depend on which other chips exist."""
+    plan_small = FaultPlan(seed=seed, sdc=tuple(specs))
+    widened = tuple(specs) + (
+        SdcSpec(model=SdcFaultModel.BIT_FLIP, chips=("chip-7",), every_nth=1),
+    )
+    plan_large = FaultPlan(seed=seed, sdc=widened)
+
+    def steps_hit(plan):
+        injector = plan.sdc_injector("chip-0")
+        hits = []
+        for step in range(1, 41):
+            hits.append(
+                tuple(spec.model.value for spec, _, _ in injector.begin_step())
+            )
+        return hits
+
+    assert steps_hit(plan_small) == steps_hit(plan_large)
+
+
+@settings(max_examples=6, deadline=None)
+@given(specs=st.lists(live_specs, min_size=1, max_size=2), seed=st.integers(0, 2**31 - 1))
+def test_scrub_replays_identically(specs, seed):
+    plan = FaultPlan(seed=seed, sdc=tuple(specs))
+    first = run_scrub(3, plan=plan)
+    second = run_scrub(3, plan=plan)
+    assert first.to_dict() == second.to_dict()
+    # The golden pass is plan-independent.
+    assert first.golden_elapsed_us == run_scrub(1).golden_elapsed_us

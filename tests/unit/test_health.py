@@ -297,6 +297,7 @@ class TestAlertRules:
             "GOODPUT_BURN",
             "INGEST_BURN",
             "PHASE_DRIFT",
+            "CHIP_SDC_SUSPECT",
         }
         assert rules["PHASE_DRIFT"].wildcard
         assert rules["CIRCUIT_FLAP"].severity is AlertSeverity.CRITICAL

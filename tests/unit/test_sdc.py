@@ -1,0 +1,428 @@
+"""Silent-data-corruption injection, scrub, and fleet quarantine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ServeError
+from repro.faults import FaultPlan, FaultSpec, FaultTarget, SdcSpec
+from repro.serve import FleetService, ShardedFleet, ShardedFleetOptions
+from repro.serve.shard.ledger import BADPUT_BUCKETS, GoodputLedger
+from repro.tpu.device import TpuDevice, TpuOpCategory, TpuOpWork
+from repro.tpu.sdc import (
+    DEFAULT_SCRUB_STEPS,
+    SdcFaultModel,
+    SdcInjector,
+    chip_name,
+    run_scrub,
+    scrub_cost_us,
+    scrub_schedule,
+)
+from repro.tpu.specs import TPU_V2
+
+
+def _spec(**overrides):
+    payload = dict(model=SdcFaultModel.STUCK_AT, every_nth=1)
+    payload.update(overrides)
+    return SdcSpec(**payload)
+
+
+def _schedule():
+    return [
+        TpuOpWork("InfeedDequeueTuple", TpuOpCategory.INFEED, num_bytes=1e6),
+        TpuOpWork(
+            "fusion", TpuOpCategory.COMPUTE, flops=1e12, efficiency=0.5, uses_mxu=True
+        ),
+        TpuOpWork("Reshape", TpuOpCategory.MEMORY, num_bytes=1e8),
+        TpuOpWork("OutfeedEnqueueTuple", TpuOpCategory.OUTFEED, num_bytes=1e5),
+    ]
+
+
+def _run(device, steps=8):
+    now = 0.0
+    results = []
+    for step in range(1, steps + 1):
+        result = device.execute_step(step, _schedule(), start_us=now)
+        results.append(result)
+        now = result.end_us
+    return results
+
+
+class TestSdcSpec:
+    def test_needs_a_schedule(self):
+        with pytest.raises(ConfigurationError):
+            SdcSpec(model=SdcFaultModel.BIT_FLIP)
+
+    def test_validates_bounds(self):
+        with pytest.raises(ConfigurationError):
+            _spec(severity=0.0)
+        with pytest.raises(ConfigurationError):
+            _spec(severity=0.95)
+        with pytest.raises(ConfigurationError):
+            _spec(ops="host")
+        with pytest.raises(ConfigurationError):
+            _spec(probability=1.5)
+        with pytest.raises(ConfigurationError):
+            _spec(nth=(0,))
+        with pytest.raises(ConfigurationError):
+            _spec(first_step=4, last_step=2)
+        with pytest.raises(ConfigurationError):
+            _spec(model=SdcFaultModel.LOW_PRECISION, accumulator_bits=1)
+
+    def test_never_corrupts_host_link_ops(self):
+        spec = _spec(ops="all")
+        for category in (TpuOpCategory.INFEED, TpuOpCategory.OUTFEED, TpuOpCategory.SYNC):
+            assert not spec.applies_to(TpuOpWork("x", category))
+
+    def test_ops_selectors(self):
+        matmul = TpuOpWork("m", TpuOpCategory.COMPUTE, flops=1.0, uses_mxu=True)
+        vector = TpuOpWork("v", TpuOpCategory.COMPUTE, flops=1.0, uses_mxu=False)
+        hbm = TpuOpWork("h", TpuOpCategory.MEMORY, num_bytes=1.0)
+        compute = _spec(ops="compute")
+        memory = _spec(ops="memory")
+        assert compute.applies_to(matmul) and not compute.applies_to(hbm)
+        # SDC lives in the MXU datapath: vector-only compute is spared.
+        assert not compute.applies_to(vector)
+        assert memory.applies_to(hbm) and not memory.applies_to(matmul)
+
+    def test_from_dict_rejects_unknowns_cleanly(self):
+        with pytest.raises(ConfigurationError, match="unknown sdc model"):
+            SdcSpec.from_dict({"model": "rowhammer", "every_nth": 1})
+        with pytest.raises(ConfigurationError, match="unknown sdc spec fields: wat"):
+            SdcSpec.from_dict({"model": "bit_flip", "every_nth": 1, "wat": 1})
+        with pytest.raises(ConfigurationError, match="missing 'model'"):
+            SdcSpec.from_dict({"every_nth": 1})
+        with pytest.raises(ConfigurationError, match="'severity'"):
+            SdcSpec.from_dict({"model": "bit_flip", "every_nth": 1, "severity": "hot"})
+
+    def test_roundtrip(self):
+        spec = SdcSpec(
+            model=SdcFaultModel.LOW_PRECISION,
+            chips=("chip-1",),
+            ops="compute",
+            every_nth=3,
+            first_step=10,
+            last_step=20,
+            severity=0.5,
+            accumulator_bits=8,
+        )
+        assert SdcSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSdcInjector:
+    def test_filters_specs_by_chip(self):
+        specs = (_spec(chips=("chip-1",)), _spec(chips=()))
+        chip0 = SdcInjector(specs, 7, "chip-0")
+        chip1 = SdcInjector(specs, 7, "chip-1")
+        chip0.begin_step()
+        chip1.begin_step()
+        op = TpuOpWork("m", TpuOpCategory.COMPUTE, flops=1.0, uses_mxu=True)
+        assert chip0.corrupt(op) is not None  # the unrestricted spec
+        assert chip1.corrupt(op) is not None
+        assert len(chip0._specs) == 1
+        assert len(chip1._specs) == 2
+
+    def test_first_match_wins(self):
+        specs = (
+            SdcSpec(model=SdcFaultModel.BIT_FLIP, every_nth=1, severity=0.5),
+            SdcSpec(model=SdcFaultModel.STUCK_AT, every_nth=1, severity=0.5),
+        )
+        injector = SdcInjector(specs, 7, "chip-0")
+        injector.begin_step()
+        op = TpuOpWork("m", TpuOpCategory.COMPUTE, flops=1.0, uses_mxu=True)
+        effect = injector.corrupt(op)
+        assert effect.model is SdcFaultModel.BIT_FLIP
+        assert injector.injected == {"bit_flip": 1}
+
+    def test_identical_log_across_repeat_runs(self):
+        specs = (
+            SdcSpec(model=SdcFaultModel.BIT_FLIP, probability=0.5),
+            _spec(every_nth=3),
+        )
+
+        def run():
+            injector = SdcInjector(specs, 99, "chip-2")
+            device = TpuDevice(TPU_V2)
+            device.attach_sdc(injector)
+            _run(device, steps=12)
+            return injector.log(), injector.injected
+
+        assert run() == run()
+
+    def test_probability_streams_are_per_spec(self):
+        # Adding a spec must not shift another spec's seeded decisions.
+        lone = SdcSpec(model=SdcFaultModel.BIT_FLIP, probability=0.5)
+        extra = SdcSpec(
+            model=SdcFaultModel.STUCK_AT, probability=0.5, chips=("chip-9",)
+        )
+
+        def decisions(specs):
+            injector = SdcInjector(specs, 5, "chip-0")
+            return [bool(injector.begin_step()) for _ in range(32)]
+
+        assert decisions((lone,)) == decisions((lone, extra))
+
+
+class TestDeviceEffects:
+    def test_detached_device_computes_no_digest(self):
+        results = _run(TpuDevice(TPU_V2))
+        assert all(result.output_digest is None for result in results)
+
+    def test_fleet_injectors_skip_digest_bookkeeping(self):
+        # Fleet injectors corrupt without collecting; only the scrubber
+        # pays for digests.
+        device = TpuDevice(TPU_V2)
+        device.attach_sdc(SdcInjector((_spec(),), 0, "chip-0"))
+        assert all(r.output_digest is None for r in _run(device))
+
+    def test_empty_digest_injector_changes_nothing_but_digests(self):
+        bare = _run(TpuDevice(TPU_V2))
+        device = TpuDevice(TPU_V2)
+        device.attach_sdc(SdcInjector((), 0, "chip-0", digests=True))
+        attached = _run(device)
+        assert [r.end_us for r in attached] == [r.end_us for r in bare]
+        assert [r.mxu_flops for r in attached] == [r.mxu_flops for r in bare]
+        assert all(r.output_digest is not None for r in attached)
+
+    def test_bit_flip_is_silent_in_time_loud_in_output(self):
+        clean = TpuDevice(TPU_V2)
+        clean.attach_sdc(SdcInjector((), 0, "chip-0", digests=True))
+        clean_runs = _run(clean)
+        bad = TpuDevice(TPU_V2)
+        bad.attach_sdc(
+            SdcInjector(
+                (SdcSpec(model=SdcFaultModel.BIT_FLIP, every_nth=1, severity=0.25),),
+                0,
+                "chip-0",
+                digests=True,
+            )
+        )
+        bad_runs = _run(bad)
+        # Timings identical, digests and achieved FLOPs not.
+        assert [r.end_us for r in bad_runs] == [r.end_us for r in clean_runs]
+        assert all(
+            b.output_digest != c.output_digest
+            for b, c in zip(bad_runs, clean_runs)
+        )
+        assert bad.total_mxu_flops < clean.total_mxu_flops
+        assert bad.mxu_utilization() < clean.mxu_utilization()
+
+    def test_stuck_at_slows_affected_ops(self):
+        clean = TpuDevice(TPU_V2)
+        clean_runs = _run(clean)
+        bad = TpuDevice(TPU_V2)
+        bad.attach_sdc(SdcInjector((_spec(severity=0.25),), 0, "chip-0"))
+        bad_runs = _run(bad)
+        assert bad_runs[-1].end_us > clean_runs[-1].end_us
+        assert bad.mxu_utilization() < clean.mxu_utilization()
+
+    def test_low_precision_pays_a_duration_tax(self):
+        clean = TpuDevice(TPU_V2)
+        clean_runs = _run(clean)
+        bad = TpuDevice(TPU_V2)
+        bad.attach_sdc(
+            SdcInjector(
+                (
+                    SdcSpec(
+                        model=SdcFaultModel.LOW_PRECISION,
+                        every_nth=1,
+                        severity=0.5,
+                        accumulator_bits=8,
+                    ),
+                ),
+                0,
+                "chip-0",
+            )
+        )
+        bad_runs = _run(bad)
+        assert bad_runs[-1].end_us == pytest.approx(
+            clean_runs[-1].end_us
+            + 0.5 * sum(e.duration_us for r in clean_runs for e in r.executions
+                        if e.category in (TpuOpCategory.COMPUTE, TpuOpCategory.MEMORY))
+        )
+
+    def test_injection_never_raises(self):
+        device = TpuDevice(TPU_V2)
+        device.attach_sdc(
+            SdcInjector(
+                (
+                    SdcSpec(model=SdcFaultModel.BIT_FLIP, every_nth=1, severity=0.9),
+                    _spec(every_nth=2, severity=0.9),
+                ),
+                123,
+                "chip-0",
+            )
+        )
+        results = _run(device, steps=16)
+        assert len(results) == 16  # all steps completed, silently wrong
+
+
+class TestScrub:
+    def test_clean_fleet_scrubs_clean(self):
+        report = run_scrub(3)
+        assert [r.chip for r in report.results] == ["chip-0", "chip-1", "chip-2"]
+        assert report.suspects() == []
+        assert report.format()[-1] == "suspect chips : none"
+
+    def test_flags_exactly_the_injected_chips(self):
+        plan = FaultPlan(
+            seed=7,
+            sdc=(
+                _spec(chips=("chip-1",), severity=0.4),
+                SdcSpec(
+                    model=SdcFaultModel.BIT_FLIP,
+                    chips=("chip-2",),
+                    every_nth=1,
+                    severity=0.4,
+                ),
+            ),
+        )
+        report = run_scrub(4, plan=plan)
+        assert report.suspects() == ["chip-1", "chip-2"]
+        by_chip = {result.chip: result for result in report.results}
+        # stuck_at is slower; bit_flip hides in identical wall time.
+        assert by_chip["chip-1"].elapsed_delta_us > 0
+        assert by_chip["chip-2"].elapsed_delta_us == 0
+        assert by_chip["chip-2"].digest_mismatches > 0
+        assert by_chip["chip-0"].injected == {}
+
+    def test_scrub_is_deterministic(self):
+        plan = FaultPlan(seed=7, sdc=(_spec(probability=0.3),))
+        assert run_scrub(2, plan=plan).to_dict() == run_scrub(2, plan=plan).to_dict()
+
+    def test_checkered_schedule_exercises_both_datapaths(self):
+        schedule = scrub_schedule(TPU_V2)
+        categories = {op.category for op in schedule}
+        assert categories == {TpuOpCategory.COMPUTE, TpuOpCategory.MEMORY}
+        assert all(op.uses_mxu for op in schedule if op.category is TpuOpCategory.COMPUTE)
+
+    def test_scrub_cost_matches_a_real_pass(self):
+        report = run_scrub(1, steps=DEFAULT_SCRUB_STEPS)
+        assert scrub_cost_us("v2") == report.golden_elapsed_us
+        assert scrub_cost_us("v2") == scrub_cost_us("v2")  # cached
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            run_scrub(0)
+        with pytest.raises(ConfigurationError):
+            run_scrub(2, steps=0)
+
+
+class TestFaultPlanSdc:
+    def test_device_target_reflects_sdc_section(self):
+        plan = FaultPlan(sdc=(_spec(),))
+        assert plan.targets(FaultTarget.DEVICE)
+        assert not plan.lossless
+        assert not FaultPlan().targets(FaultTarget.DEVICE)
+
+    def test_device_faults_rejected_from_faults_section(self):
+        from repro.faults import FaultKind
+
+        with pytest.raises(ConfigurationError, match="sdc"):
+            FaultSpec(kind=FaultKind.ERROR, target=FaultTarget.DEVICE, every_nth=1)
+
+    def test_plan_roundtrip_with_sdc(self):
+        plan = FaultPlan(
+            seed=11,
+            sdc=(_spec(chips=("chip-0",), first_step=5, last_step=9),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_plan_from_dict_validates_sdc_section(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"sdc": "broken"})
+        with pytest.raises(ConfigurationError, match="unknown sdc model"):
+            FaultPlan.from_dict({"sdc": [{"model": "gamma_ray", "every_nth": 1}]})
+
+    def test_sdc_injector_binds_chip(self):
+        plan = FaultPlan(seed=3, sdc=(_spec(chips=("chip-1",)),))
+        assert plan.sdc_injector("chip-0")._specs == ()
+        assert len(plan.sdc_injector("chip-1")._specs) == 1
+
+
+class TestFleetQuarantine:
+    def _service_with_job(self):
+        service = FleetService()
+        info = service.register("wl")
+        return service, info.job_id
+
+    def test_assign_and_quarantine(self):
+        service, job_id = self._service_with_job()
+        service.assign_chip(job_id, "chip-0")
+        assert service.chip_assignments() == {job_id: "chip-0"}
+        assert service.quarantine_chip("chip-0") == [job_id]
+        assert service.quarantine_chip("chip-0") == []  # idempotent
+        assert service.quarantined_chips() == ["chip-0"]
+        assert service.chip_quarantine_counts() == {"chip-0": 1}
+        assert service.metrics.chips_quarantined == 1
+        snapshot = service.job_snapshot(job_id)
+        assert snapshot.chip == "chip-0" and snapshot.chip_quarantined
+        assert "chip-0" in service.fleet_snapshot().quarantined_chips
+
+    def test_quarantine_charges_one_scrub_pass_per_resident_job(self):
+        service, job_id = self._service_with_job()
+        ledger = GoodputLedger()
+        service.attach_ledger(ledger)
+        service.assign_chip(job_id, "chip-0")
+        service.quarantine_chip("chip-0")
+        service.quarantine_chip("chip-0")  # no double charge
+        assert ledger.tenant(job_id).buckets["sdc_scrub"] == scrub_cost_us("v2")
+
+    def test_sdc_scrub_is_a_badput_bucket(self):
+        assert "sdc_scrub" in BADPUT_BUCKETS
+        ledger = GoodputLedger()
+        ledger.charge("job", "sdc_scrub", 10.0)
+        assert ledger.tenant("job").badput_us == 10.0
+
+    def test_rejects_unknown_job_and_empty_chip(self):
+        service = FleetService()
+        with pytest.raises(Exception):
+            service.assign_chip("ghost", "chip-0")
+        service.register("wl")
+        with pytest.raises(ServeError):
+            service.assign_chip("wl/0", "")
+
+    def test_sharded_quarantine_is_shard_invariant(self):
+        def build(shards):
+            fleet = ShardedFleet(ShardedFleetOptions(shards=shards))
+            for index in range(4):
+                info = fleet.register("wl")
+                fleet.assign_chip(info.job_id, chip_name(index % 2))
+            return fleet
+
+        fleets = [build(1), build(3)]
+        try:
+            outcomes = []
+            for fleet in fleets:
+                jobs = fleet.quarantine_chip("chip-1")
+                outcomes.append(
+                    (
+                        jobs,
+                        fleet.quarantined_chips(),
+                        fleet.chip_quarantine_counts(),
+                        fleet.metrics.chips_quarantined,
+                        {
+                            job: fleet.goodput(job).buckets.get("sdc_scrub", 0.0)
+                            for job in fleet.chip_assignments()
+                        },
+                    )
+                )
+            assert outcomes[0] == outcomes[1]
+            assert outcomes[0][0] == ["wl/1", "wl/3"]
+            assert outcomes[0][3] == 1
+        finally:
+            for fleet in fleets:
+                fleet.close()
+
+    def test_resize_preserves_quarantine_without_recharging(self):
+        fleet = ShardedFleet(ShardedFleetOptions(shards=1))
+        try:
+            info = fleet.register("wl")
+            fleet.assign_chip(info.job_id, "chip-0")
+            fleet.quarantine_chip("chip-0")
+            before = fleet.goodput(info.job_id).buckets["sdc_scrub"]
+            fleet.resize(3)
+            assert fleet.goodput(info.job_id).buckets["sdc_scrub"] == before
+            assert fleet.quarantined_chips() == ["chip-0"]
+            snapshot = fleet.job_snapshot(info.job_id)
+            assert snapshot.chip == "chip-0" and snapshot.chip_quarantined
+        finally:
+            fleet.close()
