@@ -100,7 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, help="JSON fault plan to inject (see docs/robustness.md)"
     )
     profile.add_argument(
-        "--journal", default=None, help="crash-safe record journal path (JSONL)"
+        "--journal", default=None, help="crash-safe record journal path"
+    )
+    profile.add_argument(
+        "--format",
+        default="binary",
+        choices=["binary", "json"],
+        help="on-disk encoding for --journal and --save-records "
+        "(binary: columnar CRC-checked blocks; json: legacy JSONL/JSON)",
     )
     profile.add_argument(
         "--workers", type=int, default=1,
@@ -112,6 +119,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", help="analyze previously saved profile records"
     )
     analyze.add_argument("records", help="directory written by profile --save-records")
+    analyze.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "binary", "json"],
+        help="record-store format to expect (auto follows the manifest; "
+        "naming one asserts the store matches it)",
+    )
     analyze.add_argument(
         "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
     )
@@ -200,6 +214,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--faults", default=None, help="JSON fault plan to inject (see docs/robustness.md)"
+    )
+    fleet.add_argument(
+        "--format",
+        default="binary",
+        choices=["binary", "json"],
+        help="ingest wire encoding (binary: codec frames with per-frame "
+        "CRC; json: legacy per-record JSON checksums)",
     )
     fleet.add_argument(
         "--heartbeat-deadline",
@@ -315,6 +336,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "recover", help="recover records from a crash-safe journal and analyze them"
     )
     recover.add_argument("journal", help="journal written by profile --journal")
+    recover.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "binary", "json"],
+        help="journal format to expect (auto detects by magic bytes; "
+        "naming one fails loudly if the journal is the other format)",
+    )
     recover.add_argument(
         "--method", default="ols", choices=["ols", "kmeans", "dbscan"], help="phase detector"
     )
@@ -532,6 +560,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         breakpoint_step=args.breakpoint,
         fault_plan=fault_plan,
         journal_path=args.journal,
+        journal_format=args.format,
     )
     tpupoint = TPUPoint(estimator, profiler_options=options)
     tpupoint.Start(analyzer=True)
@@ -553,12 +582,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         if recorder is not None and recorder.get("crashed"):
             print("recorder            : CRASHED mid-run (journal has a torn tail)")
     if args.journal:
-        print(f"record journal      : {args.journal}")
+        print(f"record journal      : {args.journal} ({args.format})")
     if args.save_records:
         from repro.core.profiler.serialize import save_records
 
-        directory = save_records(tpupoint.records, args.save_records)
-        print(f"saved {len(tpupoint.records)} records to {directory}")
+        directory = save_records(tpupoint.records, args.save_records, format=args.format)
+        print(f"saved {len(tpupoint.records)} records to {directory} ({args.format})")
 
     print(f"== {spec.display_name} ==")
     print(f"simulated wall time : {units.format_duration(summary.wall_us)}")
@@ -701,6 +730,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         threshold=args.threshold,
         heartbeat_deadline=args.heartbeat_deadline,
+        wire_format=args.format,
     )
     result = run_fleet(
         workloads,
@@ -726,6 +756,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     for job in result.jobs:
         for line in job.snapshot.format():
             print(line)
+    print("\n-- streaming phase analyses --")
+    for job in result.jobs:
+        analysis = result.service.phase_analysis(job.job_id)
+        boundaries = ", ".join(
+            f"[{b.start_position}..{b.end_position}]#{b.phase_id}"
+            for b in analysis.boundaries
+        )
+        print(f"{job.job_id}: {analysis.num_phases} phases over "
+              f"{len(analysis.labels)} steps ({analysis.method}, "
+              f"k={analysis.params.get('k')}) {boundaries}")
     print("\n-- fleet rollup --")
     for line in result.rollup.format():
         print(line)
@@ -934,7 +974,7 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.profiler.serialize import load_records
 
-    records = load_records(args.records)
+    records = load_records(args.records, format=args.format)
     analyzer = TPUPointAnalyzer(
         records, workers=args.workers, cache=_analysis_cache(args)
     )
@@ -957,12 +997,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
-    from repro.core.profiler.journal import recover_journal
+    import time
 
+    from repro.core.profiler.journal import recover_journal
+    from repro.errors import JournalError
+
+    started = time.perf_counter()
     recovery = recover_journal(args.journal, strict=args.strict)
+    elapsed = time.perf_counter() - started
+    if args.format != "auto" and recovery.journal_format != args.format:
+        raise JournalError(
+            f"{args.journal} is a {recovery.journal_format} journal, not {args.format}"
+        )
     print(f"== recovery of {args.journal} ==")
     for line in recovery.format():
         print(line)
+    mb_per_s = recovery.bytes_total / max(elapsed, 1e-9) / 1e6
+    print(f"throughput      : {recovery.bytes_total} bytes in "
+          f"{elapsed * 1e3:.1f} ms ({mb_per_s:.1f} MB/s)")
     if not recovery.records:
         print("no intact records survived; nothing to analyze")
         return 0

@@ -1,22 +1,32 @@
 """Crash-safe record journaling.
 
 The recording thread persists each :class:`ProfileRecord` to an
-append-only JSONL journal as it arrives: one line per record, each line
-carrying a sequence number and a CRC-32 over the record's canonical
-encoding, flushed before the next record is accepted. If the recorder
-(or the whole process) dies mid-write, the journal is left with at most
-one torn line at the tail; :func:`recover_journal` tolerates exactly
-that — it verifies every line's checksum, skips and counts corrupt
-entries, stops at a torn tail, and returns everything that survived so
-``tpupoint recover`` can resume offline analysis from a partial run.
+append-only journal as it arrives, flushed before the next record is
+accepted. Two formats share the same recovery semantics:
+
+* ``binary`` (the default): the columnar block format of
+  :mod:`repro.core.profiler.codec` — one CRC-32-checked block per
+  record behind an 8-byte file magic, read back through a memory map.
+* ``json``: the legacy JSONL format — one line per record carrying a
+  sequence number and a CRC-32 over the record's canonical JSON
+  encoding. Old journals recover byte-for-byte identically.
+
+If the recorder (or the whole process) dies mid-write, the journal is
+left with at most one torn entry at the tail; :func:`recover_journal`
+auto-detects the format by magic bytes, verifies every entry's
+checksum, skips and counts corrupt entries, stops at a torn tail, and
+returns everything that survived so ``tpupoint recover`` can resume
+offline analysis from a partial run.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.profiler import codec
 from repro.core.profiler.record import ProfileRecord
 from repro.core.profiler.serialize import (
     SCHEMA_VERSION,
@@ -26,16 +36,21 @@ from repro.core.profiler.serialize import (
 )
 from repro.errors import JournalError
 
+#: Journals are written in the binary block format unless asked otherwise.
+DEFAULT_JOURNAL_FORMAT = "binary"
+
+JOURNAL_FORMATS = ("binary", "json")
+
 
 def encode_entry(seq: int, record: ProfileRecord) -> str:
-    """One journal line (no trailing newline) for ``record``."""
+    """One JSONL journal line (no trailing newline) for ``record``."""
     payload = record_to_dict(record)
     entry = {"seq": seq, "crc": payload_checksum(payload), "record": payload}
     return json.dumps(entry, sort_keys=True, separators=(",", ":"))
 
 
 def decode_entry(line: str) -> tuple[int, ProfileRecord]:
-    """Parse and verify one journal line; raises :class:`JournalError`."""
+    """Parse and verify one JSONL journal line; raises :class:`JournalError`."""
     try:
         entry = json.loads(line)
     except json.JSONDecodeError as error:
@@ -57,16 +72,32 @@ def decode_entry(line: str) -> tuple[int, ProfileRecord]:
 
 
 class RecordJournal:
-    """Append-only checksummed JSONL journal for one profiling run."""
+    """Append-only checksummed journal for one profiling run.
 
-    def __init__(self, path: str | Path):
+    ``format`` selects the on-disk encoding: ``"binary"`` (default,
+    the codec's block format) or ``"json"`` (legacy JSONL).
+    """
+
+    def __init__(self, path: str | Path, format: str = DEFAULT_JOURNAL_FORMAT):
+        if format not in JOURNAL_FORMATS:
+            raise JournalError(
+                f"unknown journal format {format!r}; expected one of "
+                + "/".join(JOURNAL_FORMATS)
+            )
         self.path = Path(path)
+        self.format = format
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "w", encoding="utf-8")
         self._seq = 0
         self._dead = False
         self.entries_written = 0
-        self.bytes_written = 0
+        if format == "binary":
+            self._handle = open(self.path, "wb")
+            self._handle.write(codec.MAGIC)
+            self._handle.flush()
+            self.bytes_written = len(codec.MAGIC)
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self.bytes_written = 0
 
     @property
     def alive(self) -> bool:
@@ -77,27 +108,42 @@ class RecordJournal:
         """Durably append one record (write + flush before returning)."""
         if self._dead:
             raise JournalError(f"journal {self.path} is closed")
-        line = encode_entry(self._seq, record)
-        self._handle.write(line + "\n")
+        if self.format == "binary":
+            block = codec.encode_block(self._seq, record)
+            self._handle.write(block)
+            written = len(block)
+        else:
+            line = encode_entry(self._seq, record)
+            self._handle.write(line + "\n")
+            written = len(line) + 1
         self._handle.flush()
         self._seq += 1
         self.entries_written += 1
-        self.bytes_written += len(line) + 1
+        self.bytes_written += written
 
     def tear(self, record: ProfileRecord | None = None) -> None:
-        """Simulate a crash mid-append: leave a torn line, go dead.
+        """Simulate a crash mid-append: leave a torn entry, go dead.
 
         Writes a prefix of what would have been the next entry — the
-        exact on-disk state a process death between ``write`` and the
-        final newline leaves behind — then stops accepting appends.
+        exact on-disk state a process death mid-``write`` leaves behind
+        (a cut block in binary, a line without its newline in JSONL) —
+        then stops accepting appends.
         """
         if self._dead:
             return
-        if record is not None:
-            line = encode_entry(self._seq, record)
+        if self.format == "binary":
+            if record is None:
+                record = ProfileRecord(
+                    index=self._seq, window_start_us=0.0, window_end_us=0.0
+                )
+            block = codec.encode_block(self._seq, record)
+            self._handle.write(block[: max(8, len(block) // 2)])
         else:
-            line = '{"crc": 0, "record": {"index": %d, "steps"' % self._seq
-        self._handle.write(line[: max(8, len(line) // 2)])
+            if record is not None:
+                line = encode_entry(self._seq, record)
+            else:
+                line = '{"crc": 0, "record": {"index": %d, "steps"' % self._seq
+            self._handle.write(line[: max(8, len(line) // 2)])
         self.close()
 
     def close(self) -> None:
@@ -117,6 +163,8 @@ class JournalRecovery:
     entries_recovered: int
     corrupt_entries: int
     torn_tail: bool
+    journal_format: str = "json"
+    bytes_total: int = 0
 
     @property
     def lossless(self) -> bool:
@@ -125,6 +173,7 @@ class JournalRecovery:
 
     def format(self) -> list[str]:
         return [
+            f"format          : {self.journal_format}",
             f"journal entries : {self.entries_total} "
             f"({self.entries_recovered} recovered, {self.corrupt_entries} corrupt)",
             f"torn tail       : {'yes' if self.torn_tail else 'no'}",
@@ -132,19 +181,118 @@ class JournalRecovery:
         ]
 
 
-def recover_journal(path: str | Path, strict: bool = False) -> JournalRecovery:
-    """Load every intact record from a (possibly torn) journal.
+def detect_journal_format(path: str | Path) -> str:
+    """``"binary"`` or ``"json"``, by magic bytes; raises on garbage.
 
-    A failure on the *last* line is a torn tail — the expected signature
-    of a crash mid-append — and is always tolerated. Failures on earlier
-    lines are genuine corruption: skipped and counted by default, raised
-    as :class:`JournalError` under ``strict``. Duplicate or regressing
-    sequence numbers are treated as corrupt entries.
+    An empty file reads as JSONL (a binary journal always carries at
+    least its file magic). A file that starts with neither the binary
+    magic nor a JSON object is not a record journal at all — mixed or
+    garbage files get a clean :class:`JournalError`, not a traceback
+    from deep inside a parser.
     """
     path = Path(path)
     if not path.exists():
         raise JournalError(f"no journal at {path}")
-    raw = path.read_text(encoding="utf-8")
+    with open(path, "rb") as handle:
+        head = handle.read(len(codec.MAGIC))
+    if head.startswith(codec.MAGIC_PREFIX):
+        if head != codec.MAGIC:
+            version = head[len(codec.MAGIC_PREFIX) :]
+            raise JournalError(
+                f"{path} is a binary journal of unsupported codec version "
+                f"{version.hex() or '??'} (this reader understands version "
+                f"{codec.CODEC_VERSION})"
+            )
+        return "binary"
+    if head == b"" or head.lstrip()[:1] == b"{":
+        return "json"
+    raise JournalError(
+        f"{path} is not a record journal (unrecognized magic bytes "
+        f"{head[:8].hex()})"
+    )
+
+
+def recover_journal(path: str | Path, strict: bool = False) -> JournalRecovery:
+    """Load every intact record from a (possibly torn) journal.
+
+    The format is auto-detected by magic bytes, so old JSONL journals
+    and new binary ones recover through the same call. A failure on the
+    *last* entry is a torn tail — the expected signature of a crash
+    mid-append — and is always tolerated. Failures on earlier entries
+    are genuine corruption: skipped and counted by default, raised as
+    :class:`JournalError` under ``strict``. Duplicate or regressing
+    sequence numbers are treated as corrupt entries.
+    """
+    path = Path(path)
+    journal_format = detect_journal_format(path)
+    if journal_format == "binary":
+        return _recover_binary(path, strict)
+    return _recover_json(path, strict)
+
+
+def _recover_binary(path: Path, strict: bool) -> JournalRecovery:
+    """Block-by-block scan over a memory-mapped binary journal.
+
+    Blocks whose framing is intact but whose CRC (or payload decode)
+    fails are skipped and counted; once the framing itself is cut —
+    a header or payload shorter than its declared length, or an
+    implausible length field — nothing after that offset is readable,
+    which is exactly the shape a mid-write crash leaves, so the scan
+    stops there with ``torn_tail`` set.
+    """
+    with open(path, "rb") as handle:
+        size = path.stat().st_size
+        try:
+            buffer: mmap.mmap | bytes = mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            buffer = handle.read()
+        try:
+            view = memoryview(buffer)
+            by_seq: dict[int, ProfileRecord] = {}
+            entries_total = corrupt = 0
+            torn_tail = False
+            last_seq = -1
+            offset = len(codec.MAGIC)
+            while offset < size:
+                read = codec.read_block(view, offset)
+                if read.status == "torn":
+                    entries_total += 1
+                    torn_tail = True
+                    break
+                entries_total += 1
+                if read.status == "corrupt" or read.seq <= last_seq:
+                    error = read.error or f"journal sequence regressed at entry {read.seq}"
+                    if strict:
+                        raise JournalError(error)
+                    corrupt += 1
+                    offset = read.next_offset
+                    continue
+                by_seq[read.seq] = read.record
+                last_seq = read.seq
+                offset = read.next_offset
+        finally:
+            view.release()
+            if isinstance(buffer, mmap.mmap):
+                buffer.close()
+    records = tuple(sorted(by_seq.values(), key=lambda record: record.index))
+    return JournalRecovery(
+        records=records,
+        entries_total=entries_total,
+        entries_recovered=len(by_seq),
+        corrupt_entries=corrupt,
+        torn_tail=torn_tail,
+        journal_format="binary",
+        bytes_total=size,
+    )
+
+
+def _recover_json(path: Path, strict: bool) -> JournalRecovery:
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as error:
+        raise JournalError(f"{path} is not a JSONL journal: {error}") from None
     lines = raw.split("\n")
     if lines and lines[-1] == "":
         lines.pop()
@@ -178,13 +326,18 @@ def recover_journal(path: str | Path, strict: bool = False) -> JournalRecovery:
         entries_recovered=len(by_seq),
         corrupt_entries=corrupt,
         torn_tail=torn_tail,
+        journal_format="json",
+        bytes_total=len(raw.encode("utf-8")),
     )
 
 
 __all__ = [
+    "DEFAULT_JOURNAL_FORMAT",
+    "JOURNAL_FORMATS",
     "JournalRecovery",
     "RecordJournal",
     "decode_entry",
+    "detect_journal_format",
     "encode_entry",
     "recover_journal",
     "SCHEMA_VERSION",

@@ -111,28 +111,70 @@ def record_from_dict(payload: dict) -> ProfileRecord:
     return record
 
 
-def save_records(records: list[ProfileRecord], directory: str | Path) -> Path:
-    """Write records plus a manifest under ``directory``; returns it."""
+#: File carrying every record of a binary record store.
+BINARY_RECORDS_FILE = "records.bin"
+
+RECORD_FORMATS = ("binary", "json")
+
+
+def save_records(
+    records: list[ProfileRecord], directory: str | Path, format: str = "json"
+) -> Path:
+    """Write records plus a manifest under ``directory``; returns it.
+
+    ``format="json"`` (the historical layout) writes one JSON file per
+    record; ``format="binary"`` writes a single columnar block file
+    (:mod:`repro.core.profiler.codec`) — one CRC-checked block per
+    record. Either way :func:`load_records` reads the store back via
+    the manifest's ``format`` field.
+    """
+    if format not in RECORD_FORMATS:
+        raise ProfilerError(
+            f"unknown record format {format!r}; expected one of "
+            + "/".join(RECORD_FORMATS)
+        )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    names = []
-    for record in records:
-        name = f"record-{record.index:06d}.json"
-        with open(directory / name, "w", encoding="utf-8") as handle:
-            json.dump(record_to_dict(record), handle)
-        names.append(name)
-    manifest = {
-        "schema": SCHEMA_VERSION,
-        "num_records": len(records),
-        "records": names,
-    }
+    if format == "binary":
+        from repro.core.profiler import codec
+
+        with open(directory / BINARY_RECORDS_FILE, "wb") as handle:
+            handle.write(codec.MAGIC)
+            for seq, record in enumerate(records):
+                handle.write(codec.encode_block(seq, record))
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "format": "binary",
+            "codec": codec.CODEC_VERSION,
+            "num_records": len(records),
+            "records": [BINARY_RECORDS_FILE],
+        }
+    else:
+        names = []
+        for record in records:
+            name = f"record-{record.index:06d}.json"
+            with open(directory / name, "w", encoding="utf-8") as handle:
+                json.dump(record_to_dict(record), handle)
+            names.append(name)
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "format": "json",
+            "num_records": len(records),
+            "records": names,
+        }
     with open(directory / "manifest.json", "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
     return directory
 
 
-def load_records(directory: str | Path) -> list[ProfileRecord]:
-    """Load records previously written by :func:`save_records`."""
+def load_records(directory: str | Path, format: str = "auto") -> list[ProfileRecord]:
+    """Load records previously written by :func:`save_records`.
+
+    ``format="auto"`` follows the manifest (stores written before the
+    ``format`` field exists are JSON); naming a format instead asserts
+    the store matches it, so a pipeline that expects binary records
+    fails loudly on a JSON store rather than silently reading it.
+    """
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
@@ -141,9 +183,41 @@ def load_records(directory: str | Path) -> list[ProfileRecord]:
         manifest = json.load(handle)
     if manifest.get("schema") != SCHEMA_VERSION:
         raise ProfilerError(f"unsupported manifest schema {manifest.get('schema')!r}")
+    found = manifest.get("format", "json")
+    if found not in RECORD_FORMATS:
+        raise ProfilerError(f"unsupported record format {found!r} in {manifest_path}")
+    if format not in RECORD_FORMATS + ("auto",):
+        raise ProfilerError(
+            f"unknown record format {format!r}; expected auto, "
+            + ", or ".join(RECORD_FORMATS)
+        )
+    if format != "auto" and format != found:
+        raise ProfilerError(
+            f"records under {directory} are stored as {found}, not {format}"
+        )
     records = []
-    for name in manifest["records"]:
-        with open(directory / name, encoding="utf-8") as handle:
-            records.append(record_from_dict(json.load(handle)))
+    if found == "binary":
+        from repro.core.profiler import codec
+
+        for name in manifest["records"]:
+            data = (directory / name).read_bytes()
+            if not data.startswith(codec.MAGIC):
+                raise ProfilerError(
+                    f"{directory / name} lacks the binary record magic"
+                )
+            view = memoryview(data)
+            offset = len(codec.MAGIC)
+            while offset < len(view):
+                read = codec.read_block(view, offset)
+                if read.status != "ok":
+                    raise ProfilerError(
+                        f"corrupt record store {directory / name}: {read.error}"
+                    )
+                records.append(read.record)
+                offset = read.next_offset
+    else:
+        for name in manifest["records"]:
+            with open(directory / name, encoding="utf-8") as handle:
+                records.append(record_from_dict(json.load(handle)))
     records.sort(key=lambda record: record.index)
     return records

@@ -66,6 +66,10 @@ class JournalError(ProfilerError):
     """The record journal could not be written, read, or recovered."""
 
 
+class CodecError(ProfilerError):
+    """A binary record payload, block, or wire frame failed to encode/decode."""
+
+
 class AnalyzerError(ReproError):
     """TPUPoint-Analyzer received unusable profile data."""
 

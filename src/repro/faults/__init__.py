@@ -9,8 +9,10 @@ documents the fault taxonomy and the recovery guarantees end to end.
 from repro.faults.inject import (
     FaultyProfileService,
     RecordTransit,
+    corrupt_frame,
     corrupt_record,
     count_injected,
+    truncate_frame,
 )
 from repro.faults.plan import (
     LOSSLESS_KINDS,
@@ -36,8 +38,10 @@ __all__ = [
     "SdcFaultModel",
     "SdcInjector",
     "SdcSpec",
+    "corrupt_frame",
     "corrupt_record",
     "count_injected",
     "load_plan",
     "save_plan",
+    "truncate_frame",
 ]

@@ -20,6 +20,7 @@ import copy
 
 from repro import obs
 from repro import rng as rng_mod
+from repro.core.profiler import codec
 from repro.core.profiler.record import ProfileRecord
 from repro.errors import FaultInjectionError
 from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultTarget
@@ -150,13 +151,48 @@ def corrupt_record(record: ProfileRecord, rng) -> ProfileRecord:
     return mangled
 
 
+def corrupt_frame(frame: bytes, rng) -> bytes:
+    """A copy of a binary wire frame with exactly one payload bit flipped.
+
+    The flip lands past the frame header, so the framing (magic, seq,
+    window span, payload length) stays intact and the receiver can still
+    attribute the frame — but the payload CRC-32 *must* catch it: CRC-32
+    detects every single-bit error regardless of frame size, which is
+    what makes the "corrupt frames are always quarantined, never
+    silently accepted" property provable rather than probabilistic.
+    """
+    if len(frame) <= codec.FRAME_HEADER_BYTES:
+        return frame
+    payload_bits = (len(frame) - codec.FRAME_HEADER_BYTES) * 8
+    bit = int(rng.integers(payload_bits))
+    mangled = bytearray(frame)
+    mangled[codec.FRAME_HEADER_BYTES + bit // 8] ^= 1 << (bit % 8)
+    return bytes(mangled)
+
+
+def truncate_frame(frame: bytes) -> bytes:
+    """The leading half of a wire frame — a connection cut mid-send.
+
+    Always shorter than the input (minimum: the frame magic), so the
+    receiver sees a frame whose header promises more payload bytes than
+    arrived.
+    """
+    keep = max(len(codec.FRAME_MAGIC), len(frame) // 2)
+    return frame[: min(keep, len(frame) - 1)]
+
+
 class RecordTransit:
     """The wire between a profiling producer and the fleet service.
 
-    ``apply`` returns the record unchanged, a corrupted deep copy
-    (CORRUPT), or ``None`` (DROP — the record never arrives). The
-    original record object is never mutated, so the producer's own
-    in-memory copy stays intact.
+    Two wire models, matching the service's two ingest formats:
+
+    ``apply`` is the object wire (``--format json``): it returns the
+    record unchanged, a corrupted deep copy (CORRUPT/TRUNCATE), or
+    ``None`` (DROP — the record never arrives). ``apply_frame`` is the
+    binary wire: it operates on encoded frame *bytes* — a single flipped
+    payload bit (CORRUPT), a mid-block cut (TRUNCATE), or ``None``
+    (DROP). Either way the producer's own in-memory record stays
+    intact.
     """
 
     def __init__(self, plan: FaultPlan, key: str = ""):
@@ -165,6 +201,7 @@ class RecordTransit:
         self._corrupt_rng = rng_mod.stream(f"faults:corrupt:{key}", plan.seed)
         self.dropped = 0
         self.corrupted = 0
+        self.truncated = 0
 
     def apply(self, record: ProfileRecord) -> ProfileRecord | None:
         spec = self.injector.decide()
@@ -177,12 +214,35 @@ class RecordTransit:
         if spec.kind is FaultKind.CORRUPT:
             self.corrupted += 1
             return corrupt_record(record, self._corrupt_rng)
+        if spec.kind is FaultKind.TRUNCATE:
+            # The object wire has no frames to cut; a mid-record cut
+            # manifests to the receiver as a mangled record.
+            self.truncated += 1
+            return corrupt_record(record, self._corrupt_rng)
         return record
+
+    def apply_frame(self, frame: bytes) -> bytes | None:
+        spec = self.injector.decide()
+        if spec is None:
+            return frame
+        _INJECTED_TOTAL.labels(target="ingest", kind=spec.kind.value).inc()
+        if spec.kind is FaultKind.DROP:
+            self.dropped += 1
+            return None
+        if spec.kind is FaultKind.CORRUPT:
+            self.corrupted += 1
+            return corrupt_frame(frame, self._corrupt_rng)
+        if spec.kind is FaultKind.TRUNCATE:
+            self.truncated += 1
+            return truncate_frame(frame)
+        return frame
 
 
 __all__ = [
     "FaultyProfileService",
     "RecordTransit",
+    "corrupt_frame",
     "corrupt_record",
     "count_injected",
+    "truncate_frame",
 ]

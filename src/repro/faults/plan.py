@@ -60,7 +60,8 @@ class FaultTarget(enum.Enum):
 #: Faults the pipeline absorbs without losing any profile data: errors
 #: and timeouts are retried against an unchanged service cursor, and
 #: empty/truncated/delayed responses only defer events to a later
-#: window. CORRUPT/DROP/CRASH lose data by design.
+#: window. CORRUPT/DROP/CRASH lose data by design, and so does *any*
+#: kind at the ingest boundary (see :meth:`FaultSpec.lossless`).
 LOSSLESS_KINDS = frozenset(
     {FaultKind.ERROR, FaultKind.TIMEOUT, FaultKind.EMPTY, FaultKind.TRUNCATE, FaultKind.DELAY}
 )
@@ -75,7 +76,9 @@ _VALID_BY_TARGET = {
     FaultTarget.PROFILE: frozenset(
         {FaultKind.ERROR, FaultKind.TIMEOUT, FaultKind.EMPTY, FaultKind.TRUNCATE, FaultKind.DELAY}
     ),
-    FaultTarget.INGEST: frozenset({FaultKind.CORRUPT, FaultKind.DROP}),
+    FaultTarget.INGEST: frozenset(
+        {FaultKind.CORRUPT, FaultKind.DROP, FaultKind.TRUNCATE}
+    ),
     FaultTarget.RECORDER: frozenset({FaultKind.CRASH}),
     # Chip-level faults are silent by definition: no wire FaultKind
     # applies; they are declared in the plan's 'sdc' section instead.
@@ -136,7 +139,16 @@ class FaultSpec:
 
     @property
     def lossless(self) -> bool:
-        """Whether the pipeline can absorb this fault without data loss."""
+        """Whether the pipeline can absorb this fault without data loss.
+
+        Kind alone is not enough: TRUNCATE at the profile boundary only
+        squeezes a window (the deferred events come back later), but
+        TRUNCATE at the ingest boundary cuts a wire frame mid-block —
+        the record is refused and quarantined, i.e. lost. Everything at
+        the ingest boundary is lossy by construction.
+        """
+        if self.target is FaultTarget.INGEST:
+            return False
         return self.kind in LOSSLESS_KINDS
 
     def matches(self, index: int, rng) -> bool:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.analyzer.distance import pairwise_distances
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD, OnlineLinearScan
+from repro.core.analyzer.streaming import StreamingAnalysis, StreamingAnalyzer
 from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
 from repro.core.profiler.streaming import StepStream
 from repro.errors import ServeError
@@ -99,6 +100,11 @@ class LiveJobAnalysis:
     tpu_idle_us: float = 0.0
     mxu_flops: float = 0.0
     _step_numbers: list[int] = field(default_factory=list)
+    #: The streaming clustering analyzer riding alongside the online
+    #: linear scan: every folded step also feeds its signature table and
+    #: mini-batch centroids, so :meth:`phase_analysis` can answer a
+    #: *full* PCA'd cluster analysis mid-run, not just OLS labels.
+    streaming: StreamingAnalyzer = field(default_factory=StreamingAnalyzer)
     finished: bool = False
     #: Invoked with each step the moment it is attributed to a phase.
     #: The goodput ledger hangs off this; replayed analyses leave it unset
@@ -120,6 +126,7 @@ class LiveJobAnalysis:
         for step in self._stream.submit(record):
             self._fold(step)
             folded += 1
+        self.streaming.end_window()
         return folded
 
     def finish(self) -> int:
@@ -130,10 +137,12 @@ class LiveJobAnalysis:
         for step in self._stream.flush():
             self._fold(step)
             folded += 1
+        self.streaming.end_window()
         self.finished = True
         return folded
 
     def _fold(self, step: StepStats) -> None:
+        self.streaming.fold_step(step)
         label = self._scanner.observe(step)
         phase = self.phases.get(label)
         if phase is None:
@@ -196,6 +205,18 @@ class LiveJobAnalysis:
     def phases_by_duration(self) -> list[LivePhase]:
         """Phases ordered by descending accumulated duration."""
         return sorted(self.phases.values(), key=lambda phase: -phase.duration_us)
+
+    def phase_analysis(self) -> StreamingAnalysis:
+        """A full streaming phase analysis of everything folded so far.
+
+        PCA'd cluster labels, per-phase tables, and phase boundaries —
+        the live counterpart of ``TPUPointAnalyzer.kmeans_phases()``;
+        under the streaming analyzer's default (exact) mode the labels
+        are bit-identical to what the batch analyzer would produce over
+        the same released steps. Non-destructive: folding continues
+        afterwards and a later call reflects the longer run.
+        """
+        return self.streaming.analyze()
 
     # --- phase similarity (shared distance kernel) -------------------------
 

@@ -19,10 +19,12 @@ from typing import Callable, Sequence
 
 from repro import obs
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
+from repro.core.analyzer.streaming import StreamingAnalysis
 from repro.core.optimizer.knowledge import TuningKnowledgeBase
+from repro.core.profiler import codec
 from repro.core.profiler.record import ProfileRecord
 from repro.core.profiler.serialize import record_checksum
-from repro.errors import ProfilerError, ServeError
+from repro.errors import CodecError, ProfilerError, ServeError
 from repro.serve.ingest import (
     DEFAULT_QUEUE_CAPACITY,
     IngestAck,
@@ -76,6 +78,13 @@ class FleetServiceOptions:
     detection). ``quarantine_capacity`` bounds how many refused records
     are retained for inspection — the count is unbounded, the evidence
     is a ring buffer.
+
+    ``wire_format`` selects the producer→service encoding that
+    :meth:`FleetService.sink` models: ``"binary"`` (default) ships each
+    record as one CRC-framed columnar block
+    (:mod:`repro.core.profiler.codec`) and skips the per-record JSON
+    checksum — the frame CRC is the integrity check; ``"json"`` is the
+    legacy object wire with the canonical-JSON checksum.
     """
 
     queue_capacity: int = DEFAULT_QUEUE_CAPACITY
@@ -85,12 +94,17 @@ class FleetServiceOptions:
     snapshot_operators: int = 3
     heartbeat_deadline: int | None = None
     quarantine_capacity: int = 32
+    wire_format: str = "binary"
 
     def __post_init__(self) -> None:
         if self.heartbeat_deadline is not None and self.heartbeat_deadline <= 0:
             raise ServeError("heartbeat_deadline must be positive when set")
         if self.quarantine_capacity <= 0:
             raise ServeError("quarantine_capacity must be positive")
+        if self.wire_format not in ("binary", "json"):
+            raise ServeError(
+                f"unknown wire_format {self.wire_format!r}; use binary or json"
+            )
 
 
 @dataclass
@@ -219,14 +233,44 @@ class FleetService:
     def sink(self, job_id: str, transit=None) -> Callable[[ProfileRecord], None]:
         """A record callback bound to one job (the producer hand-off).
 
-        The producer-side checksum is stamped *before* ``transit`` (a
+        On the binary wire (the default) each record is encoded as one
+        CRC-framed block *before* ``transit`` (a
         :class:`repro.faults.RecordTransit` or anything with the same
-        ``apply``) touches the record, so corruption on the wire is
-        detectable at submit. A transit returning None models a lost
-        record: nothing reaches the queue, but the loss still counts as
-        a submitted-then-dropped record so the ingest SLO sees it.
+        ``apply``/``apply_frame``) touches it: a corrupted or truncated
+        frame fails to decode, is quarantined under a header-recovered
+        stub, and never reaches the queue — the frame CRC replaces the
+        JSON object wire's per-record checksum, sparing a second full
+        JSON encode per record. On the JSON wire the producer-side
+        checksum is stamped before transit, so object-level corruption
+        is detectable at submit. Either way a transit returning None
+        models a lost record: nothing reaches the queue, but the loss
+        still counts as a submitted-then-dropped record so the ingest
+        SLO sees it.
         """
         self.registry.get(job_id)
+        if self.options.wire_format == "binary":
+            sequence = iter(range(1 << 62))
+
+            def _submit_binary(record: ProfileRecord) -> None:
+                frame = codec.encode_frame(next(sequence), record)
+                delivered = frame if transit is None else transit.apply_frame(frame)
+                if delivered is None:
+                    self.metrics.records_submitted += 1
+                    self.metrics.record_drop(job_id, 1)
+                    return
+                try:
+                    decoded = codec.decode_frame(delivered)
+                except CodecError as error:
+                    self.metrics.records_submitted += 1
+                    self._quarantine_record(
+                        job_id,
+                        codec.frame_stub(delivered),
+                        f"binary frame refused: {error}",
+                    )
+                    return
+                self.submit(job_id, decoded)
+
+            return _submit_binary
 
         def _submit(record: ProfileRecord) -> None:
             checksum = record_checksum(record)
@@ -483,6 +527,22 @@ class FleetService:
                 pairs = analysis.similar_phase_pairs(threshold)
             span.set(phases=analysis.num_phases, pairs=len(pairs))
             return pairs
+
+    def phase_analysis(self, job_id: str) -> StreamingAnalysis:
+        """A full streaming phase analysis of one live (or completed) job.
+
+        PCA'd cluster labels, phase boundaries, and per-phase tables
+        over every step folded so far — answered mid-run from the
+        per-job streaming analyzer, without materializing the batch
+        feature matrix. In the default (exact) streaming mode the
+        labels are bit-identical to running the offline
+        ``TPUPointAnalyzer.kmeans_phases()`` over the same steps.
+        """
+        with obs.trace("serve.phase_analysis", job=job_id) as span, \
+                self.metrics.time_query():
+            result = self.analysis(job_id).phase_analysis()
+            span.set(phases=result.num_phases, steps=len(result.labels))
+            return result
 
     def tuning_priors(
         self, job_id: str, threshold: float | None = None, top_k: int = 8

@@ -38,10 +38,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
+from repro.core.analyzer.streaming import StreamingAnalysis
 from repro.core.optimizer.knowledge import TuningKnowledgeBase
+from repro.core.profiler import codec
 from repro.core.profiler.record import ProfileRecord
 from repro.core.profiler.serialize import record_checksum
-from repro.errors import ServeError, ShardError, UnknownJobError
+from repro.errors import CodecError, ServeError, ShardError, UnknownJobError
 from repro.parallel import WorkerPool
 from repro.serve.ingest import IngestAck
 from repro.serve.live import LiveJobAnalysis
@@ -250,8 +252,41 @@ class ShardedFleet:
         return tenants
 
     def sink(self, job_id: str, transit=None) -> Callable[[ProfileRecord], None]:
-        """A record callback bound to one tenant (see ``FleetService.sink``)."""
+        """A record callback bound to one tenant (see ``FleetService.sink``).
+
+        On the binary wire a frame that fails to decode is routed
+        through the normal journaled submit path as its header-recovered
+        stub with a deliberately poisoned checksum: the shard refuses
+        and quarantines it like any corrupt record, the journal retains
+        the refusal, and a :meth:`resize` replay reproduces the
+        quarantine decision deterministically.
+        """
         self._entry(job_id)
+        if self.options.service.wire_format == "binary":
+            sequence = iter(range(1 << 62))
+
+            def _submit_binary(record: ProfileRecord) -> None:
+                frame = codec.encode_frame(next(sequence), record)
+                delivered = frame if transit is None else transit.apply_frame(frame)
+                if delivered is None:
+                    # Charge the wire loss to the owning shard so the
+                    # aggregate submitted/dropped counters stay
+                    # shard-invariant (see FleetService.sink).
+                    metrics = self.shards[self._entry(job_id).shard].metrics
+                    metrics.records_submitted += 1
+                    metrics.record_drop(job_id, 1)
+                    return
+                try:
+                    decoded = codec.decode_frame(delivered)
+                except CodecError:
+                    stub = codec.frame_stub(delivered)
+                    self.submit(
+                        job_id, stub, checksum=record_checksum(stub) ^ 1
+                    )
+                    return
+                self.submit(job_id, decoded)
+
+            return _submit_binary
 
         def _submit(record: ProfileRecord) -> None:
             checksum = record_checksum(record)
@@ -434,6 +469,10 @@ class ShardedFleet:
         return self.shards[self._entry(job_id).shard].similar_phases(
             job_id, threshold
         )
+
+    def phase_analysis(self, job_id: str) -> StreamingAnalysis:
+        """One tenant's full streaming phase analysis (owning shard)."""
+        return self.shards[self._entry(job_id).shard].phase_analysis(job_id)
 
     def tuning_priors(
         self, job_id: str, threshold: float | None = None, top_k: int = 8

@@ -1,0 +1,83 @@
+"""Property test: streaming phase analysis equals batch under defaults.
+
+The exact-mode :class:`StreamingAnalyzer` promises labels bit-identical
+to ``TPUPointAnalyzer.kmeans_phases()`` for the default configuration,
+on *any* stream-legal record sequence — arbitrary step behaviours,
+arbitrary repetition structure, arbitrary partitioning of steps into
+records. Hypothesis generates exactly that space.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import TPUPointAnalyzer
+from repro.core.analyzer.streaming import StreamingAnalyzer
+from repro.core.profiler.record import ProfileRecord, StepStats
+from repro.runtime.events import DeviceKind, StepKind
+
+#: A small behaviour pool so signatures genuinely repeat — the regime
+#: the streaming dedup is built for — while still exercising streams
+#: where almost every step is distinct.
+_BEHAVIOURS = (
+    (("matmul", 40.0), ("fusion", 25.0), ("relu", 5.0)),
+    (("conv", 60.0), ("pool", 10.0)),
+    (("save", 80.0),),
+    (("embed", 15.0), ("gather", 15.0), ("matmul", 30.0), ("send", 2.0)),
+)
+
+
+def _step(number, behaviour, multiplier):
+    step = StepStats(step=number, kind=StepKind.TRAIN)
+    step.start_us = number * 100.0
+    step.end_us = (number + 1) * 100.0
+    step.tpu_idle_us = 10.0
+    step.mxu_flops = 1e6 * multiplier
+    for name, duration in behaviour:
+        step.observe(name, DeviceKind.TPU, duration * multiplier)
+    return step
+
+
+@st.composite
+def record_streams(draw):
+    """A stream-legal sequence: steps strictly increase across records."""
+    num_steps = draw(st.integers(2, 28))
+    choices = draw(
+        st.lists(
+            st.tuples(st.integers(0, len(_BEHAVIOURS) - 1), st.integers(1, 3)),
+            min_size=num_steps,
+            max_size=num_steps,
+        )
+    )
+    steps = [
+        _step(number, _BEHAVIOURS[behaviour], multiplier)
+        for number, (behaviour, multiplier) in enumerate(choices)
+    ]
+    records = []
+    cursor = 0
+    while cursor < len(steps):
+        size = draw(st.integers(1, 6))
+        chunk = steps[cursor : cursor + size]
+        record = ProfileRecord(
+            index=len(records),
+            window_start_us=chunk[0].start_us,
+            window_end_us=chunk[-1].end_us,
+        )
+        for step in chunk:
+            record.steps[step.step] = step
+        records.append(record)
+        cursor += size
+    return records
+
+
+@settings(max_examples=25, deadline=None)
+@given(record_streams())
+def test_streaming_labels_equal_batch_labels(records):
+    batch = TPUPointAnalyzer(records).kmeans_phases()
+    streaming = StreamingAnalyzer()
+    for record in records:
+        streaming.fold_record(record)
+    streaming.finish()
+    analysis = streaming.analyze()
+    assert np.array_equal(analysis.labels, batch.labels)
+    assert analysis.params["k"] == batch.params["k"]
+    assert sum(phase.num_steps for phase in analysis.phases) == len(batch.labels)

@@ -1,0 +1,247 @@
+"""The binary record codec: blocks, frames, journals, record stores."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import codec
+from repro.core.profiler.journal import (
+    RecordJournal,
+    detect_journal_format,
+    recover_journal,
+)
+from repro.core.profiler.record import OperatorStats, ProfileRecord, StepStats
+from repro.core.profiler.serialize import (
+    load_records,
+    record_checksum,
+    save_records,
+)
+from repro.errors import CodecError, JournalError, ProfilerError
+from repro.faults.inject import corrupt_frame, truncate_frame
+from repro.runtime.events import DeviceKind, StepKind
+
+
+def _step(number, ops=(), duration_us=100.0, kind=StepKind.TRAIN):
+    step = StepStats(step=number, kind=kind)
+    step.start_us = number * duration_us
+    step.end_us = (number + 1) * duration_us
+    step.tpu_idle_us = 12.5
+    step.mxu_flops = 3e9
+    for name, device, op_duration in ops:
+        step.operators[(name, device.value)] = OperatorStats(
+            name=name, device=device, count=4, total_duration_us=op_duration
+        )
+    return step
+
+
+def _record(index, steps=(), **kwargs):
+    record = ProfileRecord(
+        index=index,
+        window_start_us=index * 1e6,
+        window_end_us=(index + 1) * 1e6,
+        **kwargs,
+    )
+    for step in steps:
+        record.steps[step.step] = step
+    return record
+
+
+def _typical_record(index=0):
+    return _record(
+        index,
+        [
+            _step(
+                2 * index,
+                [
+                    ("MatMul", DeviceKind.TPU, 55.0),
+                    ("InfeedDequeueTuple", DeviceKind.TPU, 20.0),
+                    ("RunGraph", DeviceKind.HOST, 30.0),
+                ],
+            ),
+            _step(2 * index + 1, [("fusion", DeviceKind.TPU, 80.0)]),
+        ],
+    )
+
+
+def _assert_identical(left: ProfileRecord, right: ProfileRecord) -> None:
+    """Bit-exact equality, proven through the canonical JSON checksum."""
+    assert record_checksum(left) == record_checksum(right)
+    assert list(left.steps) == list(right.steps)  # insertion order survives
+    for number in left.steps:
+        assert list(left.steps[number].operators) == list(
+            right.steps[number].operators
+        )
+
+
+class TestPayloadRoundTrip:
+    def test_typical_record(self):
+        record = _typical_record()
+        _assert_identical(record, codec.decode_payload(codec.encode_payload(record)))
+
+    def test_empty_step_map(self):
+        record = _record(7, [], truncated=True, final=True)
+        rebuilt = codec.decode_payload(codec.encode_payload(record))
+        assert rebuilt.steps == {}
+        assert rebuilt.truncated and rebuilt.final
+        _assert_identical(record, rebuilt)
+
+    def test_host_only_operators(self):
+        record = _record(
+            1, [_step(0, [("SaveV2", DeviceKind.HOST, 11.0)], kind=None)]
+        )
+        rebuilt = codec.decode_payload(codec.encode_payload(record))
+        stats = rebuilt.steps[0].operators[("SaveV2", DeviceKind.HOST.value)]
+        assert stats.device is DeviceKind.HOST
+        assert rebuilt.steps[0].kind is None
+        _assert_identical(record, rebuilt)
+
+    def test_zero_duration_operators(self):
+        record = _record(2, [_step(0, [("Noop", DeviceKind.TPU, 0.0)])])
+        rebuilt = codec.decode_payload(codec.encode_payload(record))
+        assert (
+            rebuilt.steps[0].operators[("Noop", DeviceKind.TPU.value)].total_duration_us
+            == 0.0
+        )
+        _assert_identical(record, rebuilt)
+
+    def test_trailing_bytes_rejected(self):
+        payload = codec.encode_payload(_typical_record())
+        with pytest.raises(CodecError):
+            codec.decode_payload(payload + b"\x00")
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        record = _typical_record(3)
+        _assert_identical(record, codec.decode_frame(codec.encode_frame(9, record)))
+
+    def test_missing_magic_rejected(self):
+        frame = codec.encode_frame(0, _typical_record())
+        with pytest.raises(CodecError):
+            codec.decode_frame(frame[1:])
+
+    def test_single_bit_corruption_is_always_caught(self):
+        frame = codec.encode_frame(0, _typical_record())
+        rng = np.random.default_rng(5)
+        for _ in range(16):
+            mangled = corrupt_frame(frame, rng)
+            assert mangled != frame
+            with pytest.raises(CodecError):
+                codec.decode_frame(mangled)
+
+    def test_truncated_frame_is_caught(self):
+        frame = codec.encode_frame(0, _typical_record())
+        cut = truncate_frame(frame)
+        assert len(cut) < len(frame)
+        with pytest.raises(CodecError):
+            codec.decode_frame(cut)
+
+    def test_stub_of_refused_frame_keeps_header_fields(self):
+        record = _typical_record(11)
+        frame = codec.encode_frame(4, record)
+        stub = codec.frame_stub(corrupt_frame(frame, np.random.default_rng(0)))
+        assert stub.index == record.index
+        assert stub.window_start_us == record.window_start_us
+        assert stub.window_end_us == record.window_end_us
+        assert stub.steps == {}
+
+    def test_stub_of_unreadable_frame_is_unattributable(self):
+        assert codec.frame_stub(b"TP").index == -1
+
+
+class TestBinaryJournal:
+    def _write(self, path, count=4):
+        journal = RecordJournal(path)  # binary is the default
+        records = [_typical_record(i) for i in range(count)]
+        for record in records:
+            journal.append(record)
+        journal.close()
+        return records
+
+    def test_round_trip_and_detection(self, tmp_path):
+        path = tmp_path / "run.journal"
+        records = self._write(path)
+        assert detect_journal_format(path) == "binary"
+        recovery = recover_journal(path)
+        assert recovery.journal_format == "binary"
+        assert recovery.lossless
+        assert recovery.bytes_total == path.stat().st_size > 0
+        for original, recovered in zip(records, recovery.records):
+            _assert_identical(original, recovered)
+
+    def test_torn_tail_mid_block_keeps_full_blocks(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._write(path, count=4)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 10])  # cut the last block's payload
+        recovery = recover_journal(path)
+        assert recovery.torn_tail
+        assert recovery.corrupt_entries == 0
+        assert [record.index for record in recovery.records] == [0, 1, 2]
+        # strict mode tolerates a torn tail — it is the expected crash shape
+        assert recover_journal(path, strict=True).torn_tail
+
+    def test_mid_file_corruption_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._write(path, count=4)
+        raw = bytearray(path.read_bytes())
+        # Flip one payload bit of block 1 (past its 36-byte header).
+        offset = len(codec.MAGIC)
+        first = codec.read_block(memoryview(bytes(raw)), offset)
+        raw[first.next_offset + codec.BLOCK_HEADER_BYTES + 3] ^= 0x10
+        path.write_bytes(bytes(raw))
+        recovery = recover_journal(path)
+        assert recovery.corrupt_entries == 1
+        assert not recovery.torn_tail
+        assert [record.index for record in recovery.records] == [0, 2, 3]
+        with pytest.raises(JournalError):
+            recover_journal(path, strict=True)
+
+    def test_garbage_file_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_bytes(b"\x7fELF\x02\x01\x01\x00 not a journal")
+        with pytest.raises(JournalError):
+            recover_journal(path)
+
+    def test_unsupported_codec_version_is_named(self, tmp_path):
+        path = tmp_path / "future.journal"
+        path.write_bytes(codec.MAGIC_PREFIX + bytes([codec.CODEC_VERSION + 1]))
+        with pytest.raises(JournalError, match="version"):
+            recover_journal(path)
+
+    def test_json_journals_still_recover(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RecordJournal(path, format="json")
+        records = [_typical_record(i) for i in range(3)]
+        for record in records:
+            journal.append(record)
+        journal.close()
+        assert detect_journal_format(path) == "json"
+        recovery = recover_journal(path)
+        assert recovery.journal_format == "json"
+        assert recovery.lossless
+        for original, recovered in zip(records, recovery.records):
+            _assert_identical(original, recovered)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            RecordJournal(tmp_path / "x", format="msgpack")
+
+
+class TestBinaryRecordStore:
+    def test_round_trip(self, tmp_path):
+        records = [_typical_record(i) for i in range(3)]
+        save_records(records, tmp_path / "store", format="binary")
+        assert (tmp_path / "store" / "records.bin").exists()
+        loaded = load_records(tmp_path / "store")
+        for original, recovered in zip(records, loaded):
+            _assert_identical(original, recovered)
+
+    def test_format_assertion(self, tmp_path):
+        save_records([_typical_record()], tmp_path / "store", format="binary")
+        load_records(tmp_path / "store", format="binary")
+        with pytest.raises(ProfilerError):
+            load_records(tmp_path / "store", format="json")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ProfilerError):
+            save_records([], tmp_path / "store", format="protobuf")

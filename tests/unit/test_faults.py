@@ -444,7 +444,7 @@ class TestJournal:
 
     def test_mid_file_corruption_is_skipped_and_counted(self, tmp_path):
         path = tmp_path / "run.jsonl"
-        journal = RecordJournal(path)
+        journal = RecordJournal(path, format="json")
         for i in range(3):
             journal.append(_record(i))
         journal.close()
@@ -459,7 +459,7 @@ class TestJournal:
 
     def test_checksum_catches_value_tampering(self, tmp_path):
         path = tmp_path / "run.jsonl"
-        journal = RecordJournal(path)
+        journal = RecordJournal(path, format="json")
         journal.append(_record(0, start=0.0, end=1000.0))
         journal.append(_record(1))
         journal.close()
@@ -554,7 +554,7 @@ class TestFaultyRunEndToEnd:
         assert first.fault_report() == second.fault_report()
         assert first.online_phase_labels == second.online_phase_labels
         assert [r.index for r in first_records] == [r.index for r in second_records]
-        assert (tmp_path / "a.jsonl").read_text() == (tmp_path / "b.jsonl").read_text()
+        assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
 
     def test_clean_plan_changes_nothing(self, tiny_model, tiny_dataset):
         clean, clean_records = self._run(tiny_model, tiny_dataset)
