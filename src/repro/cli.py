@@ -14,9 +14,14 @@ Subcommands mirror the toolchain:
 * ``tpupoint optimize <workload>`` — run the workload under
   TPUPoint-Optimizer and report the speedup against an untouched run.
 * ``tpupoint tune <workload>`` — offline multi-strategy configuration
-  search (``--strategy hill-climb|annealing|racing``), optionally
-  warm-started from a phase-keyed knowledge base (``--knowledge-dir``)
-  and parallelized across ``--workers`` without changing results.
+  search (``--strategy hill-climb|annealing|racing|surrogate``),
+  optionally warm-started from a phase-keyed knowledge base
+  (``--knowledge-dir``; a read-only directory degrades to a loud
+  no-persist warning) and parallelized across ``--workers`` without
+  changing results. ``--strategy surrogate`` ranks candidates with a
+  learned performance model trained from the knowledge base plus
+  ``--surrogate-corpus`` and measures only the predicted frontier;
+  ``--surrogate-out`` dumps the fitted model JSON.
 * ``tpupoint fleet`` — drive N concurrent workloads through the
   multi-tenant live profiling service (:mod:`repro.serve`) and print
   each job's live phases plus the fleet rollup; ``--shards N`` spreads
@@ -167,14 +172,38 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument(
         "--strategy",
         default="racing",
-        choices=["hill-climb", "annealing", "racing"],
-        help="search strategy (default racing)",
+        choices=["hill-climb", "annealing", "racing", "surrogate"],
+        help="search strategy (default racing); surrogate ranks candidates "
+        "with a learned performance model and measures only the predicted "
+        "frontier (see docs/surrogate.md)",
     )
     tune.add_argument(
         "--knowledge-dir",
         default=None,
         help="tuning knowledge base directory; hits warm-start the search "
-        "and finished searches are recorded back",
+        "and finished searches are recorded back. A read-only or "
+        "uncreatable directory never fails the run: the search still "
+        "executes and a no-persist warning is printed instead",
+    )
+    tune.add_argument(
+        "--surrogate-corpus",
+        default=None,
+        help="JSON corpus of (signature, config) -> throughput training "
+        "pairs merged into the surrogate's training set (the committed "
+        "instance is benchmarks/corpus/surrogate_corpus.json)",
+    )
+    tune.add_argument(
+        "--surrogate-kind",
+        default="ridge",
+        choices=["ridge", "stumps"],
+        help="surrogate regressor: closed-form ridge (default) or "
+        "gradient-boosted stumps",
+    )
+    tune.add_argument(
+        "--surrogate-out",
+        default=None,
+        help="write the fitted surrogate model (weights, training digest, "
+        "accuracy counters) as JSON after the search",
     )
     tune.add_argument(
         "--workers", type=int, default=1,
@@ -665,11 +694,20 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.knowledge_dir:
         knowledge = TuningKnowledgeBase.open(args.knowledge_dir)
         prior_entries = len(knowledge)
+        if knowledge.persist_error is not None or not knowledge.writable():
+            reason = knowledge.persist_error or "directory is not writable"
+            print(
+                f"warning: knowledge dir {args.knowledge_dir} is read-only; "
+                f"tuning will run but nothing will be persisted ({reason})",
+                file=sys.stderr,
+            )
     options = AutotuneOptions(
         strategy=args.strategy,
         workers=args.workers,
         seed=args.seed if args.seed is not None else DEFAULT_SEED,
         workload=spec.key,
+        surrogate_kind=args.surrogate_kind,
+        surrogate_corpus=args.surrogate_corpus,
     )
     strategy_options = {}
     if args.trial_steps is not None:
@@ -703,8 +741,36 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"best            : {outcome.best_throughput:.2f} steps/s "
           f"({outcome.improvement:.3f}x, found at trial {outcome.trials_to_best})")
     print(f"best config     : {outcome.best_config}")
+    if result.surrogate is not None:
+        model = result.surrogate
+        state = "fitted" if model.ready else "cold (too few training pairs)"
+        print(f"surrogate       : {model.kind}, {len(model.pairs)} training "
+              f"pairs, {state}")
     if result.knowledge_recorded:
         print("recorded        : best config stored for future warm starts")
+    if result.knowledge_persist_error is not None:
+        print(
+            f"warning: knowledge base not persisted (is {args.knowledge_dir} "
+            f"read-only?): {result.knowledge_persist_error}",
+            file=sys.stderr,
+        )
+    if args.surrogate_out:
+        import json as _json
+        from pathlib import Path as _Path
+
+        model = result.surrogate
+        if model is None:
+            from repro.core.optimizer import build_surrogate
+
+            model = build_surrogate(
+                knowledge=knowledge, corpus=args.surrogate_corpus,
+                kind=args.surrogate_kind,
+            )
+        _Path(args.surrogate_out).write_text(
+            _json.dumps(model.to_document(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"surrogate dump  : {args.surrogate_out}")
     _dump_obs(args)
     return 0
 

@@ -80,6 +80,7 @@ class AnalysisResult:
 
     @property
     def num_phases(self) -> int:
+        """Number of detected phases."""
         return len(self.phases)
 
     def coverage(self) -> CoverageReport:

@@ -97,6 +97,7 @@ class AnalysisCache:
     # --- arrays (PCA reductions, label vectors) ----------------------------
 
     def get_array(self, key: str) -> np.ndarray | None:
+        """Cached array for ``key``, or None on a miss."""
         cached = self._memory.get(key)
         if cached is not None:
             self._record("hit")
@@ -116,6 +117,7 @@ class AnalysisCache:
         return None
 
     def put_array(self, key: str, value: np.ndarray) -> np.ndarray:
+        """Store an array under ``key`` (memory + optional disk)."""
         self._memory[key] = value
         if self.directory is not None:
             np.savez_compressed(self._path(key, ".npz"), value=value)
@@ -125,6 +127,7 @@ class AnalysisCache:
     # --- JSON tables (sweep series) ----------------------------------------
 
     def get_table(self, key: str) -> dict | None:
+        """Cached JSON-able table for ``key``, or None on a miss."""
         cached = self._memory.get(key)
         if cached is not None:
             self._record("hit")
@@ -143,6 +146,7 @@ class AnalysisCache:
         return None
 
     def put_table(self, key: str, value: dict) -> dict:
+        """Store a JSON-able table under ``key`` (memory + optional disk)."""
         self._memory[key] = value
         if self.directory is not None:
             self._path(key, ".json").write_text(

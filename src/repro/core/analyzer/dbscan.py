@@ -48,6 +48,7 @@ class DbscanResult:
 
     @property
     def num_clusters(self) -> int:
+        """Number of clusters found (noise excluded)."""
         return len({label for label in self.labels.tolist() if label != NOISE})
 
     @property

@@ -180,6 +180,7 @@ class NeighborGraph:
 
     @property
     def num_points(self) -> int:
+        """Number of points the graph indexes."""
         return len(self.indptr) - 1
 
     @property
@@ -192,6 +193,7 @@ class NeighborGraph:
         return self.indices[self.indptr[i] : self.indptr[i + 1]]
 
     def memory_bytes(self) -> int:
+        """Approximate resident size of the adjacency arrays."""
         return int(self.indptr.nbytes + self.indices.nbytes)
 
 

@@ -69,10 +69,12 @@ class FeatureMatrix:
 
     @property
     def num_steps(self) -> int:
+        """Number of step rows in the matrix."""
         return len(self.steps)
 
     @property
     def num_operators(self) -> int:
+        """Number of operator columns in the matrix."""
         return len(self.vocabulary)
 
     def combined(self, standardize: bool = True) -> np.ndarray:

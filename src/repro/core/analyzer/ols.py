@@ -52,6 +52,7 @@ class OnlineLinearScan:
 
     @property
     def num_phases(self) -> int:
+        """Number of phases segmented so far."""
         return self._current_phase + 1
 
     def observe(self, step: StepStats) -> int:

@@ -25,6 +25,7 @@ class PCA:
 
     @property
     def fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
         return self.components_ is not None
 
     def fit(self, matrix: np.ndarray) -> "PCA":

@@ -31,18 +31,22 @@ class Phase:
 
     @property
     def num_steps(self) -> int:
+        """Number of steps assigned to the phase."""
         return len(self.steps)
 
     @property
     def step_numbers(self) -> list[int]:
+        """Global step numbers of the phase's members, ascending."""
         return [step.step for step in self.steps]
 
     @property
     def start_us(self) -> float:
+        """Wall-clock start of the earliest member step."""
         return min(step.start_us for step in self.steps)
 
     @property
     def end_us(self) -> float:
+        """Wall-clock end of the latest member step."""
         return max(step.end_us for step in self.steps)
 
     @property

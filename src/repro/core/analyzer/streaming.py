@@ -112,6 +112,7 @@ class StreamingPhase:
 
     @property
     def idle_fraction(self) -> float:
+        """Fraction of the phase's span the TPU sat idle."""
         if self.duration_us <= 0:
             return 0.0
         return min(self.tpu_idle_us / self.duration_us, 1.0)
@@ -141,6 +142,7 @@ class PhaseBoundary:
 
     @property
     def num_steps(self) -> int:
+        """Steps inside the boundary (inclusive range)."""
         return self.end_position - self.start_position + 1
 
 
@@ -162,6 +164,7 @@ class StreamingAnalysis:
 
     @property
     def num_phases(self) -> int:
+        """Number of phases in the analysis."""
         return len(self.phases)
 
 
@@ -201,6 +204,7 @@ class MiniBatchKMeans:
 
     @property
     def num_centers(self) -> int:
+        """Number of live cluster centers."""
         return 0 if self._centers is None else self._centers.shape[0]
 
     def _pad(self, dims: int) -> None:
@@ -244,6 +248,7 @@ class MiniBatchKMeans:
         return (deltas**2).sum(axis=2).argmin(axis=1)
 
     def state_bytes(self) -> int:
+        """Approximate resident size of the clustering state."""
         if self._centers is None:
             return 64
         return int(self._centers.nbytes + self._counts.nbytes + 64)
@@ -352,6 +357,7 @@ class StreamingAnalyzer:
 
     @property
     def steps_folded(self) -> int:
+        """Completed steps folded into the analysis so far."""
         return self._steps_folded
 
     @property

@@ -38,12 +38,25 @@ from repro.core.optimizer.strategies import (
     SearchStrategy,
     SimulatedAnnealingStrategy,
     SuccessiveHalvingStrategy,
+    SurrogateStrategy,
     build_strategy,
+)
+from repro.core.optimizer.surrogate import (
+    FEATURE_SCHEMA_VERSION,
+    RidgeModel,
+    StumpModel,
+    SurrogateModel,
+    TrainingPair,
+    build_surrogate,
+    feature_vector,
+    load_corpus,
+    mine_knowledge,
 )
 from repro.core.optimizer.tuner import HillClimbTuner, TuningReport, TuningTrial
 
 __all__ = [
     "CRITICAL_PATTERN",
+    "FEATURE_SCHEMA_VERSION",
     "STRATEGIES",
     "AdjustableParameter",
     "AutotuneOptions",
@@ -61,16 +74,25 @@ __all__ = [
     "OutputSignature",
     "ProgramInstrumenter",
     "QualityController",
+    "RidgeModel",
     "SearchOutcome",
     "SearchStrategy",
     "SimulatedAnnealingStrategy",
+    "StumpModel",
     "SuccessiveHalvingStrategy",
+    "SurrogateModel",
+    "SurrogateStrategy",
     "TPUPointOptimizer",
+    "TrainingPair",
     "TuningKnowledgeBase",
     "TuningReport",
     "TuningTrial",
     "autotune",
     "build_strategy",
+    "build_surrogate",
     "detect_phase_signature",
     "discover_parameters",
+    "feature_vector",
+    "load_corpus",
+    "mine_knowledge",
 ]

@@ -17,9 +17,14 @@ The run proceeds in four moves:
    hit above the Equation-1 similarity threshold, the stored best
    configuration becomes the search's starting point.
 3. **Search** — any registered strategy (hill climb, annealing,
-   racing) measures candidates through :class:`EstimatorTrialEvaluator`;
-   determinism at any worker count is inherited from the pool's
-   submission-order results and per-trial RNG substreams.
+   racing, surrogate) measures candidates through
+   :class:`EstimatorTrialEvaluator`; determinism at any worker count is
+   inherited from the pool's submission-order results and per-trial RNG
+   substreams. The ``surrogate`` strategy additionally gets a learned
+   performance model (:mod:`repro.core.optimizer.surrogate`) fitted
+   from the knowledge base's recorded trial observations plus the
+   committed bench corpus, and spends real trials only on the
+   predicted frontier.
 4. **Guard and record** — a warm start must *earn* its keep: if the
    warm search's best does not beat a fresh defaults measurement (or
    the stored config no longer validates, or quality drifts), the
@@ -47,6 +52,7 @@ from repro.core.optimizer.strategies import (
     SearchOutcome,
     build_strategy,
 )
+from repro.core.optimizer.surrogate import SurrogateModel, build_surrogate
 from repro.core.profiler.options import ProfilerOptions
 from repro.core.profiler.profiler import TPUPointProfiler
 from repro.core.profiler.streaming import StepStream
@@ -86,6 +92,12 @@ class AutotuneOptions:
         overhead_us_per_trial: simulated post-processing cost charged
             per trial in the engine's cost accounting.
         workload: label stored with recorded knowledge entries.
+        surrogate_kind: regressor behind ``--strategy surrogate``
+            (``ridge`` or ``stumps``; see
+            :mod:`repro.core.optimizer.surrogate`).
+        surrogate_corpus: optional path to a committed training corpus
+            of ``(signature, config) -> throughput`` pairs merged into
+            the surrogate's training set alongside the knowledge base.
     """
 
     strategy: str = "racing"
@@ -98,6 +110,8 @@ class AutotuneOptions:
     knowledge_threshold: float = DEFAULT_SIMILARITY_THRESHOLD
     overhead_us_per_trial: float = 40_000.0
     workload: str = ""
+    surrogate_kind: str = "ridge"
+    surrogate_corpus: str | None = None
 
     def __post_init__(self) -> None:
         if self.detection_steps <= 0 or self.detection_chunk_steps <= 0:
@@ -153,6 +167,7 @@ class EstimatorTrialEvaluator:
     def evaluate(
         self, requests: Sequence[tuple[str, PipelineConfig, int]]
     ) -> list[CandidateTrial]:
+        """Measure a batch of candidates; results come in request order."""
         trials = self.pool.map(self._run, list(requests))
         for trial in trials:
             self.simulated_us += trial.elapsed_us + self.overhead_us_per_trial
@@ -215,7 +230,15 @@ def detect_phase_signature(
 
 @dataclass
 class AutotuneResult:
-    """Everything one autotune run measured and decided."""
+    """Everything one autotune run measured and decided.
+
+    ``surrogate`` is the learned performance model the search consulted
+    (``--strategy surrogate`` only; None otherwise) — after the run it
+    has folded in every real trial, so ``surrogate.to_document()`` is
+    the artifact ``tpupoint tune --surrogate-out`` dumps.
+    ``knowledge_persist_error`` surfaces a knowledge base that could
+    not be written (e.g. a read-only ``--knowledge-dir``).
+    """
 
     outcome: SearchOutcome
     signature: frozenset[str]
@@ -224,17 +247,22 @@ class AutotuneResult:
     rolled_back: bool = False
     knowledge_recorded: bool = False
     simulated_us: float = 0.0
+    surrogate: SurrogateModel | None = None
+    knowledge_persist_error: str | None = None
 
     @property
     def best_config(self) -> PipelineConfig:
+        """The configuration the run settled on (post-guard)."""
         return self.outcome.best_config
 
     @property
     def improvement(self) -> float:
+        """Best over baseline throughput (>1 means faster)."""
         return self.outcome.improvement
 
     @property
     def trials(self) -> list[CandidateTrial]:
+        """Every real trial the search measured, in submission order."""
         return self.outcome.trials
 
 
@@ -273,7 +301,26 @@ def autotune(
 
         parameters = discover_parameters(initial)
         reference = OutputSignature.of(factory(initial))
-        strategy = build_strategy(options.strategy, **(strategy_options or {}))
+        resolved_options = dict(strategy_options or {})
+        surrogate: SurrogateModel | None = None
+        if options.strategy == "surrogate":
+            # Build the learned performance model from every available
+            # source (knowledge-base observations + the bench corpus)
+            # and hand the strategy the phase fingerprint it predicts
+            # under, plus the stored best configs as population seeds.
+            surrogate = resolved_options.get("model") or build_surrogate(
+                knowledge=knowledge,
+                corpus=options.surrogate_corpus,
+                kind=options.surrogate_kind,
+            )
+            resolved_options.setdefault("model", surrogate)
+            resolved_options.setdefault("signature", signature)
+            if knowledge is not None:
+                resolved_options.setdefault(
+                    "priors",
+                    tuple(dict(entry.config) for entry in knowledge.entries),
+                )
+        strategy = build_strategy(options.strategy, **resolved_options)
         own_pool = not isinstance(pool, WorkerPool)
         worker_pool = resolve_pool(
             pool if pool is not None else options.workers, label="optimizer"
@@ -319,10 +366,20 @@ def autotune(
                 worker_pool.shutdown()
 
         recorded = False
+        persist_error: str | None = None
         if knowledge is not None and not rolled_back and outcome.improvement > 1.0:
             stored = {
                 p.name: getattr(outcome.best_config, p.name) for p in parameters
             }
+            observations = tuple(
+                {
+                    "config": {
+                        p.name: getattr(trial.config, p.name) for p in parameters
+                    },
+                    "throughput": trial.throughput,
+                }
+                for trial in outcome.trials
+            )
             knowledge.record(
                 KnowledgeEntry(
                     signature=signature,
@@ -330,9 +387,11 @@ def autotune(
                     improvement=outcome.improvement,
                     trials=len(outcome.trials),
                     workload=options.workload,
+                    observations=observations,
                 )
             )
             knowledge.save()
+            persist_error = knowledge.persist_error
             recorded = True
 
         span.set(
@@ -350,4 +409,10 @@ def autotune(
         rolled_back=rolled_back,
         knowledge_recorded=recorded,
         simulated_us=evaluator.simulated_us,
+        surrogate=surrogate,
+        knowledge_persist_error=(
+            persist_error
+            if persist_error is not None
+            else (knowledge.persist_error if knowledge is not None else None)
+        ),
     )

@@ -26,6 +26,7 @@ class InstrumentationReport:
 
     @property
     def parameter_names(self) -> list[str]:
+        """Names of the adjustable parameters that were discovered."""
         return [parameter.name for parameter in self.parameters]
 
 

@@ -25,7 +25,8 @@ dependency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro import obs
@@ -47,21 +48,37 @@ _KB_ENTRIES = obs.gauge(
 ).labels()
 
 
+#: Per-entry cap on retained trial observations (surrogate training data).
+MAX_OBSERVATIONS = 64
+
+
 @dataclass(frozen=True)
 class KnowledgeEntry:
-    """One remembered search result, keyed by phase signature."""
+    """One remembered search result, keyed by phase signature.
+
+    ``observations`` carries the search's raw per-trial measurements —
+    ``{"config": {...}, "throughput": steps/s}`` rows, capped at
+    :data:`MAX_OBSERVATIONS` — which the performance surrogate
+    (:mod:`repro.core.optimizer.surrogate`) mines as training pairs.
+    Entries recorded before observations existed load as empty tuples.
+    """
 
     signature: frozenset[str]
     config: dict[str, object]
     improvement: float
     trials: int
     workload: str = ""
+    observations: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.signature:
             raise OptimizerError("knowledge entry needs a non-empty phase signature")
         if self.trials <= 0:
             raise OptimizerError("knowledge entry needs a positive trial count")
+        if len(self.observations) > MAX_OBSERVATIONS:
+            object.__setattr__(
+                self, "observations", tuple(self.observations[:MAX_OBSERVATIONS])
+            )
 
     def pipeline_config(self) -> PipelineConfig:
         """Rebuild the stored configuration.
@@ -85,23 +102,43 @@ class KnowledgeEntry:
             raise ConfigurationError(f"stored config has unknown knobs: {error}")
 
     def to_document(self) -> dict:
+        """Serialize for the backing JSON store."""
         return {
             "signature": sorted(self.signature),
             "config": dict(self.config),
             "improvement": self.improvement,
             "trials": self.trials,
             "workload": self.workload,
+            "observations": [dict(row) for row in self.observations],
         }
 
     @classmethod
     def from_document(cls, document: dict) -> KnowledgeEntry:
+        """Parse one stored entry; raises StorageError when malformed.
+
+        Malformed *observation* rows are dropped individually — they
+        only feed the surrogate's training set, so losing one must
+        never invalidate the entry's warm-start configuration.
+        """
         try:
+            observations = []
+            for row in document.get("observations", []):
+                try:
+                    observations.append(
+                        {
+                            "config": dict(row["config"]),
+                            "throughput": float(row["throughput"]),
+                        }
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
             return cls(
                 signature=frozenset(document["signature"]),
                 config=dict(document["config"]),
                 improvement=float(document["improvement"]),
                 trials=int(document["trials"]),
                 workload=str(document.get("workload", "")),
+                observations=tuple(observations),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise StorageError(f"malformed knowledge entry: {error}")
@@ -116,14 +153,20 @@ class KnowledgeMatch:
 
     @property
     def config(self) -> PipelineConfig:
+        """The matched entry's stored configuration, rebuilt."""
         return self.entry.pipeline_config()
 
 
 @dataclass
 class TuningKnowledgeBase:
-    """In-memory prior set with optional JSON persistence."""
+    """In-memory prior set with optional JSON persistence.
+
+    :attr:`persist_error` holds the last :meth:`save` failure (e.g. a
+    read-only knowledge directory), or None after a clean save.
+    """
 
     store: JsonDocumentStore | None = None
+    persist_error: str | None = None
     _entries: list[KnowledgeEntry] = field(default_factory=list)
 
     # --- construction -----------------------------------------------------
@@ -133,9 +176,15 @@ class TuningKnowledgeBase:
         """Load (or create) the knowledge base under ``directory``.
 
         A corrupt document logs as an empty prior set — the warm start
-        is skipped, the run proceeds cold.
+        is skipped, the run proceeds cold. An uncreatable directory
+        (e.g. a read-only parent) degrades to an in-memory base with
+        :attr:`persist_error` set, so the search still runs; it just
+        cannot persist.
         """
-        store = JsonDocumentStore(directory)
+        try:
+            store = JsonDocumentStore(directory)
+        except StorageError as error:
+            return cls(store=None, persist_error=str(error))
         kb = cls(store=store)
         try:
             document = store.load(_DOCUMENT)
@@ -152,11 +201,24 @@ class TuningKnowledgeBase:
 
     # --- queries ----------------------------------------------------------
 
+    def writable(self) -> bool:
+        """Whether :meth:`save` could persist anything.
+
+        False for in-memory bases, for directories that could not be
+        created, and for read-only knowledge directories — callers
+        (``tpupoint tune``) warn up front instead of discovering the
+        no-persist only after a successful search.
+        """
+        if self.store is None:
+            return False
+        return os.access(self.store.directory, os.W_OK)
+
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
     def entries(self) -> tuple[KnowledgeEntry, ...]:
+        """Every stored entry, in insertion order."""
         return tuple(self._entries)
 
     def lookup(
@@ -215,23 +277,54 @@ class TuningKnowledgeBase:
         """Insert or merge one search result.
 
         An exact-signature duplicate keeps whichever result improved
-        more — re-running a workload never degrades its prior.
+        more — re-running a workload never degrades its prior — while
+        the two entries' trial observations are pooled (deduplicated,
+        capped) so the surrogate's training set only ever grows.
         """
         for index, existing in enumerate(self._entries):
             if existing.signature == entry.signature:
-                if entry.improvement > existing.improvement:
-                    self._entries[index] = entry
+                winner = (
+                    entry if entry.improvement > existing.improvement else existing
+                )
+                merged: list[dict] = []
+                seen: set[str] = set()
+                for row in tuple(winner.observations) + tuple(
+                    existing.observations
+                ) + tuple(entry.observations):
+                    key = repr(sorted(row.get("config", {}).items())) + repr(
+                        row.get("throughput")
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    merged.append(row)
+                self._entries[index] = replace(
+                    winner, observations=tuple(merged[:MAX_OBSERVATIONS])
+                )
                 break
         else:
             self._entries.append(entry)
         _KB_ENTRIES.set(len(self._entries))
 
     def save(self) -> Path | None:
-        """Persist to the backing store; no-op for in-memory bases."""
+        """Persist to the backing store; no-op for in-memory bases.
+
+        A store that cannot be written — a read-only knowledge
+        directory is the common case — degrades to no-persist: the
+        failure is remembered in :attr:`persist_error` (so callers like
+        ``tpupoint tune`` can warn loudly) and None is returned, but
+        the in-memory base keeps working for the rest of the run.
+        """
         if self.store is None:
             return None
         document = {
             "version": 1,
             "entries": [entry.to_document() for entry in self._entries],
         }
-        return self.store.save(_DOCUMENT, document)
+        try:
+            path = self.store.save(_DOCUMENT, document)
+        except StorageError as error:
+            self.persist_error = str(error)
+            return None
+        self.persist_error = None
+        return path

@@ -33,6 +33,7 @@ class AdjustableParameter:
     neighbors: Callable[[int], list[int]]
 
     def clamp(self, value: int) -> int:
+        """Clip ``value`` into the parameter's [minimum, maximum] range."""
         return max(self.minimum, min(self.maximum, value))
 
     def candidate_values(self, current: int) -> list[int]:

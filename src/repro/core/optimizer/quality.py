@@ -28,6 +28,7 @@ class OutputSignature:
 
     @classmethod
     def of(cls, estimator: TPUEstimator) -> "OutputSignature":
+        """Fingerprint what ``estimator`` would train (graph and plan)."""
         return cls(
             graph_name=estimator.train_graph.name,
             batch_size=estimator.plan.batch_size,
@@ -44,6 +45,7 @@ class QualityController:
 
     @property
     def reference(self) -> OutputSignature:
+        """The signature captured when the controller was created."""
         return self._reference
 
     def verify(self) -> None:

@@ -18,6 +18,14 @@ trade trials for coverage:
   budget, and so on until one remains. Warm starts slot naturally into
   racing: the start configuration always races at index 0, so a good
   prior is confirmed on the very first trial.
+* :class:`SurrogateStrategy` — surrogate-guided successive halving: a
+  learned performance model (:mod:`repro.core.optimizer.surrogate`)
+  ranks every candidate by *predicted* throughput and only the top
+  fraction per rung is measured for real; every completed real trial
+  is folded back into the model (online refit). Real measurements stay
+  the ground truth — survivors are picked from measured throughput,
+  and the quality guard runs on every real trial — so a wrong
+  prediction costs coverage, never correctness.
 
 Determinism contract (pinned by ``tests/property/test_prop_autotune``):
 a strategy may only draw randomness from its driver RNG (sequential,
@@ -33,7 +41,8 @@ from typing import Protocol, Sequence
 
 from repro import obs
 from repro.core.optimizer.parameters import AdjustableParameter
-from repro.errors import OptimizerError
+from repro.core.optimizer.surrogate import SurrogateModel
+from repro.errors import ConfigurationError, OptimizerError
 from repro.host.pipeline import PipelineConfig
 from repro.rng import stream as rng_stream
 
@@ -42,6 +51,17 @@ _STRATEGY_TRIALS = obs.counter(
     "Autotune trials measured, by search strategy.",
     labels=("strategy",),
 )
+_SURROGATE_GUIDANCE = obs.counter(
+    "repro_optimizer_surrogate_guidance_total",
+    "Surrogate-ranked rungs, by whether the predicted-top candidate "
+    "was confirmed fastest by the real measurements (hit) or not (miss).",
+    labels=("outcome",),
+)
+_SURROGATE_PRUNED = obs.counter(
+    "repro_optimizer_surrogate_pruned_trials_total",
+    "Real trials skipped because the surrogate ranked the candidate "
+    "outside the measured frontier.",
+).labels()
 
 #: Relative improvement a hill-climb move must clear (matches the online
 #: tuner's jitter guard).
@@ -89,7 +109,9 @@ class TrialEvaluator(Protocol):
 
     def evaluate(
         self, requests: Sequence[tuple[str, PipelineConfig, int]]
-    ) -> list[CandidateTrial]: ...
+    ) -> list[CandidateTrial]:
+        """Measure the requested candidates, in request order."""
+        ...
 
 
 @dataclass
@@ -105,6 +127,7 @@ class SearchOutcome:
 
     @property
     def steps_consumed(self) -> int:
+        """Total training steps spent across every trial."""
         return sum(trial.steps for trial in self.trials)
 
     @property
@@ -163,6 +186,7 @@ class SearchStrategy:
         evaluator: TrialEvaluator,
         seed: int,
     ) -> SearchOutcome:
+        """Run one full search and return what it measured and chose."""
         raise NotImplementedError
 
     # --- shared plumbing ---------------------------------------------------
@@ -203,6 +227,7 @@ class HillClimbStrategy(SearchStrategy):
             raise OptimizerError("min_improvement must be >= 1.0")
 
     def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        """One-parameter-at-a-time directional walk (the paper's tuner)."""
         log: list[CandidateTrial] = []
         serial = 0
 
@@ -276,6 +301,7 @@ class SimulatedAnnealingStrategy(SearchStrategy):
             raise OptimizerError("temperature must be positive and cooling in (0, 1)")
 
     def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        """Seeded Metropolis search over batched neighbor proposals."""
         rng = rng_stream("optimizer:strategy:annealing", seed)
         log: list[CandidateTrial] = []
         baseline = self._measure(
@@ -352,6 +378,7 @@ class SuccessiveHalvingStrategy(SearchStrategy):
         return population
 
     def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        """Race the population through budget-doubling elimination rungs."""
         log: list[CandidateTrial] = []
         survivors = self._population(parameters, initial_config, seed)
         baseline_throughput = 0.0
@@ -388,11 +415,147 @@ class SuccessiveHalvingStrategy(SearchStrategy):
         )
 
 
+@dataclass
+class SurrogateStrategy(SearchStrategy):
+    """Surrogate-guided successive halving over the predicted frontier.
+
+    The population seeds like racing's (start configuration at slot 0,
+    known-good prior configurations next, seeded perturbations filling
+    the rest), but each rung first asks the
+    :class:`~repro.core.optimizer.surrogate.SurrogateModel` to rank the
+    survivors by predicted throughput and measures only the top
+    ``measure_fraction`` (at least ``min_measure``) for real — the
+    predicted-best candidate is always *trial 1* of the rung. Rung 0
+    additionally always measures the start configuration, anchoring the
+    outcome's baseline in a real measurement.
+
+    Every real trial is folded back into the model and the model refits
+    once per rung (online refit) — fitting happens driver-side on
+    submission-ordered results, so any worker count replays the same
+    search bit-for-bit. With a not-ready model (empty knowledge base,
+    corrupt corpus, too few pairs) every survivor is measured: the
+    strategy degrades to plain racing, never to an error.
+    """
+
+    population: int = 12
+    eta: int = 2
+    trial_steps: int = 4
+    exploration_moves: int = 2
+    measure_fraction: float = 0.5
+    min_measure: int = 2
+    model: SurrogateModel | None = None
+    signature: frozenset = frozenset()
+    priors: tuple = ()
+
+    name = "surrogate"
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise OptimizerError("surrogate search needs a population of at least 2")
+        if self.eta < 2:
+            raise OptimizerError("eta must be at least 2")
+        if self.trial_steps <= 0 or self.exploration_moves <= 0:
+            raise OptimizerError("trial_steps and exploration_moves must be positive")
+        if not 0.0 < self.measure_fraction <= 1.0:
+            raise OptimizerError("measure_fraction must be in (0, 1]")
+        if self.min_measure < 1:
+            raise OptimizerError("min_measure must be at least 1")
+
+    def _population(self, parameters, initial_config, seed) -> list[PipelineConfig]:
+        """Start config, then valid prior configs, then perturbations."""
+        population = [initial_config]
+        for prior in self.priors:
+            try:
+                candidate = initial_config.with_updates(**dict(prior))
+            except (ConfigurationError, TypeError):
+                continue
+            if candidate not in population:
+                population.append(candidate)
+            if len(population) >= self.population:
+                break
+        rng = rng_stream("optimizer:strategy:surrogate", seed)
+        attempts = 0
+        while len(population) < self.population and attempts < self.population * 20:
+            attempts += 1
+            moves = 1 + int(rng.integers(self.exploration_moves))
+            candidate = _perturb(initial_config, parameters, rng, moves=moves)
+            if candidate not in population:
+                population.append(candidate)
+        return population
+
+    def search(self, parameters, initial_config, evaluator, seed) -> SearchOutcome:
+        """Racing over the surrogate's predicted frontier, refit per rung."""
+        model = self.model if self.model is not None else SurrogateModel()
+        # Without a phase fingerprint the search still learns online; the
+        # placeholder keeps its trials in one bucket of the feature hash.
+        signature = self.signature or frozenset({"<unfingerprinted>"})
+        log: list[CandidateTrial] = []
+        survivors = self._population(parameters, initial_config, seed)
+        baseline_throughput = 0.0
+        ranked: list[tuple[PipelineConfig, float]] = []
+
+        rung = 0
+        while True:
+            steps = self.trial_steps * self.eta**rung
+            order = model.rank(signature, survivors)
+            if model.ready and len(survivors) > 1:
+                frontier = min(
+                    len(survivors),
+                    max(self.min_measure,
+                        math.ceil(len(survivors) * self.measure_fraction)),
+                )
+            else:
+                frontier = len(survivors)
+            chosen = order[:frontier]
+            if rung == 0 and 0 not in chosen:
+                chosen.append(0)  # always ground the baseline in a real trial
+            pruned = len(survivors) - len(chosen)
+            if pruned > 0:
+                _SURROGATE_PRUNED.inc(pruned)
+            requests = [
+                (f"surrogate:r{rung}:c{slot}", survivors[index], steps)
+                for slot, index in enumerate(chosen)
+            ]
+            trials = self._measure(evaluator, requests, log)
+            if rung == 0:
+                for index, trial in zip(chosen, trials):
+                    if index == 0:
+                        baseline_throughput = trial.throughput
+            if model.ready and len(trials) > 1:
+                fastest = max(range(len(trials)),
+                              key=lambda i: (trials[i].throughput, -i))
+                outcome = "hit" if fastest == 0 else "miss"
+                _SURROGATE_GUIDANCE.labels(outcome=outcome).inc()
+            for trial in trials:
+                model.observe(signature, trial.config, trial.throughput)
+            model.refit()
+            ranked = sorted(
+                ((trial.config, trial.throughput) for trial in trials),
+                key=lambda pair: -pair[1],
+            )
+            if len(survivors) <= 1:
+                break
+            keep = max(1, math.ceil(len(trials) / self.eta))
+            survivors = [config for config, _ in ranked[:keep]]
+            rung += 1
+
+        best_config, best_throughput = ranked[0]
+        return SearchOutcome(
+            strategy=self.name,
+            initial_config=initial_config,
+            best_config=best_config,
+            baseline_throughput=baseline_throughput,
+            best_throughput=best_throughput,
+            trials=log,
+        )
+
+
 #: Registry the CLI's ``--strategy`` flag and the engine resolve against.
 STRATEGIES: dict[str, type[SearchStrategy]] = {
     HillClimbStrategy.name: HillClimbStrategy,
     SimulatedAnnealingStrategy.name: SimulatedAnnealingStrategy,
     SuccessiveHalvingStrategy.name: SuccessiveHalvingStrategy,
+    SurrogateStrategy.name: SurrogateStrategy,
 }
 
 

@@ -21,10 +21,11 @@ from repro import obs
 from repro.core.analyzer.ols import DEFAULT_SIMILARITY_THRESHOLD
 from repro.core.analyzer.streaming import StreamingAnalysis
 from repro.core.optimizer.knowledge import TuningKnowledgeBase
+from repro.core.optimizer.surrogate import TrainingPair, dedup_pairs
 from repro.core.profiler import codec
 from repro.core.profiler.record import ProfileRecord
 from repro.core.profiler.serialize import record_checksum
-from repro.errors import CodecError, ProfilerError, ServeError
+from repro.errors import CodecError, OptimizerError, ProfilerError, ServeError
 from repro.serve.ingest import (
     DEFAULT_QUEUE_CAPACITY,
     IngestAck,
@@ -592,6 +593,58 @@ class FleetService:
             priors.sort(key=lambda prior: -prior.similarity)
             span.set(phases=len(analysis.phases), priors=len(priors))
             return priors
+
+    def surrogate_pairs(
+        self, job_id: str, threshold: float | None = None, top_k: int = 8
+    ) -> list[TrainingPair]:
+        """Fleet-shared surrogate training pairs matched to one job.
+
+        The training-set counterpart of :meth:`tuning_priors`: instead
+        of best configurations, this returns the raw per-trial
+        observations (:class:`~repro.core.optimizer.surrogate.TrainingPair`
+        rows) of every knowledge-base entry whose signature matches one
+        of the job's live phase fingerprints. A tenant folds them into
+        its surrogate via ``build_surrogate(extra_pairs=...)``, so one
+        tenant's finished searches speed up every lookalike workload on
+        the fleet. Each stored entry contributes at most once; rows come
+        back deduplicated in a deterministic (signature, knobs) order.
+        """
+        if self._knowledge is None:
+            raise ServeError("no tuning knowledge base attached to this service")
+        cutoff = threshold if threshold is not None else self.options.threshold
+        with obs.trace("serve.surrogate_pairs", job=job_id) as span, \
+                self.metrics.time_query():
+            analysis = self.analysis(job_id)
+            pairs: list[TrainingPair] = []
+            claimed: set[frozenset[str]] = set()
+            ranked_phases = sorted(
+                analysis.phases.values(), key=lambda phase: -phase.duration_us
+            )
+            for phase in ranked_phases:
+                names = frozenset(
+                    stats.name for stats in phase.top_operators(top_k)
+                )
+                if not names:
+                    continue
+                match = self._knowledge.lookup(names, cutoff)
+                if match is None or match.entry.signature in claimed:
+                    continue
+                claimed.add(match.entry.signature)
+                for raw in match.entry.observations:
+                    try:
+                        pairs.append(
+                            TrainingPair(
+                                signature=match.entry.signature,
+                                config=dict(raw["config"]),
+                                throughput=float(raw["throughput"]),
+                                source=f"fleet:{match.entry.workload or 'unknown'}",
+                            )
+                        )
+                    except (KeyError, TypeError, ValueError, OptimizerError):
+                        continue
+            pairs = sorted(dedup_pairs(pairs), key=lambda pair: pair.key())
+            span.set(phases=len(analysis.phases), pairs=len(pairs))
+            return pairs
 
     def job_snapshot(self, job_id: str) -> JobSnapshot:
         """Freeze one job's live view; never mutates service state."""

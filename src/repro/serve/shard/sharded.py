@@ -481,6 +481,14 @@ class ShardedFleet:
             job_id, threshold=threshold, top_k=top_k
         )
 
+    def surrogate_pairs(
+        self, job_id: str, threshold: float | None = None, top_k: int = 8
+    ):
+        """Fleet-shared surrogate training pairs for one tenant (owning shard)."""
+        return self.shards[self._entry(job_id).shard].surrogate_pairs(
+            job_id, threshold=threshold, top_k=top_k
+        )
+
     def job_snapshot(self, job_id: str) -> JobSnapshot:
         return self.shards[self._entry(job_id).shard].job_snapshot(job_id)
 

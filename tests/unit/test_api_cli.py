@@ -111,6 +111,62 @@ class TestCli:
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
 
+    def test_tune_surrogate_with_corpus(self, capsys, tmp_path):
+        corpus = Path("benchmarks/corpus/surrogate_corpus.json")
+        dump = tmp_path / "model.json"
+        argv = [
+            "tune", "naive-dcgan-mnist",
+            "--strategy", "surrogate",
+            "--surrogate-corpus", str(corpus),
+            "--surrogate-out", str(dump),
+            "--trial-steps", "3",
+        ]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "offline autotune (surrogate)" in out
+        assert "surrogate       : ridge" in out
+        assert "fitted" in out
+        assert dump.exists()
+        import json
+
+        document = json.loads(dump.read_text(encoding="utf-8"))
+        assert document["ready"] is True
+        assert document["model"]["kind"] == "ridge"
+
+    def test_tune_surrogate_cold_without_corpus(self, capsys):
+        argv = [
+            "tune", "naive-dcgan-mnist",
+            "--strategy", "surrogate",
+            "--trial-steps", "3",
+        ]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "offline autotune (surrogate)" in out
+        # Too few pairs from one tiny run: the model reports cold.
+        assert "surrogate       :" in out
+
+    def test_tune_warns_on_unwritable_knowledge_dir(self, capsys, tmp_path):
+        import os
+
+        if hasattr(os, "geteuid") and os.geteuid() == 0:
+            pytest.skip("root bypasses file permissions")
+        parent = tmp_path / "ro"
+        parent.mkdir()
+        parent.chmod(0o555)
+        try:
+            argv = [
+                "tune", "naive-dcgan-mnist",
+                "--strategy", "racing",
+                "--knowledge-dir", str(parent / "kb"),
+                "--trial-steps", "3",
+            ]
+            assert cli_main(argv) == 0
+            captured = capsys.readouterr()
+            assert "read-only" in captured.err
+            assert "nothing will be persisted" in captured.err
+        finally:
+            parent.chmod(0o755)
+
 
 class TestCliErrorHygiene:
     """ReproError -> one-line stderr message, exit code 1, no traceback."""

@@ -205,3 +205,120 @@ class TestFleetTuningPriors:
         )
         service.attach_knowledge(kb)
         assert service.tuning_priors(info.job_id) == []
+
+    def test_surrogate_pairs_requires_attached_knowledge(
+        self, tiny_model, tiny_dataset
+    ):
+        service, info = self._service_with_job(tiny_model, tiny_dataset)
+        with pytest.raises(ServeError, match="knowledge"):
+            service.surrogate_pairs(info.job_id)
+
+    def test_surrogate_pairs_from_recorded_search(
+        self, tiny_model, tiny_dataset, tmp_path
+    ):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        tuned = autotune(
+            factory, _INITIAL, _OPTIONS, knowledge=kb, strategy_options=_QUICK
+        )
+        service, info = self._service_with_job(tiny_model, tiny_dataset)
+        service.attach_knowledge(kb)
+        pairs = service.surrogate_pairs(info.job_id, threshold=0.5)
+        assert pairs, "the tuned workload's trials must surface as pairs"
+        assert all(pair.signature == tuned.signature for pair in pairs)
+        assert all(pair.source == "fleet:tiny" for pair in pairs)
+        assert all(pair.throughput > 0 for pair in pairs)
+        # Deterministic: a second query returns the identical rows.
+        assert pairs == service.surrogate_pairs(info.job_id, threshold=0.5)
+
+    def test_surrogate_pairs_empty_without_matches(
+        self, tiny_model, tiny_dataset
+    ):
+        service, info = self._service_with_job(tiny_model, tiny_dataset)
+        service.attach_knowledge(TuningKnowledgeBase())
+        assert service.surrogate_pairs(info.job_id) == []
+
+
+class TestSurrogateAutotune:
+    def test_records_observations(self, tiny_model, tiny_dataset, tmp_path):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        result = autotune(
+            factory, _INITIAL, _OPTIONS, knowledge=kb, strategy_options=_QUICK
+        )
+        assert result.knowledge_recorded
+        entry = kb.entries[0]
+        assert len(entry.observations) == len(result.trials)
+        for row in entry.observations:
+            assert set(row) == {"config", "throughput"}
+            assert row["throughput"] > 0
+
+    def test_surrogate_strategy_cold_run(self, tiny_model, tiny_dataset):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        options = AutotuneOptions(
+            strategy="surrogate", detection_steps=10, workload="tiny"
+        )
+        result = autotune(
+            factory, _INITIAL, options, strategy_options=_QUICK
+        )
+        assert result.improvement > 1.0
+        assert result.surrogate is not None
+        # No knowledge, no corpus: the model starts cold and learns
+        # online from the run's own trials.
+        assert result.surrogate.to_document()["observations"] == len(
+            result.trials
+        )
+
+    def test_surrogate_warm_run_prunes_trials(
+        self, tiny_model, tiny_dataset, tmp_path
+    ):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        kb = TuningKnowledgeBase.open(tmp_path)
+        cold_options = AutotuneOptions(
+            strategy="surrogate", detection_steps=10, workload="tiny"
+        )
+        # Population 8 so the cold run measures enough unique configs to
+        # make the warm model ready (MIN_TRAINING_PAIRS) from trial one.
+        wide = {"population": 8, "trial_steps": 3}
+        cold = autotune(
+            factory, _INITIAL, cold_options, knowledge=kb,
+            strategy_options=wide,
+        )
+        warm = autotune(
+            factory, _INITIAL, cold_options,
+            knowledge=TuningKnowledgeBase.open(tmp_path),
+            strategy_options=wide,
+        )
+        assert warm.surrogate is not None and warm.surrogate.ready
+        assert len(warm.trials) < len(cold.trials)
+        assert warm.outcome.best_throughput >= (
+            cold.outcome.best_throughput * 0.99
+        )
+
+    def test_surrogate_never_returns_guard_rejected_config(
+        self, tiny_model, tiny_dataset, tmp_path
+    ):
+        factory = _slow_factory(tiny_model, tiny_dataset)
+        signature = detect_phase_signature(
+            factory, _INITIAL,
+            AutotuneOptions(strategy="surrogate", detection_steps=10),
+        )
+        kb = TuningKnowledgeBase.open(tmp_path)
+        # A poisoned prior: claims a huge improvement for a config that
+        # no longer validates. The engine must roll back, not crash.
+        kb.record(
+            KnowledgeEntry(
+                signature=signature,
+                config={"num_parallel_calls": -7},
+                improvement=9.9,
+                trials=3,
+            )
+        )
+        options = AutotuneOptions(
+            strategy="surrogate", detection_steps=10, workload="tiny"
+        )
+        result = autotune(
+            factory, _INITIAL, options, knowledge=kb, strategy_options=_QUICK
+        )
+        assert result.rolled_back
+        assert result.improvement > 1.0

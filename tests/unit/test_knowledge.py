@@ -1,11 +1,13 @@
 """The tuning knowledge base, its JSON store, and phase fingerprints."""
 
 import json
+import os
 
 import pytest
 
 from repro.core.optimizer.detector import CriticalPhaseDetector
 from repro.core.optimizer.knowledge import (
+    MAX_OBSERVATIONS,
     KnowledgeEntry,
     TuningKnowledgeBase,
 )
@@ -191,6 +193,124 @@ class TestTuningKnowledgeBase:
         )
         kb = TuningKnowledgeBase.open(tmp_path)
         assert len(kb) == 1
+
+
+class TestObservations:
+    _ROWS = (
+        {"config": {"prefetch_depth": 2}, "throughput": 1.0},
+        {"config": {"prefetch_depth": 8}, "throughput": 1.6},
+    )
+
+    def test_round_trip(self, tmp_path):
+        kb = TuningKnowledgeBase.open(tmp_path)
+        kb.record(
+            KnowledgeEntry(
+                signature=_SIG, config={"prefetch_depth": 8},
+                improvement=1.6, trials=2, observations=self._ROWS,
+            )
+        )
+        kb.save()
+        again = TuningKnowledgeBase.open(tmp_path)
+        assert again.entries[0].observations == self._ROWS
+
+    def test_pre_observation_entries_load_empty(self):
+        document = _entry().to_document()
+        del document["observations"]
+        entry = KnowledgeEntry.from_document(document)
+        assert entry.observations == ()
+
+    def test_malformed_rows_dropped_individually(self):
+        document = _entry().to_document()
+        document["observations"] = [
+            dict(self._ROWS[0]),
+            {"throughput": 2.0},  # missing config
+            {"config": {"prefetch_depth": 4}, "throughput": "fast"},
+        ]
+        entry = KnowledgeEntry.from_document(document)
+        assert entry.observations == (self._ROWS[0],)
+
+    def test_capped_at_max(self):
+        rows = tuple(
+            {"config": {"prefetch_depth": i}, "throughput": 1.0 + i}
+            for i in range(MAX_OBSERVATIONS + 10)
+        )
+        entry = KnowledgeEntry(
+            signature=_SIG, config={}, improvement=1.1, trials=1,
+            observations=rows,
+        )
+        assert len(entry.observations) == MAX_OBSERVATIONS
+
+    def test_merge_pools_observations(self):
+        kb = TuningKnowledgeBase()
+        kb.record(
+            KnowledgeEntry(
+                signature=_SIG, config={"prefetch_depth": 2},
+                improvement=1.2, trials=1, observations=(self._ROWS[0],),
+            )
+        )
+        kb.record(
+            KnowledgeEntry(
+                signature=_SIG, config={"prefetch_depth": 8},
+                improvement=1.6, trials=1,
+                observations=(self._ROWS[0], self._ROWS[1]),
+            )
+        )
+        entry = kb.entries[0]
+        assert entry.improvement == 1.6  # winner by improvement
+        assert len(entry.observations) == 2  # pooled, deduplicated
+
+
+_ROOT = hasattr(os, "geteuid") and os.geteuid() == 0
+_needs_permissions = pytest.mark.skipif(
+    _ROOT, reason="root bypasses file permissions; chmod cannot deny access"
+)
+
+
+class TestReadOnlyDegradation:
+    def test_writable_probe(self, tmp_path):
+        assert TuningKnowledgeBase.open(tmp_path).writable()
+        assert not TuningKnowledgeBase().writable()
+
+    @_needs_permissions
+    def test_read_only_directory_not_writable(self, tmp_path):
+        kb = TuningKnowledgeBase.open(tmp_path)
+        kb.record(_entry())
+        kb.save()
+        tmp_path.chmod(0o555)
+        try:
+            again = TuningKnowledgeBase.open(tmp_path)
+            assert len(again) == 1  # priors still load
+            assert not again.writable()
+        finally:
+            tmp_path.chmod(0o755)
+
+    @_needs_permissions
+    def test_save_failure_degrades_to_persist_error(self, tmp_path):
+        kb = TuningKnowledgeBase.open(tmp_path)
+        kb.record(_entry())
+        tmp_path.chmod(0o555)
+        try:
+            assert kb.save() is None  # no raise
+            assert kb.persist_error is not None
+        finally:
+            tmp_path.chmod(0o755)
+        assert kb.save() is not None
+        assert kb.persist_error is None
+
+    @_needs_permissions
+    def test_uncreatable_directory_degrades_to_memory(self, tmp_path):
+        parent = tmp_path / "ro"
+        parent.mkdir()
+        parent.chmod(0o555)
+        try:
+            kb = TuningKnowledgeBase.open(parent / "kb")
+            assert kb.store is None
+            assert kb.persist_error is not None
+            assert not kb.writable()
+            kb.record(_entry())  # in-memory base keeps working
+            assert kb.save() is None
+        finally:
+            parent.chmod(0o755)
 
 
 def _step(number, ops, duration_us=100.0):

@@ -10,6 +10,7 @@ from repro.core.optimizer.strategies import (
     SearchOutcome,
     SimulatedAnnealingStrategy,
     SuccessiveHalvingStrategy,
+    SurrogateStrategy,
     build_strategy,
 )
 from repro.errors import OptimizerError
@@ -102,12 +103,13 @@ class TestSearchOutcome:
 
 class TestRegistry:
     def test_all_strategies_registered(self):
-        assert set(STRATEGIES) == {"hill-climb", "annealing", "racing"}
+        assert set(STRATEGIES) == {"hill-climb", "annealing", "racing", "surrogate"}
 
     def test_build_by_name(self):
         assert isinstance(build_strategy("hill-climb"), HillClimbStrategy)
         assert isinstance(build_strategy("annealing"), SimulatedAnnealingStrategy)
         assert isinstance(build_strategy("racing"), SuccessiveHalvingStrategy)
+        assert isinstance(build_strategy("surrogate"), SurrogateStrategy)
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(OptimizerError, match="unknown search strategy"):
@@ -143,6 +145,16 @@ class TestValidation:
             SuccessiveHalvingStrategy(population=1)
         with pytest.raises(OptimizerError):
             SuccessiveHalvingStrategy(eta=1)
+
+    def test_surrogate(self):
+        with pytest.raises(OptimizerError):
+            SurrogateStrategy(population=1)
+        with pytest.raises(OptimizerError):
+            SurrogateStrategy(measure_fraction=0.0)
+        with pytest.raises(OptimizerError):
+            SurrogateStrategy(measure_fraction=1.5)
+        with pytest.raises(OptimizerError):
+            SurrogateStrategy(min_measure=0)
 
 
 class TestSearchBehaviour:

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fail when public optimizer/analyzer code is missing docstrings.
+
+Walks ``src/repro/core/optimizer/`` and ``src/repro/core/analyzer/``
+with ``ast`` and reports every public module, class, function, and
+method (no leading underscore) that lacks a docstring. Dunder methods,
+overrides of ``object`` protocol slots, and anything underscore-private
+are exempt — the bar is "public surface documents itself", not
+"docstring on every line".
+
+Run from the repository root (CI's docs job does):
+
+    python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages whose public surface must be documented.
+CHECKED = ("src/repro/core/optimizer", "src/repro/core/analyzer")
+
+#: Method names that never need their own docstring.
+_EXEMPT_METHODS = {"__init__", "__post_init__"}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in(tree: ast.Module, path: str) -> list[str]:
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}: missing module docstring")
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name) and ast.get_docstring(child) is None:
+                    problems.append(
+                        f"{path}: class {prefix}{child.name} missing docstring"
+                    )
+                visit(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name in _EXEMPT_METHODS or child.name.startswith("__"):
+                    continue
+                if _is_public(child.name) and ast.get_docstring(child) is None:
+                    problems.append(
+                        f"{path}: def {prefix}{child.name} missing docstring"
+                    )
+
+    visit(tree, "")
+    return problems
+
+
+def check(root: Path) -> list[str]:
+    """Return human-readable problems (empty = all documented)."""
+    problems = []
+    for package in CHECKED:
+        for source in sorted((root / package).rglob("*.py")):
+            relative = source.relative_to(root).as_posix()
+            tree = ast.parse(source.read_text(encoding="utf-8"))
+            problems.extend(_missing_in(tree, relative))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else ROOT
+    problems = check(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        checked = sum(
+            len(list((root / package).rglob("*.py"))) for package in CHECKED
+        )
+        print(f"docstrings OK ({checked} files checked)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

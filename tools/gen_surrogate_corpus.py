@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Regenerate the committed surrogate training corpus.
+
+Sweeps a deterministic grid of pipeline configurations over a few naive
+workloads, measures each on the simulated estimator, and writes the
+``(phase fingerprint, config) -> throughput`` pairs to
+``benchmarks/corpus/surrogate_corpus.json`` — the committed prior that
+lets ``tpupoint tune --strategy surrogate`` rank candidates before the
+tuning knowledge base has collected anything (docs/surrogate.md).
+
+The sweep is seeded and ordered, so rerunning the tool on an unchanged
+simulator reproduces the file byte-for-byte. Run from the repo root:
+
+    PYTHONPATH=src python tools/gen_surrogate_corpus.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PipelineConfig, WorkloadSpec, build_estimator  # noqa: E402
+from repro.core.optimizer.autotune import (  # noqa: E402
+    AutotuneOptions,
+    EstimatorTrialEvaluator,
+    detect_phase_signature,
+)
+from repro.core.optimizer.surrogate import (  # noqa: E402
+    FEATURE_SCHEMA_VERSION,
+    TrainingPair,
+    dedup_pairs,
+)
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / (
+    "benchmarks/corpus/surrogate_corpus.json"
+)
+
+#: Workloads the corpus samples; naive variants leave the most headroom.
+WORKLOADS = ("naive-dcgan-mnist", "naive-qanet-squad", "naive-bert-mrpc")
+
+#: The deterministic configuration grid measured per workload.
+GRID = tuple(
+    {
+        "num_parallel_calls": calls,
+        "prefetch_depth": prefetch,
+        "infeed_threads": threads,
+        "vectorized_preprocess": vectorized,
+    }
+    for calls in (1, 4, 16)
+    for prefetch in (0, 4)
+    for threads in (1, 4)
+    for vectorized in (False, True)
+)
+
+TRIAL_STEPS = 4
+
+
+def _factory(spec: WorkloadSpec):
+    return lambda cfg: build_estimator(dataclasses.replace(spec, pipeline_config=cfg))
+
+
+def build_pairs() -> list[TrainingPair]:
+    """Measure the full grid; returns deduplicated, sorted pairs."""
+    pairs: list[TrainingPair] = []
+    for key in WORKLOADS:
+        spec = WorkloadSpec(key)
+        factory = _factory(spec)
+        probe = build_estimator(spec)
+        initial = probe.pipeline_config or PipelineConfig()
+        signature = detect_phase_signature(
+            factory, initial, AutotuneOptions(detection_steps=20)
+        )
+        evaluator = EstimatorTrialEvaluator(factory, seed=0)
+        requests = [
+            (f"corpus:{key}:{i}", initial.with_updates(**knobs), TRIAL_STEPS)
+            for i, knobs in enumerate(GRID)
+        ]
+        for trial in evaluator.evaluate(requests):
+            config = {
+                knob: getattr(trial.config, knob)
+                for knob in (
+                    "num_parallel_reads",
+                    "num_parallel_calls",
+                    "prefetch_depth",
+                    "shuffle_buffer",
+                    "infeed_threads",
+                    "vectorized_preprocess",
+                )
+            }
+            pairs.append(
+                TrainingPair(
+                    signature=signature,
+                    config=config,
+                    throughput=trial.throughput,
+                    source=f"corpus:{key}",
+                )
+            )
+        print(f"{key}: {len(GRID)} configs measured", file=sys.stderr)
+    return sorted(dedup_pairs(pairs), key=lambda pair: pair.key())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    pairs = build_pairs()
+    document = {
+        "version": 1,
+        "feature_schema": FEATURE_SCHEMA_VERSION,
+        "pairs": [pair.to_document() for pair in pairs],
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(pairs)} pairs to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
